@@ -1,0 +1,97 @@
+// Ablation: programmable frame length (Frame_selector). Longer frames
+// average more comparator decisions per update (smoother threshold) but
+// adapt more slowly; this bench measures both sides: dataset-style
+// correlation and the adaptation lag after a force step.
+
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "core/datc_encoder.hpp"
+#include "dsp/stats.hpp"
+#include "emg/generator.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+/// Step signal: rest for 2 s, then a hard 60 % MVC plateau. Returns the
+/// time (s, relative to the step) the DTC needs to move its code within
+/// one level of the final settled value.
+Real adaptation_lag_s(core::FrameSize frame) {
+  dsp::Rng rng(909);
+  emg::ForceProfile drive;
+  drive.sample_rate_hz = 2500.0;
+  auto rest = emg::constant_force(0.0, 2.0, 2500.0);
+  auto hold = emg::constant_force(0.6, 3.0, 2500.0);
+  drive.fraction_mvc = rest.fraction_mvc;
+  drive.fraction_mvc.insert(drive.fraction_mvc.end(),
+                            hold.fraction_mvc.begin(),
+                            hold.fraction_mvc.end());
+  auto sig = emg::synthesize_pool(drive, emg::MotorUnitPoolConfig{}, rng);
+  for (auto& v : sig.samples()) v *= 0.4;
+
+  core::DatcEncoderConfig enc;
+  enc.dtc.frame = frame;
+  const auto tx = core::encode_datc(sig, enc);
+  const auto& codes = tx.trace.set_vth;
+  // Final settled code: median of the last second.
+  std::vector<Real> tail;
+  for (std::size_t k = codes.size() - 2000; k < codes.size(); ++k) {
+    tail.push_back(static_cast<Real>(codes[k]));
+  }
+  const Real settled = dsp::percentile(tail, 50.0);
+  const auto step_cycle = static_cast<std::size_t>(2.0 * 2000.0);
+  for (std::size_t k = step_cycle; k < codes.size(); ++k) {
+    if (std::abs(static_cast<Real>(codes[k]) - settled) <= 1.0) {
+      return static_cast<Real>(k - step_cycle) / 2000.0;
+    }
+  }
+  return 3.0;  // never settled
+}
+
+void print_frames_ablation() {
+  bench::print_header(
+      "Ablation - frame length 100/200/400/800 cycles (Frame_selector)",
+      "the paper makes the frame programmable; trade-off = smoothing vs "
+      "adaptation speed");
+
+  const auto& rec = bench::showcase();
+  sim::Table t({"frame (cycles)", "frame (ms)", "corr %", "events",
+                "step-response lag (ms)"});
+  for (const auto frame : core::kAllFrameSizes) {
+    sim::EvalConfig cfg;
+    cfg.dtc.frame = frame;
+    const sim::Evaluator eval(cfg);
+    const auto d = eval.datc(rec);
+    const Real lag = adaptation_lag_s(frame);
+    t.add_row({sim::Table::integer(core::frame_cycles(frame)),
+               sim::Table::num(core::frame_duration_s(frame, 2000.0) * 1e3,
+                               0),
+               sim::Table::num(d.correlation_pct, 2),
+               sim::Table::integer(d.num_events),
+               sim::Table::num(lag * 1e3, 0)});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf(
+      "\nshape check: adaptation lag grows with the frame length (the "
+      "3-frame window is 150..1200 ms),\n  while correlation stays usable "
+      "across all four settings — why a 2-bit selector suffices.\n");
+}
+
+void bench_frame_sweep(benchmark::State& state) {
+  const auto& rec = bench::showcase();
+  core::DatcEncoderConfig enc;
+  enc.dtc.frame = core::kAllFrameSizes[static_cast<std::size_t>(
+      state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_datc(rec.emg_v, enc).events.size());
+  }
+}
+BENCHMARK(bench_frame_sweep)->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_frames_ablation)

@@ -1,0 +1,98 @@
+// Fig. 2 reproduction: constant vs dynamic thresholding on a simple sEMG
+// signal divided into frames. A fixed threshold set too high misses the
+// weak episode entirely (B); set too low it fires excessively during the
+// strong episode (C); the dynamic threshold keeps the per-frame event
+// count controlled in both (D). (E) is the transmitted packet layout.
+
+#include "bench_util.hpp"
+
+#include "core/atc_encoder.hpp"
+#include "core/datc_encoder.hpp"
+#include "emg/generator.hpp"
+#include "uwb/modulator.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+/// A "simple sEMG signal": weak episode then strong episode, 2 s each.
+dsp::TimeSeries simple_signal() {
+  dsp::Rng rng(2015);
+  emg::ForceProfile drive;
+  drive.sample_rate_hz = 2500.0;
+  auto weak = emg::constant_force(0.15, 2.0, 2500.0);
+  auto strong = emg::constant_force(0.75, 2.0, 2500.0);
+  drive.fraction_mvc = weak.fraction_mvc;
+  drive.fraction_mvc.insert(drive.fraction_mvc.end(),
+                            strong.fraction_mvc.begin(),
+                            strong.fraction_mvc.end());
+  auto sig = emg::synthesize_pool(emg::smooth_profile(drive),
+                                  emg::MotorUnitPoolConfig{}, rng);
+  for (auto& v : sig.samples()) v *= 0.5;  // mid-population gain
+  return sig;
+}
+
+void print_fig2() {
+  bench::print_header(
+      "Fig. 2 - constant vs dynamic thresholding, frame-wise events",
+      "high fixed Vth misses weak frames; low fixed Vth floods strong "
+      "frames; D-ATC stays controlled");
+
+  const auto sig = simple_signal();
+  const Real frame_s = 100.0 / 2000.0;  // 100-cycle frames at 2 kHz
+  const auto frames = static_cast<std::size_t>(sig.duration_s() / frame_s);
+
+  core::AtcEncoderConfig hi;
+  hi.threshold_v = 0.45;
+  core::AtcEncoderConfig lo;
+  lo.threshold_v = 0.06;
+  const auto ev_hi = core::encode_atc(sig, hi).events;
+  const auto ev_lo = core::encode_atc(sig, lo).events;
+  const auto datc = core::encode_datc(sig, core::DatcEncoderConfig{});
+
+  sim::Table t({"frame window", "B) ATC Vth=0.45V", "C) ATC Vth=0.06V",
+                "D) D-ATC", "D-ATC Set_Vth"});
+  for (std::size_t f = 0; f < frames; f += 8) {  // print every 8th frame
+    const Real t0 = static_cast<Real>(f) * frame_s;
+    const Real t1 = t0 + 8.0 * frame_s;
+    const std::size_t vth_idx =
+        std::min(datc.trace.set_vth.size() - 1,
+                 static_cast<std::size_t>(t0 * 2000.0));
+    t.add_row({sim::Table::num(t0, 2) + "-" + sim::Table::num(t1, 2) + " s",
+               sim::Table::integer(ev_hi.count_in(t0, t1)),
+               sim::Table::integer(ev_lo.count_in(t0, t1)),
+               sim::Table::integer(datc.events.count_in(t0, t1)),
+               sim::Table::integer(datc.trace.set_vth[vth_idx])});
+  }
+  std::printf("%s", t.to_text().c_str());
+
+  std::printf(
+      "\ntotals: ATC(high) %zu events | ATC(low) %zu events | D-ATC %zu "
+      "events\n",
+      ev_hi.size(), ev_lo.size(), datc.events.size());
+  std::printf(
+      "shape check: ATC(high) sees ~nothing in the weak half; ATC(low) "
+      "floods in the strong half;\n  D-ATC's Set_Vth climbs with the "
+      "amplitude and keeps frame counts inside the Eqn-2 interval band.\n");
+
+  // (E) packet layout.
+  const uwb::ModulatorConfig mod;
+  std::printf(
+      "\nFig. 2E packet: [event marker][b3][b2][b1][b0] = %u symbols, "
+      "%.0f ns on air per event\n",
+      mod.code_bits + 1, uwb::packet_duration_s(mod) * 1e9);
+}
+
+void bench_encode_concept(benchmark::State& state) {
+  const auto sig = simple_signal();
+  for (auto _ : state) {
+    auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+    benchmark::DoNotOptimize(r.events.size());
+  }
+}
+BENCHMARK(bench_encode_concept)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_fig2)

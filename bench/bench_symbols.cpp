@@ -1,0 +1,60 @@
+// Sec. III-B reproduction: transmitted symbols for one 20 s sEMG wave
+// under the four systems the paper lists, plus the protocol-overhead
+// variant it mentions qualitatively.
+
+#include "bench_util.hpp"
+
+#include "core/symbols.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+void print_symbols() {
+  bench::print_header(
+      "Sec. III-B - transmitted symbols for a 20 s sEMG wave",
+      "packet-based 600 000; ATC(0.3 V) 3183; ATC(0.2 V) 5821; D-ATC "
+      "18 620 (= 3724 x 5)");
+
+  const auto& rec = bench::showcase();
+  const auto& eval = bench::evaluator();
+  const auto a3 = eval.atc(rec, 0.3);
+  const auto a2 = eval.atc(rec, 0.2);
+  const auto d = eval.datc(rec);
+  const auto packet = core::packet_symbols(rec.emg_v.size(), 12);
+  const auto packet_oh = core::packet_symbols_with_overhead(
+      rec.emg_v.size(), 12, core::PacketOverhead{});
+
+  sim::Table t({"system", "events", "sym/event", "total symbols",
+                "paper total"});
+  t.add_row({"packet-based (12-bit ADC)", sim::Table::integer(packet.events),
+             "12", sim::Table::integer(packet.total), "600000"});
+  t.add_row({"packet-based + hdr/SFD/ID/CRC",
+             sim::Table::integer(packet_oh.events), "12+",
+             sim::Table::integer(packet_oh.total), "(qualitative)"});
+  t.add_row({"ATC (Vth=0.3 V)", sim::Table::integer(a3.symbols.events), "1",
+             sim::Table::integer(a3.symbols.total), "3183"});
+  t.add_row({"ATC (Vth=0.2 V)", sim::Table::integer(a2.symbols.events), "1",
+             sim::Table::integer(a2.symbols.total), "5821"});
+  t.add_row({"D-ATC", sim::Table::integer(d.symbols.events), "5",
+             sim::Table::integer(d.symbols.total), "18620"});
+  std::printf("%s", t.to_text().c_str());
+
+  std::printf(
+      "\nshape check: D-ATC costs 5x its event count but stays %.0fx below "
+      "the packet-based system\n  (paper: 600000 / 18620 = 32x).\n",
+      static_cast<Real>(packet.total) / static_cast<Real>(d.symbols.total));
+}
+
+void bench_symbol_accounting(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::packet_symbols(50000, 12).total);
+    benchmark::DoNotOptimize(core::datc_symbols(3724, 4).total);
+  }
+}
+BENCHMARK(bench_symbol_accounting);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_symbols)

@@ -1,0 +1,134 @@
+// Library throughput: google-benchmark timings of the hot paths, so a
+// downstream user knows what real-time budgets look like (a 20 s record
+// encodes in milliseconds; the 2 kHz DTC runs ~10^6x faster than real
+// time).
+
+#include "bench_util.hpp"
+
+#include "core/datc_encoder.hpp"
+#include "core/dtc.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/filter_design.hpp"
+#include "dsp/spectral.hpp"
+#include "emg/generator.hpp"
+#include "rtl/dtc_rtl.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+void print_throughput_header() {
+  bench::print_header("Library throughput",
+                      "no paper counterpart - engineering numbers for "
+                      "downstream users");
+}
+
+void bench_dtc_step(benchmark::State& state) {
+  core::Dtc dtc;
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtc.step((k++ / 3) % 4 == 0).set_vth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bench_dtc_step);
+
+void bench_encode_20s_record(benchmark::State& state) {
+  const auto& rec = bench::showcase();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::encode_datc(rec.emg_v, core::DatcEncoderConfig{}).events.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(rec.emg_v.size()));
+}
+BENCHMARK(bench_encode_20s_record)->Unit(benchmark::kMillisecond);
+
+void bench_atc_encode(benchmark::State& state) {
+  const auto& rec = bench::showcase();
+  core::AtcEncoderConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_atc(rec.emg_v, cfg).events.size());
+  }
+}
+BENCHMARK(bench_atc_encode)->Unit(benchmark::kMillisecond);
+
+void bench_reconstruction(benchmark::State& state) {
+  const auto& rec = bench::showcase();
+  const auto& eval = bench::evaluator();
+  const auto tx = core::encode_datc(rec.emg_v, core::DatcEncoderConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.reconstruct_datc(tx.events, rec.emg_v.duration_s()).size());
+  }
+}
+BENCHMARK(bench_reconstruction)->Unit(benchmark::kMillisecond);
+
+void bench_motor_unit_synthesis_per_s(benchmark::State& state) {
+  dsp::Rng rng(1);
+  const auto drive = emg::constant_force(0.5, 1.0, 2500.0);
+  for (auto _ : state) {
+    auto local = rng.fork();
+    benchmark::DoNotOptimize(
+        emg::synthesize_pool(drive, emg::MotorUnitPoolConfig{}, local)
+            .size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2500);
+}
+BENCHMARK(bench_motor_unit_synthesis_per_s)->Unit(benchmark::kMillisecond);
+
+void bench_fft4096(benchmark::State& state) {
+  dsp::Rng rng(2);
+  std::vector<dsp::Complex> x(4096);
+  for (auto& v : x) v = dsp::Complex{rng.gaussian(), 0.0};
+  for (auto _ : state) {
+    auto copy = x;
+    dsp::fft_inplace(copy);
+    benchmark::DoNotOptimize(copy[1]);
+  }
+}
+BENCHMARK(bench_fft4096);
+
+void bench_welch_psd(benchmark::State& state) {
+  dsp::Rng rng(3);
+  std::vector<Real> x(1 << 15);
+  for (auto& v : x) v = rng.gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::welch_psd(x, 2500.0, 1024).psd_v2_hz[10]);
+  }
+}
+BENCHMARK(bench_welch_psd)->Unit(benchmark::kMillisecond);
+
+void bench_butterworth_filter_50k(benchmark::State& state) {
+  dsp::Rng rng(4);
+  std::vector<Real> x(50000);
+  for (auto& v : x) v = rng.gaussian();
+  dsp::BiquadCascade band(dsp::butterworth_bandpass(4, 20.0, 450.0, 2500.0));
+  for (auto _ : state) {
+    band.reset();
+    benchmark::DoNotOptimize(band.filter(x).back());
+  }
+}
+BENCHMARK(bench_butterworth_filter_50k)->Unit(benchmark::kMillisecond);
+
+void bench_rtl_dtc_cycles(benchmark::State& state) {
+  rtl::DtcRtl dut{core::DtcConfig{}};
+  rtl::Simulator sim;
+  sim.add(dut);
+  sim.reset();
+  std::size_t k = 0;
+  for (auto _ : state) {
+    dut.set_d_in((k++ / 11) % 2 == 0);
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bench_rtl_dtc_cycles);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_throughput_header)

@@ -1,0 +1,34 @@
+#include "afe/amplifier.hpp"
+
+#include <cmath>
+
+namespace datc::afe {
+
+Amplifier::Amplifier(const AmplifierConfig& config, dsp::Rng rng)
+    : config_(config), rng_(rng) {
+  dsp::require(config_.gain > 0.0, "Amplifier: gain must be positive");
+  dsp::require(config_.supply_v > 0.0, "Amplifier: supply must be positive");
+}
+
+Real Amplifier::process(Real in_v) {
+  Real v = in_v;
+  if (config_.input_noise_rms > 0.0) {
+    v += config_.input_noise_rms * rng_.gaussian();
+  }
+  v *= config_.gain;
+  const Real limit = config_.supply_v / 2.0;
+  if (config_.soft_clip) {
+    return limit * std::tanh(v / limit);
+  }
+  if (v > limit) return limit;
+  if (v < -limit) return -limit;
+  return v;
+}
+
+dsp::TimeSeries Amplifier::amplify(const dsp::TimeSeries& in) {
+  std::vector<Real> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = process(in[i]);
+  return dsp::TimeSeries(std::move(out), in.sample_rate_hz());
+}
+
+}  // namespace datc::afe

@@ -1,0 +1,39 @@
+#pragma once
+// Instrumentation-amplifier model for the sEMG preamplification stage.
+// The paper's key observation is that this stage's effective gain varies
+// with the electrode-skin interface, which is why a fixed threshold needs
+// per-subject trimming; the gain/saturation/noise knobs here let the
+// experiments exercise exactly that variability.
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::afe {
+
+using dsp::Real;
+
+struct AmplifierConfig {
+  Real gain{1.0};             ///< linear gain (V/V)
+  Real supply_v{1.8};         ///< output saturates at +-supply/2 around mid
+  Real input_noise_rms{0.0};  ///< input-referred noise (V RMS)
+  bool soft_clip{true};       ///< tanh saturation instead of hard clipping
+};
+
+/// Stateless except for the noise stream.
+class Amplifier {
+ public:
+  Amplifier(const AmplifierConfig& config, dsp::Rng rng);
+
+  [[nodiscard]] Real process(Real in_v);
+
+  /// Amplifies a whole record.
+  [[nodiscard]] dsp::TimeSeries amplify(const dsp::TimeSeries& in);
+
+  [[nodiscard]] const AmplifierConfig& config() const { return config_; }
+
+ private:
+  AmplifierConfig config_;
+  dsp::Rng rng_;
+};
+
+}  // namespace datc::afe

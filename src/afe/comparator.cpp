@@ -1,0 +1,38 @@
+#include "afe/comparator.hpp"
+
+#include <cmath>
+
+namespace datc::afe {
+
+Comparator::Comparator(const ComparatorConfig& config,
+                       std::optional<dsp::Rng> rng)
+    : config_(config), rng_(std::move(rng)) {
+  dsp::require(config_.hysteresis_v >= 0.0,
+               "Comparator: hysteresis must be non-negative");
+  dsp::require(config_.metastable_prob >= 0.0 &&
+                   config_.metastable_prob <= 1.0,
+               "Comparator: metastable probability outside [0,1]");
+  if (config_.metastable_prob > 0.0) {
+    dsp::require(rng_.has_value(),
+                 "Comparator: metastability model needs an Rng");
+  }
+}
+
+bool Comparator::compare(Real in_v, Real threshold_v) {
+  const Real eff_in = in_v + config_.offset_v;
+  const Real half_hyst = config_.hysteresis_v / 2.0;
+  // Hysteresis: the switching level moves away from the current state.
+  const Real level = last_ ? threshold_v - half_hyst : threshold_v + half_hyst;
+  bool out = eff_in > level;
+  if (config_.metastable_prob > 0.0 &&
+      std::abs(eff_in - threshold_v) < config_.metastable_window_v &&
+      rng_->chance(config_.metastable_prob)) {
+    out = !out;  // unresolved decision captured wrongly
+  }
+  last_ = out;
+  return out;
+}
+
+void Comparator::reset() { last_ = false; }
+
+}  // namespace datc::afe

@@ -1,0 +1,57 @@
+#include "afe/dac.hpp"
+
+#include <cmath>
+
+namespace datc::afe {
+
+Dac::Dac(const DacConfig& config) : config_(config) {
+  dsp::require(config_.bits >= 1 && config_.bits <= 16,
+               "Dac: bits must lie in [1,16]");
+  dsp::require(config_.vref > 0.0, "Dac: vref must be positive");
+  max_code_ = (1u << config_.bits) - 1u;
+  if (config_.inl_lsb_rms > 0.0) {
+    dsp::Rng rng(config_.inl_seed);
+    inl_v_.resize(max_code_ + 1u, 0.0);
+    const Real lsb_v = config_.vref / static_cast<Real>(1u << config_.bits);
+    for (auto& e : inl_v_) {
+      e = config_.inl_lsb_rms * lsb_v * rng.gaussian();
+    }
+    inl_v_.front() = 0.0;  // endpoints are trimmed by construction
+    inl_v_.back() = 0.0;
+  }
+}
+
+Real Dac::voltage(unsigned code) const {
+  if (code > max_code_) code = max_code_;
+  const Real ideal = config_.vref * static_cast<Real>(code) /
+                     static_cast<Real>(1u << config_.bits);
+  if (inl_v_.empty()) return ideal;
+  return ideal + inl_v_[code];
+}
+
+Real Dac::lsb() const {
+  return config_.vref / static_cast<Real>(1u << config_.bits);
+}
+
+Adc::Adc(const AdcConfig& config) : config_(config) {
+  dsp::require(config_.bits >= 1 && config_.bits <= 24,
+               "Adc: bits must lie in [1,24]");
+  dsp::require(config_.vmax > config_.vmin, "Adc: need vmax > vmin");
+  max_code_ = (1u << config_.bits) - 1u;
+  step_ = (config_.vmax - config_.vmin) / static_cast<Real>(max_code_ + 1u);
+}
+
+std::uint32_t Adc::code(Real v) const {
+  if (v <= config_.vmin) return 0;
+  const Real pos = (v - config_.vmin) / step_;
+  auto c = static_cast<std::uint64_t>(pos);
+  if (c > max_code_) c = max_code_;
+  return static_cast<std::uint32_t>(c);
+}
+
+Real Adc::voltage(std::uint32_t code) const {
+  if (code > max_code_) code = max_code_;
+  return config_.vmin + (static_cast<Real>(code) + 0.5) * step_;
+}
+
+}  // namespace datc::afe

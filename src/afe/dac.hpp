@@ -1,0 +1,68 @@
+#pragma once
+// Threshold DAC (Eqn. 3): Vth = Vref * code / 2^Nb. The paper uses 4 bits
+// and Vref = 1 V (62.5 mV steps); the bit width is a template-free runtime
+// parameter so the DAC-resolution ablation can sweep it. Optional INL is
+// modelled as a deterministic per-code error table.
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::afe {
+
+using dsp::Real;
+
+struct DacConfig {
+  unsigned bits{4};
+  Real vref{1.0};
+  Real inl_lsb_rms{0.0};  ///< static nonlinearity, RMS in LSBs
+  std::uint64_t inl_seed{1};
+};
+
+class Dac {
+ public:
+  explicit Dac(const DacConfig& config = {});
+
+  /// Output voltage for a code; codes clamp to [0, 2^bits - 1].
+  [[nodiscard]] Real voltage(unsigned code) const;
+
+  [[nodiscard]] unsigned max_code() const { return max_code_; }
+  [[nodiscard]] unsigned bits() const { return config_.bits; }
+  [[nodiscard]] Real lsb() const;
+  [[nodiscard]] const DacConfig& config() const { return config_; }
+
+ private:
+  DacConfig config_;
+  unsigned max_code_;
+  std::vector<Real> inl_v_;  ///< per-code voltage error (empty when ideal)
+};
+
+/// 12-bit mid-tread ADC used by the packet-based baseline system.
+struct AdcConfig {
+  unsigned bits{12};
+  Real vmin{-1.0};
+  Real vmax{1.0};
+};
+
+class Adc {
+ public:
+  explicit Adc(const AdcConfig& config = {});
+
+  /// Quantise a voltage to a code in [0, 2^bits - 1] (clamping).
+  [[nodiscard]] std::uint32_t code(Real v) const;
+
+  /// Reconstruction level of a code.
+  [[nodiscard]] Real voltage(std::uint32_t code) const;
+
+  [[nodiscard]] unsigned bits() const { return config_.bits; }
+  [[nodiscard]] const AdcConfig& config() const { return config_; }
+
+ private:
+  AdcConfig config_;
+  std::uint32_t max_code_;
+  Real step_;
+};
+
+}  // namespace datc::afe

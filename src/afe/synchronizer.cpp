@@ -1,0 +1,38 @@
+#include "afe/synchronizer.hpp"
+
+namespace datc::afe {
+
+Synchronizer::Synchronizer(const SynchronizerConfig& config,
+                           std::optional<dsp::Rng> rng)
+    : config_(config), rng_(std::move(rng)),
+      stages_(config.stages, false) {
+  dsp::require(config_.stages >= 1 && config_.stages <= 8,
+               "Synchronizer: stages must lie in [1,8]");
+  dsp::require(config_.metastable_prob >= 0.0 &&
+                   config_.metastable_prob <= 1.0,
+               "Synchronizer: probability outside [0,1]");
+  if (config_.metastable_prob > 0.0) {
+    dsp::require(rng_.has_value(), "Synchronizer: metastability needs Rng");
+  }
+}
+
+bool Synchronizer::clock(bool async_in) {
+  bool in = async_in;
+  if (config_.metastable_prob > 0.0 && in != stages_.front() &&
+      rng_->chance(config_.metastable_prob)) {
+    in = stages_.front();  // first stage failed to capture the new level
+  }
+  // Shift through the chain; output is the last stage *before* this edge.
+  const bool out = stages_.back();
+  for (std::size_t i = stages_.size(); i-- > 1;) {
+    stages_[i] = stages_[i - 1];
+  }
+  stages_[0] = in;
+  return out;
+}
+
+void Synchronizer::reset() {
+  stages_.assign(stages_.size(), false);
+}
+
+}  // namespace datc::afe

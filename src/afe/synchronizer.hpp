@@ -1,0 +1,38 @@
+#pragma once
+// Two-flip-flop synchroniser model (the paper's In_reg): brings the
+// asynchronous comparator decision into the 2 kHz DTC clock domain. The
+// behavioural effect is a fixed pipeline delay; an optional metastability
+// model occasionally holds the previous value for one extra cycle, which
+// is what a real synchroniser does when the first stage resolves late.
+
+#include <optional>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::afe {
+
+struct SynchronizerConfig {
+  unsigned stages{2};
+  dsp::Real metastable_prob{0.0};  ///< per-edge chance of one-cycle stall
+};
+
+class Synchronizer {
+ public:
+  explicit Synchronizer(const SynchronizerConfig& config = {},
+                        std::optional<dsp::Rng> rng = std::nullopt);
+
+  /// Clock in the asynchronous level; returns the synchronised level.
+  [[nodiscard]] bool clock(bool async_in);
+
+  void reset();
+
+  [[nodiscard]] const SynchronizerConfig& config() const { return config_; }
+
+ private:
+  SynchronizerConfig config_;
+  std::optional<dsp::Rng> rng_;
+  std::vector<bool> stages_;
+};
+
+}  // namespace datc::afe

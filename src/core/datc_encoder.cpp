@@ -1,0 +1,61 @@
+#include "core/datc_encoder.hpp"
+
+#include <cmath>
+
+namespace datc::core {
+
+std::vector<Real> DatcResult::vth_voltage() const {
+  std::vector<Real> v(trace.set_vth.size());
+  const Real scale =
+      dac_vref / static_cast<Real>(1u << dac_bits);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = scale * static_cast<Real>(trace.set_vth[i]);
+  }
+  return v;
+}
+
+DatcResult encode_datc(const dsp::TimeSeries& emg_v,
+                       const DatcEncoderConfig& config) {
+  dsp::require(config.clock_hz > 0.0, "encode_datc: clock must be positive");
+  DatcResult out;
+  out.clock_hz = config.clock_hz;
+  out.dac_bits = config.dtc.dac_bits;
+  out.dac_vref = config.dac_vref;
+  if (emg_v.empty()) return out;
+
+  Dtc dtc(config.dtc);
+  afe::Dac dac(afe::DacConfig{config.dtc.dac_bits, config.dac_vref});
+  afe::Comparator comparator(config.comparator);
+
+  const auto num_cycles = static_cast<std::size_t>(
+      std::floor(emg_v.duration_s() * config.clock_hz));
+  out.num_cycles = num_cycles;
+  out.trace.d_out.reserve(num_cycles);
+  out.trace.set_vth.reserve(num_cycles);
+
+  for (std::size_t k = 0; k < num_cycles; ++k) {
+    const Real t = static_cast<Real>(k) / config.clock_hz;
+    Real v = emg_v.at_time(t);
+    if (config.rectify_input) v = std::abs(v);
+    const unsigned code_in_effect = dtc.set_vth();
+    const Real vth = dac.voltage(code_in_effect);
+    const bool d_in = comparator.compare(v, vth);
+    const DtcStep s = dtc.step(d_in);
+
+    out.trace.d_out.push_back(s.d_out ? 1 : 0);
+    out.trace.set_vth.push_back(static_cast<std::uint8_t>(s.set_vth));
+    if (s.end_of_frame) {
+      out.trace.frame_ones.push_back(dtc.n_one3());
+      out.trace.frame_vth.push_back(static_cast<std::uint8_t>(s.set_vth));
+    }
+    if (s.event) {
+      // The transmitted packet carries the threshold level the comparator
+      // was using when the event fired; the receiver learns a frame-end
+      // update with the next event.
+      out.events.add(t, static_cast<std::uint8_t>(code_in_effect));
+    }
+  }
+  return out;
+}
+
+}  // namespace datc::core

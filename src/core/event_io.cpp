@@ -1,0 +1,130 @@
+#include "core/event_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace datc::core {
+namespace {
+
+constexpr char kCsvHeader[] = "time_s,vth_code,channel";
+constexpr char kMagic[8] = {'D', 'A', 'T', 'C', 'E', 'V', 'T', '1'};
+
+}  // namespace
+
+void write_events_csv(std::ostream& os, const EventStream& events) {
+  os << kCsvHeader << '\n';
+  os << std::setprecision(17);
+  for (const auto& e : events.events()) {
+    os << e.time_s << ',' << static_cast<unsigned>(e.vth_code) << ','
+       << static_cast<unsigned>(e.channel) << '\n';
+  }
+}
+
+bool write_events_csv(const std::string& path, const EventStream& events) {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  write_events_csv(f, events);
+  return f.good();
+}
+
+EventStream read_events_csv(std::istream& is) {
+  std::string line;
+  dsp::require(static_cast<bool>(std::getline(is, line)),
+               "read_events_csv: empty stream");
+  // Tolerate trailing carriage returns from foreign tools.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  dsp::require(line == kCsvHeader, "read_events_csv: bad header: " + line);
+  EventStream out;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    std::array<std::string, 3> cells;
+    std::size_t count = 0;
+    while (std::getline(row, cell, ',')) {
+      dsp::require(count < 3, "read_events_csv: too many columns at line " +
+                                  std::to_string(lineno));
+      cells[count++] = cell;
+    }
+    dsp::require(count == 3, "read_events_csv: expected 3 columns at line " +
+                                 std::to_string(lineno));
+    try {
+      const Real t = std::stod(cells[0]);
+      const unsigned long code = std::stoul(cells[1]);
+      const unsigned long chan = std::stoul(cells[2]);
+      dsp::require(code <= 255 && chan <= 255,
+                   "read_events_csv: field out of range at line " +
+                       std::to_string(lineno));
+      out.add(t, static_cast<std::uint8_t>(code),
+              static_cast<std::uint8_t>(chan));
+    } catch (const std::logic_error&) {
+      throw std::invalid_argument(
+          "read_events_csv: non-numeric field at line " +
+          std::to_string(lineno));
+    }
+  }
+  return out;
+}
+
+EventStream read_events_csv(const std::string& path) {
+  std::ifstream f(path);
+  dsp::require(f.good(), "read_events_csv: cannot open " + path);
+  return read_events_csv(f);
+}
+
+void write_events_binary(std::ostream& os, const EventStream& events) {
+  os.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = events.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& e : events.events()) {
+    os.write(reinterpret_cast<const char*>(&e.time_s), sizeof(e.time_s));
+    os.write(reinterpret_cast<const char*>(&e.vth_code), 1);
+    os.write(reinterpret_cast<const char*>(&e.channel), 1);
+  }
+}
+
+bool write_events_binary(const std::string& path,
+                         const EventStream& events) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  write_events_binary(f, events);
+  return f.good();
+}
+
+EventStream read_events_binary(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  dsp::require(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "read_events_binary: bad magic");
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  dsp::require(is.good(), "read_events_binary: truncated header");
+  EventStream out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Real t = 0.0;
+    std::uint8_t code = 0;
+    std::uint8_t chan = 0;
+    is.read(reinterpret_cast<char*>(&t), sizeof(t));
+    is.read(reinterpret_cast<char*>(&code), 1);
+    is.read(reinterpret_cast<char*>(&chan), 1);
+    dsp::require(is.good(), "read_events_binary: truncated at event " +
+                                std::to_string(i));
+    out.add(t, code, chan);
+  }
+  return out;
+}
+
+EventStream read_events_binary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  dsp::require(f.good(), "read_events_binary: cannot open " + path);
+  return read_events_binary(f);
+}
+
+}  // namespace datc::core

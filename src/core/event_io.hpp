@@ -1,0 +1,31 @@
+#pragma once
+// Event-stream persistence: CSV (human-inspectable, plots) and a compact
+// binary format (large sweeps). Round-trip exactness is tested; the CSV
+// carries a header with the schema version.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/events.hpp"
+
+namespace datc::core {
+
+/// CSV with header "time_s,vth_code,channel" (3 columns, one event/row).
+void write_events_csv(std::ostream& os, const EventStream& events);
+[[nodiscard]] bool write_events_csv(const std::string& path,
+                                    const EventStream& events);
+
+/// Parses the CSV format written above. Throws std::invalid_argument on
+/// malformed input (wrong header, bad field counts, non-numeric cells).
+[[nodiscard]] EventStream read_events_csv(std::istream& is);
+[[nodiscard]] EventStream read_events_csv(const std::string& path);
+
+/// Compact binary: magic "DATCEVT1", u64 count, then per event
+/// f64 time / u8 code / u8 channel (little-endian, packed).
+void write_events_binary(std::ostream& os, const EventStream& events);
+[[nodiscard]] bool write_events_binary(const std::string& path,
+                                       const EventStream& events);
+[[nodiscard]] EventStream read_events_binary(std::istream& is);
+[[nodiscard]] EventStream read_events_binary(const std::string& path);
+
+}  // namespace datc::core

@@ -1,0 +1,56 @@
+#pragma once
+// Event representation shared by the encoders, the UWB link and the
+// receiver. An event is one asynchronous IR-UWB radiation; for D-ATC it
+// carries the 4-bit threshold level alongside the event marker (Fig. 2E).
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace datc::core {
+
+using dsp::Real;
+
+struct Event {
+  Real time_s{0.0};
+  std::uint8_t vth_code{0};  ///< DAC level in effect when the event fired
+  std::uint8_t channel{0};   ///< AER address (multi-channel systems)
+};
+
+class EventStream {
+ public:
+  EventStream() = default;
+  explicit EventStream(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  void add(Real time_s, std::uint8_t vth_code = 0, std::uint8_t channel = 0) {
+    events_.push_back(Event{time_s, vth_code, channel});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const Event& operator[](std::size_t i) const {
+    return events_[i];
+  }
+
+  /// Events are naturally time-ordered when produced by an encoder; a
+  /// channel/arbitration stage may need to re-sort after merging.
+  void sort_by_time();
+  [[nodiscard]] bool is_time_sorted() const;
+
+  /// Number of events with time in [t_lo, t_hi).
+  [[nodiscard]] std::size_t count_in(Real t_lo, Real t_hi) const;
+
+  /// Mean event rate over a record of the given duration (events/s).
+  [[nodiscard]] Real mean_rate_hz(Real duration_s) const;
+
+  /// Events of one AER channel only.
+  [[nodiscard]] EventStream channel_slice(std::uint8_t channel) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace datc::core

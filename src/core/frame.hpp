@@ -1,0 +1,60 @@
+#pragma once
+// Frame-length programming of the DTC. The paper exposes a 2-bit
+// Frame_selector choosing 100/200/400/800 system-clock periods per frame
+// (50-400 ms at the 2 kHz clock).
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.hpp"
+
+namespace datc::core {
+
+using dsp::Real;
+
+enum class FrameSize : std::uint16_t {
+  k100 = 100,
+  k200 = 200,
+  k400 = 400,
+  k800 = 800,
+};
+
+inline constexpr std::array<FrameSize, 4> kAllFrameSizes{
+    FrameSize::k100, FrameSize::k200, FrameSize::k400, FrameSize::k800};
+
+/// Frame length in clock cycles.
+[[nodiscard]] constexpr unsigned frame_cycles(FrameSize f) {
+  return static_cast<unsigned>(f);
+}
+
+/// 2-bit Frame_selector encoding (00 -> 100, 01 -> 200, 10 -> 400,
+/// 11 -> 800), as wired into the hardware LUT.
+[[nodiscard]] constexpr unsigned frame_selector(FrameSize f) {
+  switch (f) {
+    case FrameSize::k100: return 0;
+    case FrameSize::k200: return 1;
+    case FrameSize::k400: return 2;
+    case FrameSize::k800: return 3;
+  }
+  return 0;
+}
+
+/// Inverse of frame_selector; throws on a selector wider than 2 bits.
+[[nodiscard]] inline FrameSize frame_from_selector(unsigned sel) {
+  switch (sel) {
+    case 0: return FrameSize::k100;
+    case 1: return FrameSize::k200;
+    case 2: return FrameSize::k400;
+    case 3: return FrameSize::k800;
+    default:
+      throw std::invalid_argument("frame_from_selector: selector > 3");
+  }
+}
+
+/// Frame duration in seconds at a given clock.
+[[nodiscard]] inline Real frame_duration_s(FrameSize f, Real clock_hz) {
+  dsp::require(clock_hz > 0.0, "frame_duration_s: clock must be positive");
+  return static_cast<Real>(frame_cycles(f)) / clock_hz;
+}
+
+}  // namespace datc::core

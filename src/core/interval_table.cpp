@@ -1,0 +1,48 @@
+#include "core/interval_table.hpp"
+
+#include <cmath>
+
+namespace datc::core {
+
+IntervalTable::IntervalTable(unsigned dac_bits, Real duty_lo, Real duty_hi)
+    : dac_bits_(dac_bits), duty_lo_(duty_lo), duty_hi_(duty_hi) {
+  dsp::require(dac_bits_ >= 1 && dac_bits_ <= 8,
+               "IntervalTable: dac_bits must lie in [1,8]");
+  dsp::require(duty_lo_ > 0.0 && duty_hi_ > duty_lo_ && duty_hi_ < 1.0,
+               "IntervalTable: need 0 < duty_lo < duty_hi < 1");
+  num_levels_ = 1u << dac_bits_;
+  rom_.resize(kAllFrameSizes.size());
+  for (std::size_t row = 0; row < kAllFrameSizes.size(); ++row) {
+    rom_[row].resize(num_levels_);
+    const Real frame = static_cast<Real>(frame_cycles(kAllFrameSizes[row]));
+    for (unsigned k = 0; k < num_levels_; ++k) {
+      rom_[row][k] = static_cast<std::uint32_t>(
+          std::lround(duty_of_level(k) * frame));
+    }
+  }
+}
+
+Real IntervalTable::duty_of_level(unsigned k) const {
+  dsp::require(k < num_levels_, "IntervalTable: level out of range");
+  if (num_levels_ == 1) return duty_lo_;
+  return duty_lo_ + (duty_hi_ - duty_lo_) * static_cast<Real>(k) /
+                        static_cast<Real>(num_levels_ - 1);
+}
+
+std::uint32_t IntervalTable::level(FrameSize frame, unsigned k) const {
+  dsp::require(k < num_levels_, "IntervalTable: level out of range");
+  return rom_[frame_selector(frame)][k];
+}
+
+std::size_t IntervalTable::rom_bits() const {
+  // Entries are as wide as the largest frame size needs (10 bits for 800).
+  std::size_t width = 0;
+  std::uint32_t maxval = 0;
+  for (const auto& row : rom_) {
+    for (const auto v : row) maxval = std::max(maxval, v);
+  }
+  while ((1u << width) <= maxval) ++width;
+  return rom_.size() * num_levels_ * width;
+}
+
+}  // namespace datc::core

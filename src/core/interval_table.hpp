@@ -1,0 +1,52 @@
+#pragma once
+// The interval look-up table of Eqn. (2): the thresholds against which the
+// weighted frame average AVR is compared to pick the next DAC level. The
+// paper stores the precomputed products 0.03*(k+1)*frame_size for every
+// frame size instead of multiplying at run time ("to save area and
+// computation time") — this class is exactly that ROM.
+//
+// The construction generalises to DAC resolutions other than 4 bits (the
+// paper examined several) by spreading the same duty-cycle span
+// [0.03, 0.48] over 2^bits levels; at 4 bits this reduces to the paper's
+// 0.03*(k+1) series.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frame.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::core {
+
+class IntervalTable {
+ public:
+  /// \param dac_bits  DAC resolution (1..8); the table has 2^bits entries
+  /// \param duty_lo   duty fraction of interval_level_0 (paper: 0.03)
+  /// \param duty_hi   duty fraction of the top level (paper: 0.48)
+  explicit IntervalTable(unsigned dac_bits = 4, Real duty_lo = 0.03,
+                         Real duty_hi = 0.48);
+
+  /// interval_level_k for the given frame size, in counts (integer, as the
+  /// ROM stores it).
+  [[nodiscard]] std::uint32_t level(FrameSize frame, unsigned k) const;
+
+  /// The duty fraction corresponding to level k (frame-size independent).
+  [[nodiscard]] Real duty_of_level(unsigned k) const;
+
+  /// Number of levels (2^dac_bits).
+  [[nodiscard]] unsigned num_levels() const { return num_levels_; }
+  [[nodiscard]] unsigned dac_bits() const { return dac_bits_; }
+
+  /// Total ROM bits (entries x width), used by the synthesis cost model.
+  [[nodiscard]] std::size_t rom_bits() const;
+
+ private:
+  unsigned dac_bits_;
+  unsigned num_levels_;
+  Real duty_lo_;
+  Real duty_hi_;
+  // rows indexed by frame_selector, columns by level k.
+  std::vector<std::vector<std::uint32_t>> rom_;
+};
+
+}  // namespace datc::core

@@ -1,0 +1,36 @@
+#include "core/predictor.hpp"
+
+namespace datc::core {
+
+std::uint32_t weighted_average_fixed(const PredictorWeights& weights,
+                                     std::uint32_t n3, std::uint32_t n2,
+                                     std::uint32_t n1) {
+  const auto q = weights.q8();
+  const std::uint64_t num = static_cast<std::uint64_t>(q[0]) * n3 +
+                            static_cast<std::uint64_t>(q[1]) * n2 +
+                            static_cast<std::uint64_t>(q[2]) * n1;
+  const std::uint64_t den = q[0] + q[1] + q[2];
+  dsp::require(den > 0, "weighted_average_fixed: zero weight sum");
+  return static_cast<std::uint32_t>(num / den);  // truncating, as hardware
+}
+
+Real weighted_average_float(const PredictorWeights& weights, Real n3, Real n2,
+                            Real n1) {
+  const Real den = weights.w[0] + weights.w[1] + weights.w[2];
+  dsp::require(den > 0.0, "weighted_average_float: zero weight sum");
+  return (weights.w[0] * n3 + weights.w[1] * n2 + weights.w[2] * n1) / den;
+}
+
+unsigned select_level(const IntervalTable& table, FrameSize frame, Real avr,
+                      unsigned min_code) {
+  const unsigned top = table.num_levels() - 1;
+  dsp::require(min_code <= top, "select_level: min_code exceeds top level");
+  // Priority chain from the top level down to min_code + 1; the final
+  // `else` of Listing 1 yields min_code.
+  for (unsigned k = top; k > min_code; --k) {
+    if (avr >= static_cast<Real>(table.level(frame, k))) return k;
+  }
+  return min_code;
+}
+
+}  // namespace datc::core

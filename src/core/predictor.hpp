@@ -1,0 +1,60 @@
+#pragma once
+// The Predictor block of Fig. 4: weighted average of the ones-counts of
+// the last three frames (Eqn. 1, weights WF3=1, WF2=0.65, WF1=0.35,
+// normalised by Sigma w = 2) followed by the priority comparison against
+// the interval table (Listing 1).
+//
+// Two arithmetic models are provided:
+//  * fixed-point (Q8 weights 256/166/90, sum 512 = 2^9, so the divide is a
+//    shift) — this is what the hardware computes and what the RTL model is
+//    checked against;
+//  * floating point — the "Matlab" reference the paper validated against.
+
+#include <array>
+#include <cstdint>
+
+#include "core/frame.hpp"
+#include "core/interval_table.hpp"
+
+namespace datc::core {
+
+/// Listing 1 computes AVR and then shifts the frame history. Whether the
+/// just-finished frame participates in that AVR is ambiguous in the paper
+/// text (Fig. 4's dataflow suggests it does). Both readings are available:
+enum class PredictorUpdateOrder {
+  kCountFirst,      ///< N3 <- fresh count, then AVR(N3,N2,N1)  [default]
+  kListingLiteral,  ///< AVR over the three *previous* frames, then shift in
+};
+
+/// Weight set for the three-frame average, newest frame first.
+struct PredictorWeights {
+  std::array<Real, 3> w{1.0, 0.65, 0.35};  ///< WF3, WF2, WF1
+
+  /// Q8 encodings used by the fixed-point datapath.
+  [[nodiscard]] std::array<std::uint32_t, 3> q8() const {
+    return {static_cast<std::uint32_t>(w[0] * 256.0 + 0.5),
+            static_cast<std::uint32_t>(w[1] * 256.0 + 0.5),
+            static_cast<std::uint32_t>(w[2] * 256.0 + 0.5)};
+  }
+};
+
+/// Fixed-point weighted average: (sum wq8_i * n_i) / (sum wq8_i), computed
+/// with integer arithmetic (for the paper's weights the divisor is 512 and
+/// the hardware implements it as >> 9).
+[[nodiscard]] std::uint32_t weighted_average_fixed(
+    const PredictorWeights& weights, std::uint32_t n3, std::uint32_t n2,
+    std::uint32_t n1);
+
+/// Floating-point reference of Eqn. (1).
+[[nodiscard]] Real weighted_average_float(const PredictorWeights& weights,
+                                          Real n3, Real n2, Real n1);
+
+/// Listing 1's priority chain: the largest level k (down to `min_code`)
+/// whose interval the average reaches; `min_code` when none is reached.
+/// The paper's chain stops at level 2 and falls through to code 1
+/// (min_code = 1); pass 0 to enable the unused interval_level_0/1 entries.
+[[nodiscard]] unsigned select_level(const IntervalTable& table,
+                                    FrameSize frame, Real avr,
+                                    unsigned min_code = 1);
+
+}  // namespace datc::core

@@ -1,0 +1,112 @@
+#include "core/rate_calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/biquad.hpp"
+#include "dsp/filter_design.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/stats.hpp"
+
+namespace datc::core {
+
+RateCalibration::RateCalibration(const RateCalibrationConfig& config)
+    : config_(config) {
+  dsp::require(config_.analog_fs_hz > 0.0 && config_.count_fs_hz > 0.0,
+               "RateCalibration: rates must be positive");
+  dsp::require(config_.band_hi_hz < config_.analog_fs_hz / 2.0,
+               "RateCalibration: band exceeds Nyquist");
+  dsp::require(config_.grid_points >= 4,
+               "RateCalibration: need at least 4 grid points");
+  dsp::require(config_.u_max > config_.u_min && config_.u_min > 0.0,
+               "RateCalibration: need 0 < u_min < u_max");
+
+  // Unit-RMS band-limited Gaussian reference record.
+  dsp::Rng rng(config_.seed);
+  std::vector<Real> white(config_.num_samples);
+  for (auto& v : white) v = rng.gaussian();
+  dsp::BiquadCascade band(dsp::butterworth_bandpass(
+      config_.filter_order, config_.band_lo_hz, config_.band_hi_hz,
+      config_.analog_fs_hz));
+  auto shaped = band.filter(white);
+  const Real sigma = dsp::rms(shaped);
+  dsp::require(sigma > 0.0, "RateCalibration: degenerate reference");
+  for (auto& v : shaped) v = std::abs(v / sigma);  // rectified, unit sigma
+  const dsp::TimeSeries ref(std::move(shaped), config_.analog_fs_hz);
+
+  // Sample the rectified reference at the counting clock.
+  const auto n_clk = static_cast<std::size_t>(
+      std::floor(ref.duration_s() * config_.count_fs_hz));
+  std::vector<Real> clocked(n_clk);
+  for (std::size_t k = 0; k < n_clk; ++k) {
+    clocked[k] = ref.at_time(static_cast<Real>(k) / config_.count_fs_hz);
+  }
+  const Real duration_s =
+      static_cast<Real>(n_clk) / config_.count_fs_hz;
+
+  // Measure the rising-edge rate at each grid level.
+  u_.resize(config_.grid_points);
+  rate_.resize(config_.grid_points);
+  for (std::size_t g = 0; g < config_.grid_points; ++g) {
+    const Real u = config_.u_min +
+                   (config_.u_max - config_.u_min) * static_cast<Real>(g) /
+                       static_cast<Real>(config_.grid_points - 1);
+    u_[g] = u;
+    std::size_t edges = 0;
+    bool prev = clocked.empty() ? false : clocked[0] > u;
+    for (std::size_t k = 1; k < n_clk; ++k) {
+      const bool cur = clocked[k] > u;
+      if (cur && !prev) ++edges;
+      prev = cur;
+    }
+    rate_[g] = static_cast<Real>(edges) / duration_s;
+  }
+
+  // Locate the peak; the inverse map uses the decreasing branch after it.
+  peak_index_ = static_cast<std::size_t>(
+      std::distance(rate_.begin(),
+                    std::max_element(rate_.begin(), rate_.end())));
+  // Enforce strict monotone decrease after the peak so the inverse is well
+  // defined even with Monte Carlo noise.
+  for (std::size_t g = peak_index_ + 1; g < rate_.size(); ++g) {
+    rate_[g] = std::min(rate_[g], rate_[g - 1]);
+  }
+}
+
+Real RateCalibration::rate_for_u(Real u) const {
+  if (u <= u_.front()) return rate_.front();
+  if (u >= u_.back()) return rate_.back();
+  const auto it = std::lower_bound(u_.begin(), u_.end(), u);
+  const auto hi = static_cast<std::size_t>(std::distance(u_.begin(), it));
+  const std::size_t lo = hi - 1;
+  const Real frac = (u - u_[lo]) / (u_[hi] - u_[lo]);
+  return rate_[lo] + frac * (rate_[hi] - rate_[lo]);
+}
+
+Real RateCalibration::u_for_rate(Real rate_hz) const {
+  if (rate_hz >= rate_[peak_index_]) return u_[peak_index_];
+  if (rate_hz <= rate_.back()) {
+    // Below the smallest measurable rate: the signal is far below the
+    // threshold; report the largest calibrated normalised level.
+    if (rate_hz <= 0.0) return u_.back();
+  }
+  // Binary search on the monotone-decreasing branch [peak_index_, end).
+  std::size_t lo = peak_index_;
+  std::size_t hi = rate_.size() - 1;
+  if (rate_hz <= rate_[hi]) return u_[hi];
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (rate_[mid] > rate_hz) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Real r_lo = rate_[lo];
+  const Real r_hi = rate_[hi];
+  if (r_lo <= r_hi) return u_[lo];
+  const Real frac = (r_lo - rate_hz) / (r_lo - r_hi);
+  return u_[lo] + frac * (u_[hi] - u_[lo]);
+}
+
+}  // namespace datc::core

@@ -1,0 +1,72 @@
+#pragma once
+// Receiver-side calibration of the threshold-crossing statistics.
+//
+// For a band-limited zero-mean Gaussian process x(t) with RMS sigma, the
+// rate of upward crossings of |x| through a level v depends only on the
+// normalised level u = v/sigma (Rice's formula gives ~ 2 f0 exp(-u^2/2) in
+// continuous time; sampling at the DTC clock modifies the curve at low u).
+// The receiver inverts that relation: from the observed event rate and the
+// known threshold it recovers sigma, hence the ARV envelope
+// (ARV = sigma * sqrt(2/pi)) — the paper's "required biomedical analyzes"
+// performed by the laptop at the RX.
+//
+// Rather than assuming the analytic form, the calibration measures the
+// rate curve once, by Monte Carlo, on the same signal class the encoders
+// see (band-passed Gaussian sampled at the relevant rate). This keeps the
+// receiver model and the transmitter simulation self-consistent.
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace datc::core {
+
+using dsp::Real;
+
+struct RateCalibrationConfig {
+  Real analog_fs_hz{2500.0};  ///< rate of the underlying analog simulation
+  Real band_lo_hz{20.0};      ///< sEMG band
+  Real band_hi_hz{450.0};
+  int filter_order{4};
+  Real count_fs_hz{2000.0};   ///< rate at which crossings are detected
+                              ///< (DTC clock for D-ATC, analog fs for ATC)
+  std::size_t num_samples{200000};  ///< Monte Carlo length (analog samples)
+  std::uint64_t seed{987654321};
+  Real u_min{0.05};
+  Real u_max{6.0};
+  std::size_t grid_points{64};
+};
+
+class RateCalibration {
+ public:
+  explicit RateCalibration(const RateCalibrationConfig& config = {});
+
+  /// Expected event rate (events/s) at normalised threshold u = v/sigma.
+  [[nodiscard]] Real rate_for_u(Real u) const;
+
+  /// Inverse map: the normalised threshold that produces `rate_hz`.
+  /// Restricted to the monotone-decreasing branch of the curve; rates
+  /// above the peak return the u of the peak, rates at/below zero return
+  /// u_max (signal far below threshold).
+  [[nodiscard]] Real u_for_rate(Real rate_hz) const;
+
+  /// Largest invertible rate (the peak of the calibration curve).
+  [[nodiscard]] Real max_rate_hz() const { return rate_[peak_index_]; }
+
+  /// The u grid and measured rates (for tests and plots).
+  [[nodiscard]] const std::vector<Real>& u_grid() const { return u_; }
+  [[nodiscard]] const std::vector<Real>& rates() const { return rate_; }
+
+  [[nodiscard]] const RateCalibrationConfig& config() const {
+    return config_;
+  }
+
+ private:
+  RateCalibrationConfig config_;
+  std::vector<Real> u_;
+  std::vector<Real> rate_;
+  std::size_t peak_index_{0};
+};
+
+}  // namespace datc::core

@@ -1,0 +1,239 @@
+#include "core/reconstruct.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "dsp/moving_average.hpp"
+#include "dsp/stats.hpp"
+
+namespace datc::core {
+namespace {
+
+/// ARV of a zero-mean Gaussian with RMS sigma.
+constexpr Real kArvOfSigma = 0.7978845608028654;  // sqrt(2/pi)
+
+std::size_t output_length(Real duration_s, Real fs) {
+  return static_cast<std::size_t>(std::llround(duration_s * fs));
+}
+
+}  // namespace
+
+std::vector<Real> event_rate_estimate(const EventStream& events,
+                                      Real duration_s, Real window_s,
+                                      Real output_fs_hz) {
+  dsp::require(duration_s > 0.0 && window_s > 0.0 && output_fs_hz > 0.0,
+               "event_rate_estimate: parameters must be positive");
+  dsp::require(events.is_time_sorted(),
+               "event_rate_estimate: events must be time sorted");
+  const std::size_t n = output_length(duration_s, output_fs_hz);
+  std::vector<Real> rate(n, 0.0);
+  const auto& ev = events.events();
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = static_cast<Real>(i) / output_fs_hz;
+    const Real t_lo = t - window_s / 2.0;
+    const Real t_hi = t + window_s / 2.0;
+    while (lo < ev.size() && ev[lo].time_s < t_lo) ++lo;
+    while (hi < ev.size() && ev[hi].time_s < t_hi) ++hi;
+    // Boundary windows are truncated by the record edges; normalise by the
+    // overlap so onset/offset are not biased low.
+    const Real w_eff = std::min(t_hi, duration_s) - std::max(t_lo, 0.0);
+    rate[i] = static_cast<Real>(hi - lo) / std::max(w_eff, 1e-9);
+  }
+  return rate;
+}
+
+AtcReconstructor::AtcReconstructor(Real threshold_v,
+                                   ReconstructionConfig config,
+                                   CalibrationPtr calibration,
+                                   AtcDecodeMode mode)
+    : threshold_v_(threshold_v),
+      config_(config),
+      cal_(std::move(calibration)),
+      mode_(mode) {
+  dsp::require(threshold_v_ > 0.0,
+               "AtcReconstructor: threshold must be positive");
+  dsp::require(cal_ != nullptr, "AtcReconstructor: null calibration");
+}
+
+std::vector<Real> AtcReconstructor::reconstruct(const EventStream& events,
+                                                Real duration_s) const {
+  auto rate = event_rate_estimate(events, duration_s, config_.window_s,
+                                  config_.output_fs_hz);
+  if (mode_ == AtcDecodeMode::kLinearRate) {
+    // Scale the rate into ARV units via a single linear calibration point
+    // (mid-curve), the proportionality the paper's baseline relies on.
+    // Pearson correlation is scale-invariant, so the exact factor only
+    // matters for plots.
+    const Real u_mid = 1.5;
+    const Real r_mid = std::max(cal_->rate_for_u(u_mid), Real{1e-9});
+    const Real scale = kArvOfSigma * (threshold_v_ / u_mid) / r_mid;
+    for (auto& r : rate) r *= scale;
+    return rate;
+  }
+  std::vector<Real> arv(rate.size());
+  for (std::size_t i = 0; i < rate.size(); ++i) {
+    const Real u = cal_->u_for_rate(rate[i]);
+    arv[i] = kArvOfSigma * threshold_v_ / u;
+  }
+  return arv;
+}
+
+DatcReconstructor::DatcReconstructor(ReconstructionConfig config,
+                                     CalibrationPtr calibration,
+                                     DatcDecodeMode mode)
+    : config_(config), cal_(std::move(calibration)), mode_(mode) {
+  dsp::require(cal_ != nullptr, "DatcReconstructor: null calibration");
+  // kCodeDuty lookup: code k testifies that the comparator duty landed in
+  // interval k of the table, so sigma = Vth(k) / Qinv(duty_mid / 2) for
+  // the rectified-Gaussian duty law P(|x| > v) = 2 Q(v / sigma).
+  const unsigned levels = 1u << config_.dac_bits;
+  const Real lsb = config_.dac_vref / static_cast<Real>(levels);
+  const Real step = levels > 1 ? (config_.duty_hi - config_.duty_lo) /
+                                     static_cast<Real>(levels - 1)
+                               : 0.0;
+  sigma_of_code_.resize(levels, 0.0);
+  for (unsigned c = 1; c < levels; ++c) {
+    const Real duty_mid =
+        std::min(config_.duty_lo + step * (static_cast<Real>(c) + 0.5),
+                 Real{0.95});
+    const Real u = dsp::normal_q_inv(duty_mid / 2.0);
+    sigma_of_code_[c] = lsb * static_cast<Real>(c) / std::max(u, Real{1e-6});
+  }
+}
+
+std::vector<Real> DatcReconstructor::code_trajectory(
+    const EventStream& events, Real duration_s) const {
+  const std::size_t n = output_length(duration_s, config_.output_fs_hz);
+  std::vector<Real> code(n);
+  const auto& ev = events.events();
+  std::size_t next = 0;
+  Real held = static_cast<Real>(config_.min_code);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = static_cast<Real>(i) / config_.output_fs_hz;
+    while (next < ev.size() && ev[next].time_s <= t) {
+      held = static_cast<Real>(ev[next].vth_code);
+      ++next;
+    }
+    code[i] = held;
+  }
+  return code;
+}
+
+std::vector<Real> DatcReconstructor::vth_trajectory(const EventStream& events,
+                                                    Real duration_s) const {
+  const std::size_t n = output_length(duration_s, config_.output_fs_hz);
+  std::vector<Real> vth(n);
+  const Real lsb =
+      config_.dac_vref / static_cast<Real>(1u << config_.dac_bits);
+  const auto& ev = events.events();
+  std::size_t next = 0;
+  // Until the first event arrives the receiver assumes the reset code (1).
+  Real held = lsb * 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = static_cast<Real>(i) / config_.output_fs_hz;
+    while (next < ev.size() && ev[next].time_s <= t) {
+      held = lsb * static_cast<Real>(ev[next].vth_code);
+      ++next;
+    }
+    vth[i] = held;
+  }
+  return vth;
+}
+
+std::vector<Real> DatcReconstructor::reconstruct(const EventStream& events,
+                                                 Real duration_s) const {
+  const auto rate = event_rate_estimate(events, duration_s, config_.window_s,
+                                        config_.output_fs_hz);
+  // The DTC hops between DAC levels frame by frame; the rate estimate
+  // aggregates over the window, so the inversion must see the matching
+  // window-averaged threshold, not the instantaneous staircase.
+  const auto w = static_cast<std::size_t>(
+      std::llround(config_.window_s * config_.output_fs_hz));
+  auto vth = vth_trajectory(events, duration_s);
+  vth = dsp::centered_moving_average(vth, std::max<std::size_t>(w, 1));
+
+  std::vector<Real> sigma_rate(rate.size());
+  for (std::size_t i = 0; i < rate.size(); ++i) {
+    sigma_rate[i] = vth[i] / cal_->u_for_rate(rate[i]);
+  }
+  if (mode_ == DatcDecodeMode::kRateInversion) {
+    for (auto& s : sigma_rate) s *= kArvOfSigma;
+    return sigma_rate;
+  }
+
+  // kCodeDuty: each transmitted code k testifies that the weighted duty
+  // average measured over the *preceding* frames — at the thresholds then
+  // in effect — landed in interval k of the Eqn-2 table. The receiver
+  // replays the DTC feedback: it tracks the last three codes it saw, forms
+  // the same weighted threshold mix as Eqn. 1, and inverts the duty law
+  // P(|x| > v) = 2 Q(v / sigma).
+  const unsigned levels = 1u << config_.dac_bits;
+  const Real lsb = config_.dac_vref / static_cast<Real>(levels);
+  const Real step = levels > 1 ? (config_.duty_hi - config_.duty_lo) /
+                                     static_cast<Real>(levels - 1)
+                               : 0.0;
+  auto duty_mid_of_code = [&](unsigned c) {
+    if (c <= config_.min_code) {
+      // Floor interval is one-sided: duty in [0, level(min_code + 1)).
+      return (config_.duty_lo +
+              step * static_cast<Real>(config_.min_code + 1)) /
+             2.0;
+    }
+    return std::min(config_.duty_lo + step * (static_cast<Real>(c) + 0.5),
+                    Real{0.95});
+  };
+
+  // Build the sigma estimate as a step function sampled at event times.
+  const std::size_t n = rate.size();
+  std::vector<Real> sigma_code(n, 0.0);
+  std::array<unsigned, 3> hist{config_.min_code, config_.min_code,
+                               config_.min_code};  // newest first
+  const Real wsum = 1.0 + 0.65 + 0.35;
+  Real held_sigma = sigma_of_code_[config_.min_code];
+  std::size_t next = 0;
+  const auto& ev = events.events();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real t = static_cast<Real>(i) / config_.output_fs_hz;
+    while (next < ev.size() && ev[next].time_s <= t) {
+      const unsigned c = std::min<unsigned>(ev[next].vth_code, levels - 1);
+      const Real v_eff = lsb *
+                         (1.0 * static_cast<Real>(hist[0]) +
+                          0.65 * static_cast<Real>(hist[1]) +
+                          0.35 * static_cast<Real>(hist[2])) /
+                         wsum;
+      const Real u = dsp::normal_q_inv(duty_mid_of_code(c) / 2.0);
+      held_sigma = v_eff / std::max(u, Real{1e-6});
+      if (c != hist[0]) {
+        hist[2] = hist[1];
+        hist[1] = hist[0];
+        hist[0] = c;
+      }
+      ++next;
+    }
+    sigma_code[i] = held_sigma;
+  }
+  sigma_code = dsp::centered_moving_average(sigma_code,
+                                            std::max<std::size_t>(w, 1));
+
+  const auto code = code_trajectory(events, duration_s);
+  const auto code_sm =
+      dsp::centered_moving_average(code, std::max<std::size_t>(w, 1));
+
+  std::vector<Real> arv(n);
+  const Real floor_code = static_cast<Real>(config_.min_code) + 0.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    Real sigma = sigma_code[i];
+    if (code_sm[i] <= floor_code) {
+      // At the code floor the duty interval is one-sided (the signal may
+      // be far below the lowest threshold); the rate tail disambiguates.
+      sigma = std::min(sigma, sigma_rate[i]);
+    }
+    arv[i] = kArvOfSigma * sigma;
+  }
+  return arv;
+}
+
+}  // namespace datc::core

@@ -1,0 +1,87 @@
+#pragma once
+// Real-time streaming front ends. The batch encoders in atc_encoder.hpp /
+// datc_encoder.hpp consume whole records (convenient for experiments);
+// these classes accept one analog sample at a time — the shape an
+// embedded integration needs — and emit events through a callback.
+//
+// The D-ATC streamer handles the analog-rate / DTC-clock boundary
+// internally: analog samples arrive at `analog_fs_hz` while the DTC is
+// clocked at `clock_hz`, with linear interpolation at each clock instant
+// (the behaviour of the asynchronous comparator sampled by In_reg).
+
+#include <functional>
+
+#include "afe/comparator.hpp"
+#include "afe/dac.hpp"
+#include "core/atc_encoder.hpp"
+#include "core/datc_encoder.hpp"
+#include "core/dtc.hpp"
+#include "core/events.hpp"
+
+namespace datc::core {
+
+/// Callback fired on each transmitted event.
+using EventSink = std::function<void(const Event&)>;
+
+/// Streaming D-ATC transmitter.
+class StreamingDatcEncoder {
+ public:
+  StreamingDatcEncoder(const DatcEncoderConfig& config, Real analog_fs_hz,
+                       EventSink sink);
+
+  /// Push one analog sample (volts). May fire zero or more events.
+  void push(Real sample_v);
+
+  /// Process a block of samples.
+  void push_block(std::span<const Real> samples_v);
+
+  /// Total clock cycles executed so far.
+  [[nodiscard]] std::size_t cycles() const { return cycles_; }
+  /// Events emitted so far.
+  [[nodiscard]] std::size_t events_emitted() const { return events_; }
+  /// Current DAC code (diagnostics).
+  [[nodiscard]] unsigned set_vth() const { return dtc_.set_vth(); }
+
+  /// Reset to power-on state (keeps the sink).
+  void reset();
+
+ private:
+  DatcEncoderConfig config_;
+  Real analog_fs_hz_;
+  EventSink sink_;
+  Dtc dtc_;
+  afe::Dac dac_;
+  afe::Comparator comparator_;
+  std::size_t samples_seen_{0};
+  std::size_t cycles_{0};
+  std::size_t events_{0};
+  Real prev_sample_{0.0};
+
+  void run_clock_until(Real upper_pos, Real cur_sample);
+};
+
+/// Streaming fixed-threshold ATC transmitter (asynchronous crossings with
+/// interpolated timestamps, like the batch encoder).
+class StreamingAtcEncoder {
+ public:
+  StreamingAtcEncoder(const AtcEncoderConfig& config, Real analog_fs_hz,
+                      EventSink sink);
+
+  void push(Real sample_v);
+  void push_block(std::span<const Real> samples_v);
+
+  [[nodiscard]] std::size_t events_emitted() const { return events_; }
+  void reset();
+
+ private:
+  AtcEncoderConfig config_;
+  Real analog_fs_hz_;
+  EventSink sink_;
+  std::size_t samples_seen_{0};
+  std::size_t events_{0};
+  Real prev_{0.0};
+  bool armed_{true};
+  bool first_{true};
+};
+
+}  // namespace datc::core

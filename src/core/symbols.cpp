@@ -1,0 +1,43 @@
+#include "core/symbols.hpp"
+
+namespace datc::core {
+
+SymbolCounts atc_symbols(std::size_t num_events) {
+  return SymbolCounts{num_events, 1, num_events};
+}
+
+SymbolCounts datc_symbols(std::size_t num_events, unsigned dac_bits) {
+  const std::size_t per_event = 1 + dac_bits;
+  return SymbolCounts{num_events, per_event, num_events * per_event};
+}
+
+SymbolCounts packet_symbols(std::size_t num_samples, unsigned adc_bits) {
+  return SymbolCounts{num_samples, adc_bits,
+                      num_samples * static_cast<std::size_t>(adc_bits)};
+}
+
+SymbolCounts packet_symbols_with_overhead(std::size_t num_samples,
+                                          unsigned adc_bits,
+                                          const PacketOverhead& overhead) {
+  dsp::require(overhead.samples_per_packet >= 1,
+               "packet_symbols_with_overhead: need >= 1 sample per packet");
+  const std::size_t packets =
+      (num_samples + overhead.samples_per_packet - 1) /
+      overhead.samples_per_packet;
+  const std::size_t per_packet_overhead = overhead.header_bits +
+                                          overhead.sfd_bits +
+                                          overhead.id_bits + overhead.crc_bits;
+  SymbolCounts c;
+  c.events = num_samples;
+  c.symbols_per_event = adc_bits;  // payload share only
+  c.total = num_samples * static_cast<std::size_t>(adc_bits) +
+            packets * per_packet_overhead;
+  return c;
+}
+
+dsp::Real symbol_rate_hz(const SymbolCounts& counts, dsp::Real duration_s) {
+  dsp::require(duration_s > 0.0, "symbol_rate_hz: duration must be positive");
+  return static_cast<dsp::Real>(counts.total) / duration_s;
+}
+
+}  // namespace datc::core

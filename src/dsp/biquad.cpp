@@ -1,0 +1,49 @@
+#include "dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+
+namespace datc::dsp {
+
+Real BiquadCoeffs::magnitude_at(Real w) const {
+  const std::complex<Real> z = std::polar<Real>(1.0, -w);
+  const std::complex<Real> z2 = z * z;
+  const std::complex<Real> num = b0 + b1 * z + b2 * z2;
+  const std::complex<Real> den = Real{1.0} + a1 * z + a2 * z2;
+  return std::abs(num / den);
+}
+
+bool BiquadCoeffs::is_stable() const {
+  // Jury criterion for a 2nd-order polynomial z^2 + a1 z + a2.
+  return std::abs(a2) < 1.0 && std::abs(a1) < 1.0 + a2;
+}
+
+BiquadCascade::BiquadCascade(std::vector<BiquadCoeffs> sections) {
+  sections_.reserve(sections.size());
+  for (const auto& c : sections) sections_.emplace_back(c);
+}
+
+std::vector<Real> BiquadCascade::filter(std::span<const Real> x) {
+  std::vector<Real> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  return y;
+}
+
+void BiquadCascade::reset() {
+  for (auto& s : sections_) s.reset();
+}
+
+Real BiquadCascade::magnitude_at(Real w) const {
+  Real m = 1.0;
+  for (const auto& s : sections_) m *= s.coeffs().magnitude_at(w);
+  return m;
+}
+
+bool BiquadCascade::is_stable() const {
+  for (const auto& s : sections_) {
+    if (!s.coeffs().is_stable()) return false;
+  }
+  return true;
+}
+
+}  // namespace datc::dsp

@@ -1,0 +1,35 @@
+#pragma once
+// Classical sEMG spectral metrics: median/mean frequency (the standard
+// fatigue indicators) and a Goertzel single-bin DFT used to measure
+// powerline contamination. These support the fatigue-robustness
+// experiments: D-ATC must keep tracking force while the sEMG spectrum
+// compresses.
+
+#include <span>
+
+#include "dsp/spectral.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::dsp {
+
+/// Median frequency: the frequency splitting the PSD into equal halves.
+[[nodiscard]] Real median_frequency_hz(const PsdEstimate& psd);
+
+/// Mean (centroid) frequency of the PSD.
+[[nodiscard]] Real mean_frequency_hz(const PsdEstimate& psd);
+
+/// Convenience: Welch PSD + median frequency of a record.
+[[nodiscard]] Real median_frequency_hz(std::span<const Real> x, Real fs_hz,
+                                       std::size_t segment = 1024);
+
+/// Goertzel algorithm: power of a single frequency bin (V^2), exact for
+/// tones at bin centres and far cheaper than a full FFT for one bin.
+[[nodiscard]] Real goertzel_power(std::span<const Real> x, Real fs_hz,
+                                  Real f_hz);
+
+/// Ratio of power at f_hz (via Goertzel, one bin) to total power — the
+/// powerline-contamination figure used by the artifact benches.
+[[nodiscard]] Real tone_power_fraction(std::span<const Real> x, Real fs_hz,
+                                       Real f_hz);
+
+}  // namespace datc::dsp

@@ -1,0 +1,136 @@
+#include "dsp/filter_design.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace datc::dsp {
+namespace {
+
+constexpr Real kPi = std::numbers::pi_v<Real>;
+
+void check_band(Real fc_hz, Real fs_hz, const char* who) {
+  require(fs_hz > 0.0, std::string(who) + ": fs must be positive");
+  require(fc_hz > 0.0 && fc_hz < fs_hz / 2.0,
+          std::string(who) + ": cutoff must lie in (0, fs/2)");
+}
+
+/// Q factors of the conjugate-pole sections of an N-th order Butterworth
+/// prototype: Q_k = 1 / (2 sin(pi (2k+1) / (2N))), k = 0 .. floor(N/2)-1.
+std::vector<Real> butterworth_qs(int order) {
+  std::vector<Real> qs;
+  for (int k = 0; k < order / 2; ++k) {
+    const Real gamma = kPi * static_cast<Real>(2 * k + 1) /
+                       (2.0 * static_cast<Real>(order));
+    qs.push_back(1.0 / (2.0 * std::sin(gamma)));
+  }
+  return qs;
+}
+
+/// First-order low-pass section via bilinear transform of 1/(s+1).
+BiquadCoeffs first_order_lowpass(Real fc_hz, Real fs_hz) {
+  const Real k = 1.0 / std::tan(kPi * fc_hz / fs_hz);
+  BiquadCoeffs c;
+  c.b0 = 1.0 / (k + 1.0);
+  c.b1 = c.b0;
+  c.b2 = 0.0;
+  c.a1 = (1.0 - k) / (k + 1.0);
+  c.a2 = 0.0;
+  return c;
+}
+
+/// First-order high-pass section via bilinear transform of s/(s+1).
+BiquadCoeffs first_order_highpass(Real fc_hz, Real fs_hz) {
+  const Real k = 1.0 / std::tan(kPi * fc_hz / fs_hz);
+  BiquadCoeffs c;
+  c.b0 = k / (k + 1.0);
+  c.b1 = -c.b0;
+  c.b2 = 0.0;
+  c.a1 = (1.0 - k) / (k + 1.0);
+  c.a2 = 0.0;
+  return c;
+}
+
+}  // namespace
+
+BiquadCoeffs rbj_lowpass(Real fc_hz, Real q, Real fs_hz) {
+  check_band(fc_hz, fs_hz, "rbj_lowpass");
+  require(q > 0.0, "rbj_lowpass: Q must be positive");
+  const Real w0 = 2.0 * kPi * fc_hz / fs_hz;
+  const Real alpha = std::sin(w0) / (2.0 * q);
+  const Real cw = std::cos(w0);
+  const Real a0 = 1.0 + alpha;
+  BiquadCoeffs c;
+  c.b0 = (1.0 - cw) / 2.0 / a0;
+  c.b1 = (1.0 - cw) / a0;
+  c.b2 = c.b0;
+  c.a1 = (-2.0 * cw) / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+BiquadCoeffs rbj_highpass(Real fc_hz, Real q, Real fs_hz) {
+  check_band(fc_hz, fs_hz, "rbj_highpass");
+  require(q > 0.0, "rbj_highpass: Q must be positive");
+  const Real w0 = 2.0 * kPi * fc_hz / fs_hz;
+  const Real alpha = std::sin(w0) / (2.0 * q);
+  const Real cw = std::cos(w0);
+  const Real a0 = 1.0 + alpha;
+  BiquadCoeffs c;
+  c.b0 = (1.0 + cw) / 2.0 / a0;
+  c.b1 = -(1.0 + cw) / a0;
+  c.b2 = c.b0;
+  c.a1 = (-2.0 * cw) / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+BiquadCoeffs notch(Real f0_hz, Real q, Real fs_hz) {
+  check_band(f0_hz, fs_hz, "notch");
+  require(q > 0.0, "notch: Q must be positive");
+  const Real w0 = 2.0 * kPi * f0_hz / fs_hz;
+  const Real alpha = std::sin(w0) / (2.0 * q);
+  const Real cw = std::cos(w0);
+  const Real a0 = 1.0 + alpha;
+  BiquadCoeffs c;
+  c.b0 = 1.0 / a0;
+  c.b1 = (-2.0 * cw) / a0;
+  c.b2 = 1.0 / a0;
+  c.a1 = (-2.0 * cw) / a0;
+  c.a2 = (1.0 - alpha) / a0;
+  return c;
+}
+
+std::vector<BiquadCoeffs> butterworth_lowpass(int order, Real fc_hz,
+                                              Real fs_hz) {
+  require(order >= 1, "butterworth_lowpass: order must be >= 1");
+  check_band(fc_hz, fs_hz, "butterworth_lowpass");
+  std::vector<BiquadCoeffs> sections;
+  for (const Real q : butterworth_qs(order)) {
+    sections.push_back(rbj_lowpass(fc_hz, q, fs_hz));
+  }
+  if (order % 2 == 1) sections.push_back(first_order_lowpass(fc_hz, fs_hz));
+  return sections;
+}
+
+std::vector<BiquadCoeffs> butterworth_highpass(int order, Real fc_hz,
+                                               Real fs_hz) {
+  require(order >= 1, "butterworth_highpass: order must be >= 1");
+  check_band(fc_hz, fs_hz, "butterworth_highpass");
+  std::vector<BiquadCoeffs> sections;
+  for (const Real q : butterworth_qs(order)) {
+    sections.push_back(rbj_highpass(fc_hz, q, fs_hz));
+  }
+  if (order % 2 == 1) sections.push_back(first_order_highpass(fc_hz, fs_hz));
+  return sections;
+}
+
+std::vector<BiquadCoeffs> butterworth_bandpass(int order, Real f_lo_hz,
+                                               Real f_hi_hz, Real fs_hz) {
+  require(f_lo_hz < f_hi_hz, "butterworth_bandpass: need f_lo < f_hi");
+  auto hp = butterworth_highpass(order, f_lo_hz, fs_hz);
+  auto lp = butterworth_lowpass(order, f_hi_hz, fs_hz);
+  hp.insert(hp.end(), lp.begin(), lp.end());
+  return hp;
+}
+
+}  // namespace datc::dsp

@@ -1,0 +1,48 @@
+#pragma once
+// IIR filter design: Butterworth low/high/band-pass via bilinear transform
+// with frequency prewarping (RBJ-style second-order sections), plus a
+// powerline notch. These shape the synthetic sEMG spectrum and model the
+// analog front end's band limiting.
+
+#include <vector>
+
+#include "dsp/biquad.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::dsp {
+
+/// N-th order Butterworth low-pass as a cascade of second-order sections
+/// (plus one first-order section when `order` is odd).
+///
+/// \param order   filter order, >= 1
+/// \param fc_hz   -3 dB cutoff, 0 < fc < fs/2
+/// \param fs_hz   sample rate
+[[nodiscard]] std::vector<BiquadCoeffs> butterworth_lowpass(int order,
+                                                            Real fc_hz,
+                                                            Real fs_hz);
+
+/// N-th order Butterworth high-pass (same conventions as the low-pass).
+[[nodiscard]] std::vector<BiquadCoeffs> butterworth_highpass(int order,
+                                                             Real fc_hz,
+                                                             Real fs_hz);
+
+/// Band-pass built as the cascade HP(order, f_lo) . LP(order, f_hi) — the
+/// usual construction for EMG conditioning chains.
+/// Requires 0 < f_lo < f_hi < fs/2.
+[[nodiscard]] std::vector<BiquadCoeffs> butterworth_bandpass(int order,
+                                                             Real f_lo_hz,
+                                                             Real f_hi_hz,
+                                                             Real fs_hz);
+
+/// Second-order notch at f0 with quality factor Q (RBJ cookbook). Used to
+/// remove 50/60 Hz interference injected by the artifact models.
+[[nodiscard]] BiquadCoeffs notch(Real f0_hz, Real q, Real fs_hz);
+
+/// Single RBJ low-pass biquad with explicit Q; building block for envelope
+/// smoothing filters.
+[[nodiscard]] BiquadCoeffs rbj_lowpass(Real fc_hz, Real q, Real fs_hz);
+
+/// Single RBJ high-pass biquad with explicit Q.
+[[nodiscard]] BiquadCoeffs rbj_highpass(Real fc_hz, Real q, Real fs_hz);
+
+}  // namespace datc::dsp

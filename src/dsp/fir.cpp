@@ -1,0 +1,97 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/spectral.hpp"
+
+namespace datc::dsp {
+namespace {
+constexpr Real kPi = std::numbers::pi_v<Real>;
+
+Real sinc(Real x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(kPi * x) / (kPi * x);
+}
+}  // namespace
+
+FirFilter::FirFilter(std::vector<Real> taps)
+    : taps_(std::move(taps)), delay_(taps_.size(), 0.0) {
+  require(!taps_.empty(), "FirFilter: empty tap vector");
+}
+
+Real FirFilter::process(Real x) {
+  delay_[head_] = x;
+  Real acc = 0.0;
+  std::size_t idx = head_;
+  for (const Real t : taps_) {
+    acc += t * delay_[idx];
+    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+  }
+  head_ = (head_ + 1) % delay_.size();
+  return acc;
+}
+
+std::vector<Real> FirFilter::filter(std::span<const Real> x) {
+  std::vector<Real> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  return y;
+}
+
+void FirFilter::reset() {
+  std::fill(delay_.begin(), delay_.end(), 0.0);
+  head_ = 0;
+}
+
+std::vector<Real> design_fir_lowpass(std::size_t num_taps, Real fc_hz,
+                                     Real fs_hz) {
+  require(num_taps >= 3 && num_taps % 2 == 1,
+          "design_fir_lowpass: taps must be odd and >= 3");
+  require(fc_hz > 0.0 && fc_hz < fs_hz / 2.0,
+          "design_fir_lowpass: cutoff must lie in (0, fs/2)");
+  const Real fc_norm = fc_hz / fs_hz;  // cycles/sample
+  const auto window = make_window(WindowKind::kHamming, num_taps);
+  const auto mid = static_cast<Real>(num_taps - 1) / 2.0;
+  std::vector<Real> taps(num_taps);
+  Real sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const Real n = static_cast<Real>(i) - mid;
+    taps[i] = 2.0 * fc_norm * sinc(2.0 * fc_norm * n) * window[i];
+    sum += taps[i];
+  }
+  for (auto& t : taps) t /= sum;  // unity DC gain
+  return taps;
+}
+
+std::vector<Real> design_fir_highpass(std::size_t num_taps, Real fc_hz,
+                                      Real fs_hz) {
+  auto taps = design_fir_lowpass(num_taps, fc_hz, fs_hz);
+  for (auto& t : taps) t = -t;
+  taps[(num_taps - 1) / 2] += 1.0;  // spectral inversion
+  return taps;
+}
+
+std::vector<Real> matched_filter_taps(std::span<const Real> template_pulse) {
+  require(!template_pulse.empty(), "matched_filter_taps: empty template");
+  Real energy = 0.0;
+  for (const Real v : template_pulse) energy += v * v;
+  require(energy > 0.0, "matched_filter_taps: zero-energy template");
+  const Real norm = 1.0 / std::sqrt(energy);
+  std::vector<Real> taps(template_pulse.rbegin(), template_pulse.rend());
+  for (auto& t : taps) t *= norm;
+  return taps;
+}
+
+std::vector<Real> convolve(std::span<const Real> x,
+                           std::span<const Real> taps) {
+  require(!x.empty() && !taps.empty(), "convolve: empty input");
+  std::vector<Real> y(x.size() + taps.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      y[i + j] += x[i] * taps[j];
+    }
+  }
+  return y;
+}
+
+}  // namespace datc::dsp

@@ -1,0 +1,52 @@
+#pragma once
+// FIR filtering with windowed-sinc design. Used where linear phase matters
+// (ground-truth envelope extraction ablations) and by the UWB receiver's
+// matched filter.
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace datc::dsp {
+
+/// Stateful FIR filter (direct form).
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<Real> taps);
+
+  [[nodiscard]] Real process(Real x);
+  [[nodiscard]] std::vector<Real> filter(std::span<const Real> x);
+  void reset();
+
+  [[nodiscard]] const std::vector<Real>& taps() const { return taps_; }
+  /// Group delay in samples for the linear-phase (symmetric) case.
+  [[nodiscard]] Real group_delay() const {
+    return static_cast<Real>(taps_.size() - 1) / 2.0;
+  }
+
+ private:
+  std::vector<Real> taps_;
+  std::vector<Real> delay_;
+  std::size_t head_{0};
+};
+
+/// Windowed-sinc low-pass design with unity DC gain.
+/// \param num_taps  odd tap count >= 3
+[[nodiscard]] std::vector<Real> design_fir_lowpass(std::size_t num_taps,
+                                                   Real fc_hz, Real fs_hz);
+
+/// Windowed-sinc high-pass (spectral inversion of the low-pass).
+[[nodiscard]] std::vector<Real> design_fir_highpass(std::size_t num_taps,
+                                                    Real fc_hz, Real fs_hz);
+
+/// Matched filter taps for a template pulse: time-reversed template,
+/// normalised to unit energy.
+[[nodiscard]] std::vector<Real> matched_filter_taps(
+    std::span<const Real> template_pulse);
+
+/// Full convolution of x with taps (length x.size() + taps.size() - 1).
+[[nodiscard]] std::vector<Real> convolve(std::span<const Real> x,
+                                         std::span<const Real> taps);
+
+}  // namespace datc::dsp

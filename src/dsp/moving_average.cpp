@@ -1,0 +1,78 @@
+#include "dsp/moving_average.hpp"
+
+#include <algorithm>
+
+namespace datc::dsp {
+
+std::vector<Real> moving_average(std::span<const Real> x, std::size_t window) {
+  require(window >= 1, "moving_average: window must be >= 1");
+  std::vector<Real> y(x.size());
+  Real sum = 0.0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    sum += x[n];
+    if (n >= window) sum -= x[n - window];
+    const std::size_t effective = std::min(n + 1, window);
+    y[n] = sum / static_cast<Real>(effective);
+  }
+  return y;
+}
+
+std::vector<Real> centered_moving_average(std::span<const Real> x,
+                                          std::size_t window) {
+  require(window >= 1, "centered_moving_average: window must be >= 1");
+  std::vector<Real> y(x.size());
+  if (x.empty()) return y;
+  // Prefix sums make each output O(1).
+  std::vector<Real> prefix(x.size() + 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) prefix[i + 1] = prefix[i] + x[i];
+  const std::size_t h = window / 2;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const std::size_t lo = n >= h ? n - h : 0;
+    const std::size_t hi = std::min(n + h, x.size() - 1);
+    y[n] = (prefix[hi + 1] - prefix[lo]) / static_cast<Real>(hi - lo + 1);
+  }
+  return y;
+}
+
+MovingAverager::MovingAverager(std::size_t window) : buf_(window, 0.0) {
+  require(window >= 1, "MovingAverager: window must be >= 1");
+}
+
+Real MovingAverager::process(Real x) {
+  sum_ -= buf_[head_];
+  buf_[head_] = x;
+  sum_ += x;
+  head_ = (head_ + 1) % buf_.size();
+  if (filled_ < buf_.size()) ++filled_;
+  return sum_ / static_cast<Real>(filled_);
+}
+
+void MovingAverager::reset() {
+  std::fill(buf_.begin(), buf_.end(), 0.0);
+  head_ = 0;
+  filled_ = 0;
+  sum_ = 0.0;
+}
+
+std::vector<Real> median_filter(std::span<const Real> x, std::size_t window) {
+  require(window >= 1 && window % 2 == 1,
+          "median_filter: window must be odd and >= 1");
+  std::vector<Real> y(x.size());
+  if (x.empty()) return y;
+  const std::size_t h = window / 2;
+  std::vector<Real> scratch;
+  scratch.reserve(window);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const std::size_t lo = n >= h ? n - h : 0;
+    const std::size_t hi = std::min(n + h, x.size() - 1);
+    scratch.assign(x.begin() + static_cast<std::ptrdiff_t>(lo),
+                   x.begin() + static_cast<std::ptrdiff_t>(hi + 1));
+    const auto mid = scratch.begin() +
+                     static_cast<std::ptrdiff_t>(scratch.size() / 2);
+    std::nth_element(scratch.begin(), mid, scratch.end());
+    y[n] = *mid;
+  }
+  return y;
+}
+
+}  // namespace datc::dsp

@@ -1,0 +1,46 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+
+#include "dsp/filter_design.hpp"
+
+namespace datc::dsp {
+
+TimeSeries resample_linear(const TimeSeries& x, Real new_rate_hz) {
+  require(new_rate_hz > 0.0, "resample_linear: rate must be positive");
+  const auto n_out =
+      static_cast<std::size_t>(std::llround(x.duration_s() * new_rate_hz));
+  std::vector<Real> out(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    out[i] = x.at_time(static_cast<Real>(i) / new_rate_hz);
+  }
+  return TimeSeries(std::move(out), new_rate_hz);
+}
+
+TimeSeries decimate(const TimeSeries& x, std::size_t factor) {
+  require(factor >= 1, "decimate: factor must be >= 1");
+  if (factor == 1) return x;
+  const Real fs = x.sample_rate_hz();
+  const Real fc = 0.4 * fs / static_cast<Real>(factor);
+  BiquadCascade aa(butterworth_lowpass(8, fc, fs));
+  const auto filtered = aa.filter(x.view());
+  std::vector<Real> out;
+  out.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < filtered.size(); i += factor) {
+    out.push_back(filtered[i]);
+  }
+  return TimeSeries(std::move(out), fs / static_cast<Real>(factor));
+}
+
+TimeSeries hold_upsample(const TimeSeries& x, std::size_t factor) {
+  require(factor >= 1, "hold_upsample: factor must be >= 1");
+  std::vector<Real> out;
+  out.reserve(x.size() * factor);
+  for (const Real v : x.samples()) {
+    for (std::size_t k = 0; k < factor; ++k) out.push_back(v);
+  }
+  return TimeSeries(std::move(out),
+                    x.sample_rate_hz() * static_cast<Real>(factor));
+}
+
+}  // namespace datc::dsp

@@ -1,0 +1,23 @@
+#pragma once
+// Sample-rate conversion. The dataset is acquired at 2.5 kHz while the DTC
+// clock runs at 2 kHz; the encoder resamples the comparator output across
+// that boundary (paper: "resampled hence synchronized with the DTC system
+// clock").
+
+#include "dsp/types.hpp"
+
+namespace datc::dsp {
+
+/// Linear-interpolation resampling of a whole record to a new rate.
+/// Output length is round(duration * new_rate).
+[[nodiscard]] TimeSeries resample_linear(const TimeSeries& x, Real new_rate_hz);
+
+/// Integer-factor decimation with prior 8th-order Butterworth anti-alias
+/// low-pass at 0.4 * (fs / factor).
+[[nodiscard]] TimeSeries decimate(const TimeSeries& x, std::size_t factor);
+
+/// Zero-order hold upsampling by an integer factor (models a DAC output).
+[[nodiscard]] TimeSeries hold_upsample(const TimeSeries& x,
+                                       std::size_t factor);
+
+}  // namespace datc::dsp

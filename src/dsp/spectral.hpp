@@ -1,0 +1,38 @@
+#pragma once
+// Welch power-spectral-density estimation and window functions, used for
+// the FCC emission-mask check on the IR-UWB pulse train and for spectrum
+// sanity tests on the synthetic sEMG.
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace datc::dsp {
+
+enum class WindowKind { kRect, kHann, kHamming, kBlackman };
+
+/// Window of length n (n >= 1), periodic form (suitable for spectral
+/// averaging).
+[[nodiscard]] std::vector<Real> make_window(WindowKind kind, std::size_t n);
+
+struct PsdEstimate {
+  std::vector<Real> freq_hz;     ///< bin centre frequencies, 0 .. fs/2
+  std::vector<Real> psd_v2_hz;   ///< one-sided PSD, V^2/Hz
+};
+
+/// Welch PSD with `segment` samples per segment (rounded up to a power of
+/// two), 50 % overlap and the given window.
+[[nodiscard]] PsdEstimate welch_psd(std::span<const Real> x, Real fs_hz,
+                                    std::size_t segment,
+                                    WindowKind window = WindowKind::kHann);
+
+/// Converts a one-sided PSD in V^2/Hz (across a resistance of `ohms`)
+/// to dBm/MHz — the unit of the FCC UWB mask (-41.3 dBm/MHz).
+[[nodiscard]] Real psd_to_dbm_per_mhz(Real psd_v2_hz, Real ohms = 50.0);
+
+/// Maximum of a PSD in dBm/MHz over a frequency band [f_lo, f_hi].
+[[nodiscard]] Real peak_dbm_per_mhz(const PsdEstimate& psd, Real f_lo_hz,
+                                    Real f_hi_hz, Real ohms = 50.0);
+
+}  // namespace datc::dsp

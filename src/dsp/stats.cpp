@@ -1,0 +1,124 @@
+#include "dsp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datc::dsp {
+
+Real mean(std::span<const Real> x) {
+  if (x.empty()) return 0.0;
+  Real acc = 0.0;
+  for (const Real v : x) acc += v;
+  return acc / static_cast<Real>(x.size());
+}
+
+Real variance(std::span<const Real> x) {
+  if (x.size() < 2) return 0.0;
+  const Real m = mean(x);
+  Real acc = 0.0;
+  for (const Real v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<Real>(x.size());
+}
+
+Real std_dev(std::span<const Real> x) { return std::sqrt(variance(x)); }
+
+Real rms(std::span<const Real> x) {
+  if (x.empty()) return 0.0;
+  Real acc = 0.0;
+  for (const Real v : x) acc += v * v;
+  return std::sqrt(acc / static_cast<Real>(x.size()));
+}
+
+Real min_value(std::span<const Real> x) {
+  require(!x.empty(), "min_value: empty input");
+  return *std::min_element(x.begin(), x.end());
+}
+
+Real max_value(std::span<const Real> x) {
+  require(!x.empty(), "max_value: empty input");
+  return *std::max_element(x.begin(), x.end());
+}
+
+Real percentile(std::span<const Real> x, Real p) {
+  require(!x.empty(), "percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "percentile: p outside [0,100]");
+  std::vector<Real> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const Real pos = p / 100.0 * static_cast<Real>(sorted.size() - 1);
+  const auto i0 = static_cast<std::size_t>(pos);
+  const Real frac = pos - static_cast<Real>(i0);
+  if (i0 + 1 >= sorted.size()) return sorted.back();
+  return sorted[i0] + frac * (sorted[i0 + 1] - sorted[i0]);
+}
+
+Real pearson(std::span<const Real> a, std::span<const Real> b) {
+  require(a.size() == b.size(), "pearson: size mismatch");
+  require(a.size() >= 2, "pearson: need at least 2 samples");
+  const Real ma = mean(a);
+  const Real mb = mean(b);
+  Real sab = 0.0;
+  Real saa = 0.0;
+  Real sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Real da = a[i] - ma;
+    const Real db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+Real correlation_percent(std::span<const Real> a, std::span<const Real> b) {
+  return 100.0 * pearson(a, b);
+}
+
+Real rmse(std::span<const Real> a, std::span<const Real> b) {
+  require(a.size() == b.size(), "rmse: size mismatch");
+  require(!a.empty(), "rmse: empty input");
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Real d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<Real>(a.size()));
+}
+
+Real nrmse(std::span<const Real> a, std::span<const Real> b) {
+  const Real range = max_value(a) - min_value(a);
+  require(range > 0.0, "nrmse: reference signal is constant");
+  return rmse(a, b) / range;
+}
+
+Real normal_q(Real x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+Real normal_q_inv(Real p) {
+  require(p > 0.0 && p < 1.0, "normal_q_inv: p outside (0,1)");
+  Real lo = -8.5;
+  Real hi = 8.5;
+  for (int i = 0; i < 100; ++i) {
+    const Real mid = (lo + hi) / 2.0;
+    if (normal_q(mid) > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+Summary summarize(std::span<const Real> x) {
+  Summary s;
+  s.min = min_value(x);
+  s.max = max_value(x);
+  s.mean = mean(x);
+  s.std_dev = std_dev(x);
+  s.p05 = percentile(x, 5.0);
+  s.p50 = percentile(x, 50.0);
+  s.p95 = percentile(x, 95.0);
+  return s;
+}
+
+}  // namespace datc::dsp

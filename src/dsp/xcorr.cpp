@@ -1,0 +1,55 @@
+#include "dsp/xcorr.hpp"
+
+#include "dsp/stats.hpp"
+
+namespace datc::dsp {
+
+Real correlation_at_lag(std::span<const Real> a, std::span<const Real> b,
+                        long lag, std::size_t min_overlap) {
+  require(a.size() == b.size(), "correlation_at_lag: size mismatch");
+  const auto n = static_cast<long>(a.size());
+  // b delayed by `lag` means b[i] = a[i - lag]; score a[i] against
+  // b[i + lag] over the overlap.
+  const long start_a = lag > 0 ? 0 : -lag;
+  const long start_b = lag > 0 ? lag : 0;
+  const long overlap = n - (lag > 0 ? lag : -lag);
+  require(overlap >= static_cast<long>(min_overlap),
+          "correlation_at_lag: overlap too small");
+  return pearson(a.subspan(static_cast<std::size_t>(start_a),
+                           static_cast<std::size_t>(overlap)),
+                 b.subspan(static_cast<std::size_t>(start_b),
+                           static_cast<std::size_t>(overlap)));
+}
+
+LagEstimate best_lag(std::span<const Real> a, std::span<const Real> b,
+                     std::size_t max_lag) {
+  require(a.size() == b.size() && a.size() > 2 * max_lag + 8,
+          "best_lag: record too short for the lag range");
+  LagEstimate best;
+  best.correlation = -2.0;
+  for (long lag = -static_cast<long>(max_lag);
+       lag <= static_cast<long>(max_lag); ++lag) {
+    const Real c = correlation_at_lag(a, b, lag);
+    if (c > best.correlation) {
+      best.correlation = c;
+      best.lag_samples = lag;
+    }
+  }
+  return best;
+}
+
+std::vector<Real> xcorr_normalized(std::span<const Real> a,
+                                   std::span<const Real> b,
+                                   std::size_t max_lag) {
+  require(a.size() == b.size() && a.size() > 2 * max_lag + 8,
+          "xcorr_normalized: record too short for the lag range");
+  std::vector<Real> out;
+  out.reserve(2 * max_lag + 1);
+  for (long lag = -static_cast<long>(max_lag);
+       lag <= static_cast<long>(max_lag); ++lag) {
+    out.push_back(correlation_at_lag(a, b, lag));
+  }
+  return out;
+}
+
+}  // namespace datc::dsp

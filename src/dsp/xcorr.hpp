@@ -1,0 +1,37 @@
+#pragma once
+// Normalised cross-correlation and lag estimation. Used to verify that
+// the receiver's reconstructed envelope is time-aligned with the ground
+// truth (group delay would silently inflate RMSE while Pearson-at-lag-0
+// merely drops a little — the lag estimate makes misalignment visible).
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace datc::dsp {
+
+/// Pearson correlation between a and b with b shifted by `lag` samples
+/// (positive lag = b delayed). Only the overlapping region is scored;
+/// the overlap must keep at least `min_overlap` samples.
+[[nodiscard]] Real correlation_at_lag(std::span<const Real> a,
+                                      std::span<const Real> b, long lag,
+                                      std::size_t min_overlap = 8);
+
+struct LagEstimate {
+  long lag_samples{0};
+  Real correlation{0.0};  ///< Pearson at the best lag
+};
+
+/// Scans lags in [-max_lag, +max_lag] and returns the maximiser.
+[[nodiscard]] LagEstimate best_lag(std::span<const Real> a,
+                                   std::span<const Real> b,
+                                   std::size_t max_lag);
+
+/// Full normalised cross-correlation sequence for lags
+/// -max_lag .. +max_lag (2*max_lag + 1 values).
+[[nodiscard]] std::vector<Real> xcorr_normalized(std::span<const Real> a,
+                                                 std::span<const Real> b,
+                                                 std::size_t max_lag);
+
+}  // namespace datc::dsp

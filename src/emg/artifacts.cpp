@@ -1,0 +1,86 @@
+#include "emg/artifacts.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/envelope.hpp"
+#include "dsp/stats.hpp"
+
+namespace datc::emg {
+namespace {
+constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+}
+
+std::size_t inject_artifacts(dsp::TimeSeries& signal,
+                             const ArtifactConfig& config, dsp::Rng& rng) {
+  const Real fs = signal.sample_rate_hz();
+  auto& x = signal.samples();
+  const std::size_t n = x.size();
+  std::size_t injected = 0;
+  if (n == 0) return injected;
+
+  if (config.powerline_amplitude > 0.0) {
+    const Real phase = rng.uniform(0.0, kTwoPi);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Real t = static_cast<Real>(i) / fs;
+      x[i] += config.powerline_amplitude *
+              std::sin(kTwoPi * config.powerline_freq_hz * t + phase);
+    }
+  }
+
+  if (config.baseline_wander_amp > 0.0) {
+    const Real phase = rng.uniform(0.0, kTwoPi);
+    const Real f2 = config.baseline_wander_hz * rng.uniform(1.3, 2.2);
+    const Real phase2 = rng.uniform(0.0, kTwoPi);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Real t = static_cast<Real>(i) / fs;
+      x[i] += config.baseline_wander_amp *
+              (0.7 * std::sin(kTwoPi * config.baseline_wander_hz * t + phase) +
+               0.3 * std::sin(kTwoPi * f2 * t + phase2));
+    }
+  }
+
+  if (config.motion_burst_rate_hz > 0.0 && config.motion_burst_amp > 0.0) {
+    // Poisson bursts: damped 3 Hz oscillations ~0.5 s long.
+    const Real p_per_sample = config.motion_burst_rate_hz / fs;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.chance(p_per_sample)) continue;
+      ++injected;
+      const Real burst_f = rng.uniform(2.0, 6.0);
+      const Real tau = rng.uniform(0.1, 0.25);
+      const auto len = static_cast<std::size_t>(0.6 * fs);
+      for (std::size_t j = 0; j < len && i + j < n; ++j) {
+        const Real t = static_cast<Real>(j) / fs;
+        x[i + j] += config.motion_burst_amp * std::exp(-t / tau) *
+                    std::sin(kTwoPi * burst_f * t);
+      }
+    }
+  }
+
+  if (config.spike_rate_hz > 0.0 && config.spike_amp > 0.0) {
+    const Real p_per_sample = config.spike_rate_hz / fs;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.chance(p_per_sample)) continue;
+      ++injected;
+      x[i] += (rng.chance(0.5) ? 1.0 : -1.0) * config.spike_amp;
+    }
+  }
+  return injected;
+}
+
+void add_white_noise(dsp::TimeSeries& signal, Real rms, dsp::Rng& rng) {
+  dsp::require(rms >= 0.0, "add_white_noise: rms must be non-negative");
+  if (rms == 0.0) return;
+  for (auto& v : signal.samples()) v += rms * rng.gaussian();
+}
+
+void normalize_arv(dsp::TimeSeries& signal, Real target_arv) {
+  dsp::require(target_arv > 0.0, "normalize_arv: target must be positive");
+  const auto rect = dsp::rectify(signal.view());
+  const Real current = dsp::mean(rect);
+  dsp::require(current > 0.0, "normalize_arv: signal is identically zero");
+  const Real scale = target_arv / current;
+  for (auto& v : signal.samples()) v *= scale;
+}
+
+}  // namespace datc::emg

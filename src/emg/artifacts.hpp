@@ -1,0 +1,37 @@
+#pragma once
+// Interference and artifact models. The paper argues D-ATC tolerates
+// artifact-induced extra pulses ("artifacts effect is similar to pulse
+// missing"); these injectors let the robustness benches test that claim.
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::emg {
+
+using dsp::Real;
+
+struct ArtifactConfig {
+  Real powerline_amplitude{0.0};   ///< 50 Hz interference amplitude (V)
+  Real powerline_freq_hz{50.0};
+  Real baseline_wander_amp{0.0};   ///< slow drift amplitude (V)
+  Real baseline_wander_hz{0.3};
+  Real motion_burst_rate_hz{0.0};  ///< expected bursts per second
+  Real motion_burst_amp{0.0};      ///< burst peak amplitude (V)
+  Real spike_rate_hz{0.0};         ///< random impulse artifacts per second
+  Real spike_amp{0.0};
+};
+
+/// Adds the configured artifacts to a signal in place, drawing randomness
+/// from `rng`. Returns the number of motion bursts + spikes injected, so
+/// tests can assert the injection actually happened.
+std::size_t inject_artifacts(dsp::TimeSeries& signal,
+                             const ArtifactConfig& config, dsp::Rng& rng);
+
+/// Adds white Gaussian noise with the given RMS; returns the same signal.
+void add_white_noise(dsp::TimeSeries& signal, Real rms, dsp::Rng& rng);
+
+/// Scales a signal so that its ARV over the whole record equals
+/// `target_arv`. Throws if the signal is identically zero.
+void normalize_arv(dsp::TimeSeries& signal, Real target_arv);
+
+}  // namespace datc::emg

@@ -1,0 +1,58 @@
+#include "emg/fatigue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datc::emg {
+
+std::vector<Real> fatigue_trajectory(const ForceProfile& drive,
+                                     const FatigueConfig& f) {
+  dsp::require(f.tau_s > 0.0, "fatigue_trajectory: tau must be positive");
+  std::vector<Real> state(drive.fraction_mvc.size(), 0.0);
+  const Real dt = 1.0 / drive.sample_rate_hz;
+  Real x = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    // Effort accumulates towards 1 under drive, recovers towards 0 at
+    // rest, both with time constant tau (recovery ~3x slower).
+    const Real e = std::clamp(drive.fraction_mvc[i], 0.0, 1.0);
+    const Real target = e;
+    const Real tau = e > x ? f.tau_s : 3.0 * f.tau_s;
+    x += (target - x) * dt / tau;
+    state[i] = std::clamp(x, 0.0, 1.0);
+  }
+  return state;
+}
+
+dsp::TimeSeries synthesize_fatigued(const ForceProfile& drive,
+                                    const MotorUnitPoolConfig& base,
+                                    const FatigueConfig& fatigue,
+                                    dsp::Rng& rng, Real block_s) {
+  dsp::require(block_s > 0.0, "synthesize_fatigued: block must be positive");
+  const Real fs = drive.sample_rate_hz;
+  const std::size_t n = drive.fraction_mvc.size();
+  const auto state = fatigue_trajectory(drive, fatigue);
+  std::vector<Real> out;
+  out.reserve(n);
+
+  const auto block_len = static_cast<std::size_t>(block_s * fs);
+  for (std::size_t start = 0; start < n; start += block_len) {
+    const std::size_t len = std::min(block_len, n - start);
+    const Real s = state[start + len / 2];
+    MotorUnitPoolConfig cfg = base;
+    cfg.muap_sigma_s = base.muap_sigma_s *
+                       (1.0 + (fatigue.sigma_stretch - 1.0) * s);
+    cfg.amplitude_range = base.amplitude_range;
+    ForceProfile block;
+    block.sample_rate_hz = fs;
+    block.fraction_mvc.assign(
+        drive.fraction_mvc.begin() + static_cast<std::ptrdiff_t>(start),
+        drive.fraction_mvc.begin() + static_cast<std::ptrdiff_t>(start + len));
+    MotorUnitPool pool(cfg, rng.fork());
+    auto sig = pool.synthesize(block);
+    const Real gain = 1.0 + (fatigue.amplitude_gain - 1.0) * s;
+    for (const Real v : sig.samples()) out.push_back(v * gain);
+  }
+  return dsp::TimeSeries(std::move(out), fs);
+}
+
+}  // namespace datc::emg

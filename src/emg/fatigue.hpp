@@ -1,0 +1,37 @@
+#pragma once
+// Muscle-fatigue extension of the synthesiser. Sustained contractions
+// slow muscle-fibre conduction velocity, which stretches the MUAPs and
+// compresses the sEMG spectrum (the median frequency drops) while the
+// amplitude stays similar or grows. A threshold-crossing encoder sees a
+// lower crossing rate for the same amplitude, so fatigue is a spectrum
+// perturbation the paper's scheme implicitly has to survive — this model
+// lets the benches measure by how much.
+
+#include "dsp/types.hpp"
+#include "emg/motor_unit.hpp"
+
+namespace datc::emg {
+
+struct FatigueConfig {
+  /// MUAP time constants stretch by this factor at full fatigue (typical
+  /// conduction-velocity slowdowns give 1.2-1.6).
+  Real sigma_stretch{1.4};
+  /// Amplitude change at full fatigue (slight growth is common).
+  Real amplitude_gain{1.1};
+  /// Time constant of fatigue accumulation under full drive (s).
+  Real tau_s{30.0};
+};
+
+/// Synthesises sEMG with progressive fatigue: the record is generated in
+/// short blocks whose MUAP parameters follow the accumulated fatigue
+/// state (effort integrated with time constant tau).
+[[nodiscard]] dsp::TimeSeries synthesize_fatigued(
+    const ForceProfile& drive, const MotorUnitPoolConfig& base,
+    const FatigueConfig& fatigue, dsp::Rng& rng, Real block_s = 1.0);
+
+/// The fatigue state trajectory (0 = fresh, 1 = fully fatigued) for a
+/// drive, exposed for tests.
+[[nodiscard]] std::vector<Real> fatigue_trajectory(const ForceProfile& drive,
+                                                   const FatigueConfig& f);
+
+}  // namespace datc::emg

@@ -1,0 +1,55 @@
+#include "emg/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/biquad.hpp"
+#include "dsp/filter_design.hpp"
+#include "dsp/stats.hpp"
+
+namespace datc::emg {
+
+dsp::TimeSeries synthesize_filtered_noise(const ForceProfile& drive,
+                                          const FilteredNoiseConfig& config,
+                                          dsp::Rng& rng) {
+  const Real fs = drive.sample_rate_hz;
+  dsp::require(config.band_hi_hz < fs / 2.0,
+               "synthesize_filtered_noise: band exceeds Nyquist");
+  const std::size_t n = drive.fraction_mvc.size();
+  std::vector<Real> white(n);
+  for (auto& v : white) v = rng.gaussian();
+  dsp::BiquadCascade band(dsp::butterworth_bandpass(
+      config.filter_order, config.band_lo_hz, config.band_hi_hz, fs));
+  auto shaped = band.filter(white);
+
+  // Normalise the carrier to unit ARV, then amplitude-modulate by the drive.
+  Real arv = 0.0;
+  for (const Real v : shaped) arv += std::abs(v);
+  arv /= static_cast<Real>(std::max<std::size_t>(n, 1));
+  const Real norm = arv > 0.0 ? 1.0 / arv : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shaped[i] = shaped[i] * norm * drive.fraction_mvc[i] +
+                config.noise_floor_rms * rng.gaussian();
+  }
+  return dsp::TimeSeries(std::move(shaped), fs);
+}
+
+dsp::TimeSeries synthesize_pool(const ForceProfile& drive,
+                                const MotorUnitPoolConfig& config,
+                                dsp::Rng& rng) {
+  MotorUnitPool pool(config, rng.fork());
+  return pool.synthesize(drive);
+}
+
+dsp::TimeSeries synthesize(EmgModel model, const ForceProfile& drive,
+                           dsp::Rng& rng) {
+  switch (model) {
+    case EmgModel::kMotorUnitPool:
+      return synthesize_pool(drive, MotorUnitPoolConfig{}, rng);
+    case EmgModel::kFilteredNoise:
+      return synthesize_filtered_noise(drive, FilteredNoiseConfig{}, rng);
+  }
+  throw std::logic_error("synthesize: unknown model");
+}
+
+}  // namespace datc::emg

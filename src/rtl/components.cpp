@@ -1,0 +1,148 @@
+#include "rtl/components.hpp"
+
+namespace datc::rtl {
+
+Counter::Counter(std::string name, unsigned width)
+    : Module(std::move(name)),
+      width_(width),
+      mask_(width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u)),
+      enable_(make_signal<bool>("en", 1, false)),
+      clear_(make_signal<bool>("clr", 1, false)),
+      q_(make_signal<std::uint32_t>("q", width, 0)) {
+  dsp::require(width_ >= 1 && width_ <= 32,
+               "Counter: width must lie in [1,32]");
+}
+
+void Counter::tick() {
+  if (clear_.read()) {
+    q_.write(0);
+  } else if (enable_.read()) {
+    q_.write((q_.read() + 1u) & mask_);
+  }
+}
+
+void Counter::reset() { q_.reset_value_now(); }
+
+void Counter::describe(std::vector<ComponentDescriptor>& out) const {
+  out.push_back({name() + ".ff", ComponentKind::kFlipFlop, width_});
+  out.push_back({name() + ".inc", ComponentKind::kHalfAdder, width_});
+  out.push_back({name() + ".ctl", ComponentKind::kGateMisc, width_ / 2 + 1});
+}
+
+ShiftRegisterBank::ShiftRegisterBank(std::string name, unsigned width,
+                                     std::size_t stages)
+    : Module(std::move(name)),
+      width_(width),
+      shift_(make_signal<bool>("shift", 1, false)),
+      data_(make_signal<std::uint32_t>("d", width, 0)) {
+  dsp::require(width_ >= 1 && width_ <= 32 && stages >= 1,
+               "ShiftRegisterBank: bad geometry");
+  q_.reserve(stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    q_.push_back(&make_signal<std::uint32_t>("q" + std::to_string(i),
+                                             width, 0));
+  }
+}
+
+std::uint32_t ShiftRegisterBank::stage(std::size_t i) const {
+  dsp::require(i < q_.size(), "ShiftRegisterBank: stage out of range");
+  return q_[i]->read();
+}
+
+void ShiftRegisterBank::tick() {
+  if (!shift_.read()) return;
+  for (std::size_t i = q_.size(); i-- > 1;) {
+    q_[i]->write(q_[i - 1]->read());
+  }
+  q_[0]->write(data_.read());
+}
+
+void ShiftRegisterBank::reset() {
+  for (auto* s : q_) s->reset_value_now();
+}
+
+void ShiftRegisterBank::describe(
+    std::vector<ComponentDescriptor>& out) const {
+  out.push_back({name() + ".ff", ComponentKind::kFlipFlop,
+                 static_cast<unsigned>(width_ * q_.size())});
+  out.push_back({name() + ".ctl", ComponentKind::kGateMisc, 2});
+}
+
+EqualsConst::EqualsConst(std::string name, unsigned width,
+                         std::uint32_t constant)
+    : Module(std::move(name)),
+      width_(width),
+      constant_(constant),
+      in_(make_signal<std::uint32_t>("in", width, 0)),
+      eq_(make_signal<bool>("eq", 1, false)) {
+  dsp::require(width_ >= 1 && width_ <= 32,
+               "EqualsConst: width must lie in [1,32]");
+}
+
+void EqualsConst::eval() { eq_.write(in_.read() == constant_); }
+
+void EqualsConst::describe(std::vector<ComponentDescriptor>& out) const {
+  out.push_back({name(), ComponentKind::kComparatorEq, width_});
+}
+
+ThresholdPriorityEncoder::ThresholdPriorityEncoder(
+    std::string name, std::vector<std::uint32_t> levels, unsigned min_index)
+    : Module(std::move(name)),
+      levels_(std::move(levels)),
+      min_index_(min_index),
+      in_(make_signal<std::uint32_t>("in", 32, 0)),
+      code_(make_signal<std::uint32_t>("code", 8, min_index)) {
+  dsp::require(!levels_.empty(),
+               "ThresholdPriorityEncoder: need at least one level");
+  dsp::require(min_index_ < levels_.size(),
+               "ThresholdPriorityEncoder: min_index out of range");
+}
+
+void ThresholdPriorityEncoder::set_levels(std::vector<std::uint32_t> levels) {
+  dsp::require(levels.size() == levels_.size(),
+               "ThresholdPriorityEncoder: level count is fixed in hardware");
+  levels_ = std::move(levels);
+}
+
+void ThresholdPriorityEncoder::eval() {
+  const std::uint32_t v = in_.read();
+  unsigned code = min_index_;
+  for (unsigned k = static_cast<unsigned>(levels_.size()); k-- > min_index_ + 1;) {
+    if (v >= levels_[k]) {
+      code = k;
+      break;
+    }
+  }
+  code_.write(code);
+}
+
+void ThresholdPriorityEncoder::describe(
+    std::vector<ComponentDescriptor>& out) const {
+  out.push_back({name() + ".cmp", ComponentKind::kConstComparator,
+                 static_cast<unsigned>(levels_.size() * 10)});
+  out.push_back({name() + ".enc", ComponentKind::kPriorityEncoder,
+                 static_cast<unsigned>(levels_.size())});
+}
+
+Rom::Rom(std::string name, std::vector<std::uint32_t> contents,
+         unsigned width)
+    : Module(std::move(name)),
+      contents_(std::move(contents)),
+      width_(width),
+      addr_(make_signal<std::uint32_t>("addr", 8, 0)),
+      data_(make_signal<std::uint32_t>("data", width, 0)) {
+  dsp::require(!contents_.empty(), "Rom: empty contents");
+  dsp::require(width_ >= 1 && width_ <= 32, "Rom: width must lie in [1,32]");
+}
+
+void Rom::eval() {
+  const auto a = addr_.read();
+  data_.write(a < contents_.size() ? contents_[a] : 0u);
+}
+
+void Rom::describe(std::vector<ComponentDescriptor>& out) const {
+  out.push_back({name(), ComponentKind::kRomBits,
+                 static_cast<unsigned>(contents_.size() * width_)});
+}
+
+}  // namespace datc::rtl

@@ -1,0 +1,139 @@
+#include "rtl/dtc_rtl.hpp"
+
+namespace datc::rtl {
+
+DtcRtl::DtcRtl(const core::DtcConfig& config)
+    : Module("dtc"),
+      config_(config),
+      table_(config.dac_bits, config.duty_lo, config.duty_hi),
+      frame_len_(core::frame_cycles(config.frame)),
+      d_in_(make_signal<bool>("d_in", 1)),
+      in_reg_q_(make_signal<bool>("in_reg_q", 1)),
+      d_out_prev_q_(make_signal<bool>("d_out_prev_q", 1)),
+      counter_q_(make_signal<std::uint32_t>("counter_q", 10)),
+      cycle_q_(make_signal<std::uint32_t>("cycle_q", 10)),
+      n1_q_(make_signal<std::uint32_t>("n_one1_q", 10)),
+      n2_q_(make_signal<std::uint32_t>("n_one2_q", 10)),
+      n3_q_(make_signal<std::uint32_t>("n_one3_q", 10)),
+      set_vth_q_(make_signal<std::uint32_t>("set_vth_q", 4,
+                                            config.reset_code)),
+      d_out_c_(make_signal<bool>("d_out", 1)),
+      event_c_(make_signal<bool>("event", 1)),
+      eof_c_(make_signal<bool>("end_of_frame", 1)),
+      count_now_c_(make_signal<std::uint32_t>("count_now", 10)),
+      avr_c_(make_signal<std::uint32_t>("avr", 10)),
+      level_c_(make_signal<std::uint32_t>("level_next", 4)) {
+  dsp::require(config_.use_fixed_point,
+               "DtcRtl: hardware implements the fixed-point datapath only");
+}
+
+void DtcRtl::eval() {
+  const bool d_out = in_reg_q_.read();
+  d_out_c_.write(d_out);
+  event_c_.write(d_out && !d_out_prev_q_.read());
+
+  const std::uint32_t count_now = counter_q_.read() + (d_out ? 1u : 0u);
+  count_now_c_.write(count_now);
+  eof_c_.write(cycle_q_.read() == frame_len_ - 1);
+
+  // Weighted-average datapath. kCountFirst feeds the finishing frame's
+  // total straight into the newest tap; kListingLiteral averages the three
+  // previously completed frames.
+  std::uint32_t avr = 0;
+  switch (config_.order) {
+    case core::PredictorUpdateOrder::kCountFirst:
+      avr = core::weighted_average_fixed(config_.weights, count_now,
+                                         n3_q_.read(), n2_q_.read());
+      break;
+    case core::PredictorUpdateOrder::kListingLiteral:
+      avr = core::weighted_average_fixed(config_.weights, n3_q_.read(),
+                                         n2_q_.read(), n1_q_.read());
+      break;
+  }
+  avr_c_.write(avr);
+  level_c_.write(core::select_level(table_, config_.frame,
+                                    static_cast<dsp::Real>(avr),
+                                    config_.min_code));
+}
+
+void DtcRtl::tick() {
+  const bool eof = eof_c_.read();
+  const bool d_out = d_out_c_.read();
+  last_d_out_ = d_out;
+  last_event_ = event_c_.read();
+  last_eof_ = eof;
+
+  in_reg_q_.write(d_in_.read());
+  d_out_prev_q_.write(d_out);
+
+  if (eof) {
+    counter_q_.write(0);
+    cycle_q_.write(0);
+    n1_q_.write(n2_q_.read());
+    n2_q_.write(n3_q_.read());
+    n3_q_.write(count_now_c_.read());
+    set_vth_q_.write(level_c_.read());
+  } else {
+    counter_q_.write(count_now_c_.read());
+    cycle_q_.write(cycle_q_.read() + 1);
+  }
+}
+
+void DtcRtl::reset() {
+  in_reg_q_.reset_value_now();
+  d_out_prev_q_.reset_value_now();
+  counter_q_.reset_value_now();
+  cycle_q_.reset_value_now();
+  n1_q_.reset_value_now();
+  n2_q_.reset_value_now();
+  n3_q_.reset_value_now();
+  set_vth_q_.force(config_.reset_code);
+}
+
+std::vector<SignalBase*> DtcRtl::trace_signals() {
+  return {&d_in_, &in_reg_q_, &d_out_c_, &event_c_, &eof_c_,
+          &counter_q_, &cycle_q_, &n1_q_, &n2_q_, &n3_q_,
+          &avr_c_, &set_vth_q_};
+}
+
+void DtcRtl::describe(std::vector<ComponentDescriptor>& out) const {
+  const unsigned nb = config_.dac_bits;
+  const unsigned levels = 1u << nb;
+  // Registers.
+  out.push_back({"in_reg", ComponentKind::kFlipFlop, 1});
+  out.push_back({"d_out_prev", ComponentKind::kFlipFlop, 1});
+  out.push_back({"counter", ComponentKind::kFlipFlop, 10});
+  out.push_back({"cycle", ComponentKind::kFlipFlop, 10});
+  out.push_back({"n_one1", ComponentKind::kFlipFlop, 10});
+  out.push_back({"n_one2", ComponentKind::kFlipFlop, 10});
+  out.push_back({"n_one3", ComponentKind::kFlipFlop, 10});
+  out.push_back({"set_vth", ComponentKind::kFlipFlop, nb});
+  // Incrementers.
+  out.push_back({"counter_inc", ComponentKind::kHalfAdder, 10});
+  out.push_back({"cycle_inc", ComponentKind::kHalfAdder, 10});
+  // Frame-length compare (cycle == frame-1) against a selector-muxed
+  // constant.
+  out.push_back({"frame_cmp", ComponentKind::kComparatorEq, 10});
+  out.push_back({"frame_const_mux", ComponentKind::kMux2, 10});
+  // Weighted-average datapath: shift-add multipliers for the Q8 weights
+  // (166 = 4 set bits -> 3 adders, 90 = 4 set bits -> 3 adders), plus the
+  // 3-operand final sum (2 adders, ~19 bits). The >>9 is wiring.
+  out.push_back({"wmul_w2", ComponentKind::kFullAdder, 3 * 14});
+  out.push_back({"wmul_w1", ComponentKind::kFullAdder, 3 * 14});
+  out.push_back({"wsum", ComponentKind::kFullAdder, 2 * 19});
+  // Interval ROM (constant-folded) + the priority comparison chain:
+  // (levels-1) magnitude comparators on the 10-bit average.
+  out.push_back({"interval_rom", ComponentKind::kRomBits,
+                 static_cast<unsigned>(
+                     core::IntervalTable(nb, config_.duty_lo, config_.duty_hi)
+                         .rom_bits())});
+  // Comparisons against ROM constants fold heavily in synthesis; modelled
+  // as constant comparators rather than full subtractors.
+  out.push_back({"interval_cmp", ComponentKind::kConstComparator,
+                 static_cast<unsigned>((levels - 1) * 10)});
+  out.push_back({"priority_enc", ComponentKind::kPriorityEncoder, levels});
+  // Control glue: reset/enable fanout, EOF gating, clock gating cell.
+  out.push_back({"control", ComponentKind::kGateMisc, 24});
+}
+
+}  // namespace datc::rtl

@@ -1,0 +1,85 @@
+#pragma once
+// Structural register-transfer-level model of the DTC (Fig. 4), the
+// design that was "implemented using a HDL and synthesized ... in a high
+// voltage 0.18um CMOS technology". Registers and combinational clouds are
+// explicit two-phase signals, so the simulation produces per-net toggle
+// counts for the power model and is checked cycle-exact against the
+// behavioural core::Dtc.
+//
+// Register inventory (10-bit datapath; max frame 800 needs 10 bits):
+//   In_reg (1)        comparator synchroniser
+//   d_out_prev (1)    event edge detector
+//   counter (10)      ones count of the running frame
+//   cycle (10)        frame position
+//   n_one1/2/3 (3x10) frame history
+//   set_vth (4)       DAC code
+//
+// Combinational clouds: frame-length compare, +1 incrementers, the Q8
+// weighted-average datapath (shift-add multipliers by 166 and 90), the
+// interval-ROM priority chain.
+
+#include "core/dtc.hpp"
+#include "rtl/module.hpp"
+
+namespace datc::rtl {
+
+class DtcRtl final : public Module {
+ public:
+  explicit DtcRtl(const core::DtcConfig& config);
+
+  /// Primary input: the asynchronous comparator level for this cycle
+  /// (write before Simulator::step()).
+  void set_d_in(bool v) { d_in_.write(v); }
+
+  // Primary outputs of the cycle that just completed. The combinational
+  // nets themselves already show the next cycle's view after the clock
+  // edge, so tick() latches the pre-edge values for the testbench.
+  [[nodiscard]] bool d_out() const { return last_d_out_; }
+  [[nodiscard]] bool event() const { return last_event_; }
+  [[nodiscard]] bool end_of_frame() const { return last_eof_; }
+  [[nodiscard]] unsigned set_vth() const { return set_vth_q_.read(); }
+
+  // Internal state for equivalence checks.
+  [[nodiscard]] std::uint32_t counter() const { return counter_q_.read(); }
+  [[nodiscard]] std::uint32_t n_one3() const { return n3_q_.read(); }
+
+  void eval() override;
+  void tick() override;
+  void reset() override;
+  void describe(std::vector<ComponentDescriptor>& out) const override;
+
+  [[nodiscard]] const core::DtcConfig& config() const { return config_; }
+
+  /// Signals worth waving in a VCD dump.
+  [[nodiscard]] std::vector<SignalBase*> trace_signals();
+
+ private:
+  core::DtcConfig config_;
+  core::IntervalTable table_;
+  std::uint32_t frame_len_;
+
+  // Primary input.
+  Bit& d_in_;
+  // Registers.
+  Bit& in_reg_q_;
+  Bit& d_out_prev_q_;
+  Bus& counter_q_;
+  Bus& cycle_q_;
+  Bus& n1_q_;
+  Bus& n2_q_;
+  Bus& n3_q_;
+  Bus& set_vth_q_;
+  // Combinational nets.
+  Bit& d_out_c_;
+  Bit& event_c_;
+  Bit& eof_c_;
+  Bus& count_now_c_;  ///< counter + current d_out (frame total at EOF)
+  Bus& avr_c_;        ///< fixed-point weighted average
+  Bus& level_c_;      ///< priority-encoded next Set_Vth
+  // Pre-edge output latches for the testbench (see d_out()).
+  bool last_d_out_{false};
+  bool last_event_{false};
+  bool last_eof_{false};
+};
+
+}  // namespace datc::rtl

@@ -1,0 +1,82 @@
+#pragma once
+// Module base class and the netlist self-description consumed by the
+// synthesis cost model (src/synth). A Module owns signals and child
+// modules; eval() models its combinational cloud, tick() its registers.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/signal.hpp"
+
+namespace datc::rtl {
+
+/// Structural summary of a hardware block, in units the technology mapper
+/// understands. One descriptor ~ one datapath macro.
+enum class ComponentKind {
+  kFlipFlop,        // width = number of bits
+  kHalfAdder,       // width = bits (incrementer stage)
+  kFullAdder,       // width = bits (adder/subtractor/magnitude comparator)
+  kComparatorEq,     // width = bits (XNOR + AND tree)
+  kConstComparator,  // width = total bits compared against constants
+  kMux2,             // width = bits per 2:1 mux column
+  kRomBits,          // width = total stored bits (after constant folding)
+  kPriorityEncoder,  // width = number of inputs
+  kGateMisc,         // width = equivalent NAND2 count (control glue)
+};
+
+struct ComponentDescriptor {
+  std::string name;
+  ComponentKind kind{ComponentKind::kGateMisc};
+  unsigned width{1};
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Combinational evaluation: read current signal values, write
+  /// combinational outputs. Must be idempotent at a fixed point.
+  virtual void eval() {}
+
+  /// Clock edge: read current values, write register outputs (visible
+  /// after the simulator commits).
+  virtual void tick() {}
+
+  /// Asynchronous reset (the RST pin).
+  virtual void reset() {}
+
+  /// Append this block's structural description (for synthesis).
+  virtual void describe(std::vector<ComponentDescriptor>& out) const {
+    (void)out;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] const std::vector<SignalBase*>& signals() const {
+    return signals_;
+  }
+
+ protected:
+  /// Create a signal owned by this module and registered for commits.
+  template <typename T>
+  Signal<T>& make_signal(const std::string& sig_name, unsigned width,
+                         T reset_value = T{}) {
+    auto s = std::make_unique<Signal<T>>(name_ + "." + sig_name, width,
+                                         reset_value);
+    auto* raw = s.get();
+    owned_.push_back(std::move(s));
+    signals_.push_back(raw);
+    return *raw;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<SignalBase>> owned_;
+  std::vector<SignalBase*> signals_;
+};
+
+}  // namespace datc::rtl

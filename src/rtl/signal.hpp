@@ -1,0 +1,98 @@
+#pragma once
+// Two-phase signals for the cycle-based RTL kernel. Every write lands in
+// the "next" slot; commit() moves it to "cur" and counts bit toggles — the
+// activity data the synthesis power estimator consumes (toggle-count-based
+// dynamic power, exactly what a gate-level simulation feeds into a power
+// tool).
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "dsp/types.hpp"
+
+namespace datc::rtl {
+
+class SignalBase {
+ public:
+  SignalBase(std::string name, unsigned width)
+      : name_(std::move(name)), width_(width) {
+    dsp::require(width_ >= 1 && width_ <= 64,
+                 "Signal: width must lie in [1,64]");
+  }
+  virtual ~SignalBase() = default;
+  SignalBase(const SignalBase&) = delete;
+  SignalBase& operator=(const SignalBase&) = delete;
+
+  /// Move next -> cur. Returns true when the value changed.
+  virtual bool commit() = 0;
+
+  /// Current value as raw bits (for VCD dumping).
+  [[nodiscard]] virtual std::uint64_t value_bits() const = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] std::size_t bit_toggles() const { return bit_toggles_; }
+  void reset_toggles() { bit_toggles_ = 0; }
+
+ protected:
+  std::size_t bit_toggles_{0};
+
+ private:
+  std::string name_;
+  unsigned width_;
+};
+
+template <typename T>
+class Signal final : public SignalBase {
+ public:
+  Signal(std::string name, unsigned width, T reset_value = T{})
+      : SignalBase(std::move(name), width),
+        cur_(reset_value),
+        next_(reset_value),
+        reset_value_(reset_value) {}
+
+  [[nodiscard]] T read() const { return cur_; }
+  void write(T v) { next_ = v; }
+
+  /// Immediate write of both phases (used at reset).
+  void force(T v) {
+    cur_ = v;
+    next_ = v;
+  }
+  void reset_value_now() { force(reset_value_); }
+
+  bool commit() override {
+    if (next_ == cur_) return false;
+    bit_toggles_ += toggled_bits(cur_, next_);
+    cur_ = next_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t value_bits() const override {
+    if constexpr (std::is_same_v<T, bool>) {
+      return cur_ ? 1u : 0u;
+    } else {
+      return static_cast<std::uint64_t>(cur_);
+    }
+  }
+
+ private:
+  static std::size_t toggled_bits(T a, T b) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return a == b ? 0 : 1;
+    } else {
+      return static_cast<std::size_t>(std::popcount(
+          static_cast<std::uint64_t>(a) ^ static_cast<std::uint64_t>(b)));
+    }
+  }
+
+  T cur_;
+  T next_;
+  T reset_value_;
+};
+
+using Bit = Signal<bool>;
+using Bus = Signal<std::uint32_t>;
+
+}  // namespace datc::rtl

@@ -1,0 +1,62 @@
+#include "rtl/simulator.hpp"
+
+#include <stdexcept>
+
+#include "rtl/vcd.hpp"
+
+namespace datc::rtl {
+
+void Simulator::add(Module& m) {
+  modules_.push_back(&m);
+  for (auto* s : m.signals()) signals_.push_back(s);
+}
+
+void Simulator::reset() {
+  for (auto* m : modules_) m->reset();
+  for (auto* s : signals_) s->commit();
+  // Record the reset state as time zero so the first cycle's changes are
+  // visible in the waveform.
+  if (vcd_ != nullptr) vcd_->sample(0);
+}
+
+void Simulator::settle() {
+  for (unsigned depth = 1; depth <= max_delta_; ++depth) {
+    for (auto* m : modules_) m->eval();
+    bool changed = false;
+    for (auto* s : signals_) changed = s->commit() || changed;
+    ++stats_.delta_iterations;
+    stats_.max_delta_depth = std::max<std::size_t>(stats_.max_delta_depth,
+                                                   depth);
+    if (!changed) return;
+  }
+  throw std::runtime_error(
+      "rtl::Simulator: combinational logic failed to settle "
+      "(loop or max_delta too small)");
+}
+
+void Simulator::step() {
+  settle();
+  for (auto* m : modules_) m->tick();
+  for (auto* s : signals_) s->commit();
+  // Register updates may ripple through combinational logic; settle again
+  // so sampled outputs are consistent at the end of the cycle.
+  settle();
+  ++stats_.cycles;
+  if (vcd_ != nullptr) vcd_->sample(stats_.cycles);
+}
+
+void Simulator::run(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) step();
+}
+
+std::size_t Simulator::total_bit_toggles() const {
+  std::size_t total = 0;
+  for (const auto* s : signals_) total += s->bit_toggles();
+  return total;
+}
+
+void Simulator::reset_toggles() {
+  for (auto* s : signals_) s->reset_toggles();
+}
+
+}  // namespace datc::rtl

@@ -1,0 +1,61 @@
+#pragma once
+// Cycle-based RTL simulator: per clock cycle it settles the combinational
+// clouds to a fixed point (delta cycles with an iteration cap), fires the
+// clock edge, commits register outputs, and optionally samples a VCD
+// trace. Sufficient and exact for fully synchronous designs like the DTC.
+
+#include <functional>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace datc::rtl {
+
+class VcdWriter;  // forward (rtl/vcd.hpp)
+
+struct SimStats {
+  std::size_t cycles{0};
+  std::size_t delta_iterations{0};  ///< total eval passes
+  std::size_t max_delta_depth{0};   ///< worst settle depth in one cycle
+};
+
+class Simulator {
+ public:
+  explicit Simulator(unsigned max_delta = 64) : max_delta_(max_delta) {}
+
+  /// Register a module (its signals are picked up automatically).
+  void add(Module& m);
+
+  /// Asynchronous reset: calls Module::reset() and commits.
+  void reset();
+
+  /// One clock cycle. The caller typically writes primary inputs first.
+  void step();
+
+  /// Run n cycles.
+  void run(std::size_t n);
+
+  /// Attach a VCD writer sampled after each cycle (may be null).
+  void attach_vcd(VcdWriter* vcd) { vcd_ = vcd; }
+
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+
+  /// Sum of bit toggles over every registered signal.
+  [[nodiscard]] std::size_t total_bit_toggles() const;
+  void reset_toggles();
+
+  [[nodiscard]] const std::vector<SignalBase*>& signals() const {
+    return signals_;
+  }
+
+ private:
+  void settle();
+
+  std::vector<Module*> modules_;
+  std::vector<SignalBase*> signals_;
+  unsigned max_delta_;
+  SimStats stats_;
+  VcdWriter* vcd_{nullptr};
+};
+
+}  // namespace datc::rtl

@@ -1,0 +1,105 @@
+#include "rtl/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datc::rtl {
+namespace {
+
+/// VCD identifier characters (printable ASCII ! .. ~).
+constexpr char kIdFirst = '!';
+constexpr int kIdRange = 94;
+
+std::string sanitize(const std::string& name) {
+  std::string s = name;
+  std::replace(s.begin(), s.end(), ' ', '_');
+  return s;
+}
+
+std::string binary_string(std::uint64_t v, unsigned width) {
+  std::string s(width, '0');
+  for (unsigned i = 0; i < width; ++i) {
+    if ((v >> i) & 1u) s[width - 1 - i] = '1';
+  }
+  return s;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::string path, dsp::Real timescale_ns)
+    : path_(std::move(path)), timescale_ns_(timescale_ns), out_(path_) {
+  dsp::require(timescale_ns_ > 0.0, "VcdWriter: timescale must be positive");
+  dsp::require(out_.good(), "VcdWriter: cannot open " + path_);
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+void VcdWriter::track(SignalBase& s) {
+  dsp::require(!header_written_, "VcdWriter: track() after first sample");
+  tracked_.push_back(&s);
+}
+
+std::string VcdWriter::id_for(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(kIdFirst + index % kIdRange));
+    index /= kIdRange;
+  } while (index != 0);
+  return id;
+}
+
+void VcdWriter::write_header() {
+  out_ << "$date reproduction run $end\n";
+  out_ << "$version datc rtl kernel $end\n";
+  out_ << "$timescale " << static_cast<long long>(timescale_ns_)
+       << " ns $end\n";
+  out_ << "$scope module dtc $end\n";
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    out_ << "$var wire " << tracked_[i]->width() << ' ' << id_for(i) << ' '
+         << sanitize(tracked_[i]->name()) << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  out_ << "$dumpvars\n";
+  last_.resize(tracked_.size());
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    const auto v = tracked_[i]->value_bits();
+    last_[i] = v;
+    if (tracked_[i]->width() == 1) {
+      out_ << (v & 1u) << id_for(i) << '\n';
+    } else {
+      out_ << 'b' << binary_string(v, tracked_[i]->width()) << ' '
+           << id_for(i) << '\n';
+    }
+  }
+  out_ << "$end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::sample(std::size_t cycle) {
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    const auto v = tracked_[i]->value_bits();
+    if (v == last_[i]) continue;
+    if (!stamped) {
+      out_ << '#' << cycle << '\n';
+      stamped = true;
+    }
+    if (tracked_[i]->width() == 1) {
+      out_ << (v & 1u) << id_for(i) << '\n';
+    } else {
+      out_ << 'b' << binary_string(v, tracked_[i]->width()) << ' '
+           << id_for(i) << '\n';
+    }
+    last_[i] = v;
+  }
+}
+
+void VcdWriter::close() {
+  if (out_.is_open()) {
+    if (!header_written_) write_header();
+    out_.close();
+  }
+}
+
+}  // namespace datc::rtl

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal IEEE-1364 VCD (value change dump) writer so DTC runs can be
+// inspected in GTKWave — and parsed back by the tests to validate the
+// dump itself.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtl/signal.hpp"
+
+namespace datc::rtl {
+
+class VcdWriter {
+ public:
+  /// \param timescale_ns  nanoseconds per simulator cycle tick
+  VcdWriter(std::string path, dsp::Real timescale_ns = 500000.0);
+  ~VcdWriter();
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Register a signal; must happen before the first sample.
+  void track(SignalBase& s);
+
+  /// Write header + initial values, then value changes per call.
+  void sample(std::size_t cycle);
+
+  /// Flush and close (also done by the destructor).
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void write_header();
+  static std::string id_for(std::size_t index);
+
+  std::string path_;
+  dsp::Real timescale_ns_;
+  std::ofstream out_;
+  bool header_written_{false};
+  std::vector<SignalBase*> tracked_;
+  std::vector<std::uint64_t> last_;
+};
+
+}  // namespace datc::rtl

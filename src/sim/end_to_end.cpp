@@ -1,0 +1,92 @@
+#include "sim/end_to_end.hpp"
+
+#include "dsp/stats.hpp"
+
+namespace datc::sim {
+
+EndToEnd::EndToEnd(const EvalConfig& eval, const LinkConfig& link)
+    : eval_(eval), link_(link) {}
+
+Real EndToEnd::score(const emg::Recording& rec,
+                     const std::vector<Real>& recon) const {
+  const auto truth = eval_.ground_truth(rec);
+  const std::size_t n = std::min(truth.size(), recon.size());
+  return dsp::correlation_percent(std::span<const Real>(truth.data(), n),
+                                  std::span<const Real>(recon.data(), n));
+}
+
+EndToEndResult EndToEnd::run_datc(const emg::Recording& rec) const {
+  EndToEndResult out;
+  out.tx_side = eval_.datc(rec);
+
+  // Re-encode to get the event stream (the evaluator only returns scores).
+  core::DatcEncoderConfig enc;
+  enc.dtc = eval_.config().dtc;
+  enc.clock_hz = eval_.config().datc_clock_hz;
+  enc.dac_vref = eval_.config().dac_vref;
+  const auto tx = core::encode_datc(rec.emg_v, enc);
+  const Real duration = rec.emg_v.duration_s();
+
+  uwb::ModulatorConfig mod = link_.modulator;
+  mod.code_bits = eval_.config().dtc.dac_bits;
+  const auto train = uwb::modulate_datc(tx.events, mod);
+  out.pulses_tx = train.size();
+
+  dsp::Rng rng(link_.seed);
+  const auto ch = uwb::propagate(train, link_.channel, rng);
+  out.pulses_erased = ch.erased;
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.detector = link_.detector;
+  rxc.modulator = mod;
+  rxc.decode_codes = true;
+  uwb::UwbReceiver rx(rxc, link_.channel, rng.fork());
+  auto events_rx = rx.decode(ch.received);
+  events_rx.sort_by_time();
+  out.events_rx = events_rx.size();
+  out.decode = rx.stats();
+
+  const auto recon = eval_.reconstruct_datc(events_rx, duration);
+  out.rx_side = out.tx_side;
+  out.rx_side.scheme = "D-ATC (over UWB)";
+  out.rx_side.num_events = events_rx.size();
+  out.rx_side.correlation_pct = score(rec, recon);
+  return out;
+}
+
+EndToEndResult EndToEnd::run_atc(const emg::Recording& rec,
+                                 Real threshold_v) const {
+  EndToEndResult out;
+  out.tx_side = eval_.atc(rec, threshold_v);
+
+  core::AtcEncoderConfig enc;
+  enc.threshold_v = threshold_v;
+  const auto tx = core::encode_atc(rec.emg_v, enc);
+  const Real duration = rec.emg_v.duration_s();
+
+  const auto train = uwb::modulate_atc(tx.events, link_.modulator);
+  out.pulses_tx = train.size();
+
+  dsp::Rng rng(link_.seed);
+  const auto ch = uwb::propagate(train, link_.channel, rng);
+  out.pulses_erased = ch.erased;
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.detector = link_.detector;
+  rxc.modulator = link_.modulator;
+  rxc.decode_codes = false;
+  uwb::UwbReceiver rx(rxc, link_.channel, rng.fork());
+  auto events_rx = rx.decode(ch.received);
+  events_rx.sort_by_time();
+  out.events_rx = events_rx.size();
+  out.decode = rx.stats();
+
+  const auto recon = eval_.reconstruct_atc(events_rx, threshold_v, duration);
+  out.rx_side = out.tx_side;
+  out.rx_side.scheme = out.tx_side.scheme + " (over UWB)";
+  out.rx_side.num_events = events_rx.size();
+  out.rx_side.correlation_pct = score(rec, recon);
+  return out;
+}
+
+}  // namespace datc::sim

@@ -1,0 +1,54 @@
+#pragma once
+// Full over-the-air pipeline: sEMG -> D-ATC/ATC encoder -> UWB modulator
+// -> channel (path loss, erasures, jitter) -> energy-detection receiver ->
+// event reconstruction -> envelope estimate. Used by the robustness bench
+// (the paper's "artifacts effect is similar to pulse missing" claim) and
+// the example applications.
+
+#include <cstdint>
+
+#include "sim/evaluation.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/receiver.hpp"
+
+namespace datc::sim {
+
+struct LinkConfig {
+  uwb::ModulatorConfig modulator{};
+  uwb::ChannelConfig channel{};
+  uwb::EnergyDetectorConfig detector{};
+  std::uint64_t seed{7};
+};
+
+struct EndToEndResult {
+  SchemeEvaluation tx_side;       ///< scoring with ideal (lossless) link
+  SchemeEvaluation rx_side;       ///< scoring after the UWB link
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  std::size_t events_rx{0};
+  uwb::DecodeStats decode{};
+};
+
+class EndToEnd {
+ public:
+  EndToEnd(const EvalConfig& eval, const LinkConfig& link);
+
+  /// D-ATC over the configured link.
+  [[nodiscard]] EndToEndResult run_datc(const emg::Recording& rec) const;
+
+  /// ATC (marker-only packets) over the configured link.
+  [[nodiscard]] EndToEndResult run_atc(const emg::Recording& rec,
+                                       Real threshold_v) const;
+
+  [[nodiscard]] const Evaluator& evaluator() const { return eval_; }
+  [[nodiscard]] const LinkConfig& link() const { return link_; }
+
+ private:
+  Evaluator eval_;
+  LinkConfig link_;
+
+  [[nodiscard]] Real score(const emg::Recording& rec,
+                           const std::vector<Real>& recon) const;
+};
+
+}  // namespace datc::sim

@@ -1,0 +1,109 @@
+#include "sim/evaluation.hpp"
+
+#include "dsp/envelope.hpp"
+#include "dsp/stats.hpp"
+
+namespace datc::sim {
+namespace {
+
+core::RateCalibrationConfig calibration_config(const EvalConfig& cfg,
+                                               Real count_fs_hz) {
+  core::RateCalibrationConfig c;
+  c.analog_fs_hz = cfg.analog_fs_hz;
+  c.band_lo_hz = cfg.band_lo_hz;
+  c.band_hi_hz = cfg.band_hi_hz;
+  c.count_fs_hz = count_fs_hz;
+  return c;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const EvalConfig& config) : config_(config) {
+  atc_cal_ = std::make_shared<core::RateCalibration>(
+      calibration_config(config_, config_.analog_fs_hz));
+  datc_cal_ = std::make_shared<core::RateCalibration>(
+      calibration_config(config_, config_.datc_clock_hz));
+}
+
+std::vector<Real> Evaluator::ground_truth(const emg::Recording& rec) const {
+  return dsp::arv_envelope(rec.emg_v.view(), rec.emg_v.sample_rate_hz(),
+                           config_.window_s);
+}
+
+std::vector<Real> Evaluator::reconstruct_atc(const core::EventStream& events,
+                                             Real threshold_v,
+                                             Real duration_s) const {
+  core::ReconstructionConfig rc;
+  rc.window_s = config_.window_s;
+  rc.output_fs_hz = config_.analog_fs_hz;
+  rc.dac_vref = config_.dac_vref;
+  rc.dac_bits = config_.dtc.dac_bits;
+  const core::AtcReconstructor recon(threshold_v, rc, atc_cal_,
+                                     config_.atc_mode);
+  return recon.reconstruct(events, duration_s);
+}
+
+std::vector<Real> Evaluator::reconstruct_datc(const core::EventStream& events,
+                                              Real duration_s) const {
+  core::ReconstructionConfig rc;
+  rc.window_s = config_.window_s;
+  rc.output_fs_hz = config_.analog_fs_hz;
+  rc.dac_vref = config_.dac_vref;
+  rc.dac_bits = config_.dtc.dac_bits;
+  const core::DatcReconstructor recon(rc, datc_cal_, config_.datc_mode);
+  return recon.reconstruct(events, duration_s);
+}
+
+SchemeEvaluation Evaluator::atc(const emg::Recording& rec,
+                                Real threshold_v) const {
+  core::AtcEncoderConfig enc;
+  enc.threshold_v = threshold_v;
+  const auto result = core::encode_atc(rec.emg_v, enc);
+  const Real duration = rec.emg_v.duration_s();
+
+  SchemeEvaluation ev;
+  ev.scheme = "ATC(Vth=" + std::to_string(threshold_v).substr(0, 4) + "V)";
+  ev.num_events = result.events.size();
+  ev.symbols = core::atc_symbols(ev.num_events);
+  ev.mean_rate_hz = result.events.mean_rate_hz(duration);
+  ev.duty_cycle = result.duty_cycle;
+
+  const auto truth = ground_truth(rec);
+  const auto recon = reconstruct_atc(result.events, threshold_v, duration);
+  const std::size_t n = std::min(truth.size(), recon.size());
+  ev.correlation_pct = dsp::correlation_percent(
+      std::span<const Real>(truth.data(), n),
+      std::span<const Real>(recon.data(), n));
+  return ev;
+}
+
+SchemeEvaluation Evaluator::datc(const emg::Recording& rec) const {
+  core::DatcEncoderConfig enc;
+  enc.dtc = config_.dtc;
+  enc.clock_hz = config_.datc_clock_hz;
+  enc.dac_vref = config_.dac_vref;
+  const auto result = core::encode_datc(rec.emg_v, enc);
+  const Real duration = rec.emg_v.duration_s();
+
+  SchemeEvaluation ev;
+  ev.scheme = "D-ATC";
+  ev.num_events = result.events.size();
+  ev.symbols = core::datc_symbols(ev.num_events, config_.dtc.dac_bits);
+  ev.mean_rate_hz = result.events.mean_rate_hz(duration);
+  std::size_t ones = 0;
+  for (const auto b : result.trace.d_out) ones += b;
+  ev.duty_cycle = result.trace.d_out.empty()
+                      ? 0.0
+                      : static_cast<Real>(ones) /
+                            static_cast<Real>(result.trace.d_out.size());
+
+  const auto truth = ground_truth(rec);
+  const auto recon = reconstruct_datc(result.events, duration);
+  const std::size_t n = std::min(truth.size(), recon.size());
+  ev.correlation_pct = dsp::correlation_percent(
+      std::span<const Real>(truth.data(), n),
+      std::span<const Real>(recon.data(), n));
+  return ev;
+}
+
+}  // namespace datc::sim

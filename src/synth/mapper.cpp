@@ -1,0 +1,95 @@
+#include "synth/mapper.hpp"
+
+#include <cmath>
+
+namespace datc::synth {
+
+std::size_t MappedNetlist::total_cells() const {
+  std::size_t n = 0;
+  for (const auto& [kind, count] : cell_counts) n += count;
+  return n;
+}
+
+Real MappedNetlist::total_area_um2(const TechLibrary& lib) const {
+  Real a = 0.0;
+  for (const auto& [kind, count] : cell_counts) {
+    a += lib.cell(kind).area_um2 * static_cast<Real>(count);
+  }
+  return a;
+}
+
+Real MappedNetlist::total_node_cap_ff(const TechLibrary& lib) const {
+  Real c = 0.0;
+  for (const auto& [kind, count] : cell_counts) {
+    c += lib.cell(kind).out_node_cap_ff * static_cast<Real>(count);
+  }
+  return c;
+}
+
+Real MappedNetlist::clock_cap_ff(const TechLibrary& lib) const {
+  Real c = lib.cell(CellKind::kDffr).clk_pin_cap_ff *
+           static_cast<Real>(num_flip_flops);
+  const auto it = cell_counts.find(CellKind::kClkBuf);
+  if (it != cell_counts.end()) {
+    c += lib.cell(CellKind::kClkBuf).out_node_cap_ff *
+         static_cast<Real>(it->second);
+  }
+  return c;
+}
+
+MappedNetlist map_components(
+    const std::vector<rtl::ComponentDescriptor>& components,
+    unsigned ff_per_clkbuf) {
+  dsp::require(ff_per_clkbuf >= 1, "map_components: ff_per_clkbuf >= 1");
+  MappedNetlist net;
+  auto add = [&net](CellKind kind, std::size_t count) {
+    if (count > 0) net.cell_counts[kind] += count;
+  };
+
+  for (const auto& c : components) {
+    const std::size_t w = c.width;
+    switch (c.kind) {
+      case rtl::ComponentKind::kFlipFlop:
+        add(CellKind::kDffr, w);
+        net.num_flip_flops += w;
+        break;
+      case rtl::ComponentKind::kHalfAdder:
+        add(CellKind::kAddHalf, w);
+        break;
+      case rtl::ComponentKind::kFullAdder:
+        add(CellKind::kAddFull, w);
+        break;
+      case rtl::ComponentKind::kComparatorEq:
+        // Per bit one XNOR, plus an AND-reduce tree (~w/2 NAND+INV pairs).
+        add(CellKind::kXnor2, w);
+        add(CellKind::kNand2, (w + 1) / 2);
+        add(CellKind::kInv, (w + 3) / 4);
+        break;
+      case rtl::ComponentKind::kConstComparator:
+        // Magnitude comparison against a constant folds to ~0.6 gates/bit.
+        add(CellKind::kAoi21, (w * 3 + 4) / 5);
+        break;
+      case rtl::ComponentKind::kMux2:
+        add(CellKind::kMux2, w);
+        break;
+      case rtl::ComponentKind::kRomBits:
+        // Constant-folded ROM columns: ~0.12 mux-equivalents per bit.
+        add(CellKind::kMux2, (w * 12 + 99) / 100);
+        break;
+      case rtl::ComponentKind::kPriorityEncoder:
+        add(CellKind::kAoi21, w);
+        break;
+      case rtl::ComponentKind::kGateMisc:
+        add(CellKind::kNand2, w);
+        break;
+    }
+  }
+
+  if (net.num_flip_flops > 0) {
+    add(CellKind::kClkBuf,
+        (net.num_flip_flops + ff_per_clkbuf - 1) / ff_per_clkbuf);
+  }
+  return net;
+}
+
+}  // namespace datc::synth

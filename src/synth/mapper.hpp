@@ -1,0 +1,33 @@
+#pragma once
+// Technology mapping of the RTL component descriptors onto the cell
+// library — the structural rules a synthesis tool applies after constant
+// folding (e.g. comparisons against ROM constants collapse to a few
+// gates per bit instead of full subtractors).
+
+#include <map>
+#include <vector>
+
+#include "rtl/module.hpp"
+#include "synth/tech_library.hpp"
+
+namespace datc::synth {
+
+struct MappedNetlist {
+  std::map<CellKind, std::size_t> cell_counts;
+  std::size_t num_flip_flops{0};
+
+  [[nodiscard]] std::size_t total_cells() const;
+  [[nodiscard]] Real total_area_um2(const TechLibrary& lib) const;
+  /// Sum of switched output-node capacitance over all cells (fF).
+  [[nodiscard]] Real total_node_cap_ff(const TechLibrary& lib) const;
+  /// Sum of clock-pin capacitance over sequential cells + clock buffers.
+  [[nodiscard]] Real clock_cap_ff(const TechLibrary& lib) const;
+};
+
+/// Maps a component inventory to cells. Adds one clock buffer per
+/// `ff_per_clkbuf` flip-flops (the clock tree a placement tool inserts).
+[[nodiscard]] MappedNetlist map_components(
+    const std::vector<rtl::ComponentDescriptor>& components,
+    unsigned ff_per_clkbuf = 8);
+
+}  // namespace datc::synth

@@ -1,0 +1,56 @@
+#include "synth/power.hpp"
+
+namespace datc::synth {
+namespace {
+
+constexpr Real kFemto = 1e-15;
+constexpr Real kToNano = 1e9;
+
+}  // namespace
+
+Real clock_power_nw(const MappedNetlist& net, const TechLibrary& lib,
+                    const PowerConfig& config) {
+  dsp::require(config.clock_hz > 0.0, "clock_power_nw: clock must be > 0");
+  const Real vdd = lib.vdd();
+  const Real cap_f = net.clock_cap_ff(lib) * kFemto;
+  // Full swing charge+discharge per cycle: E = C V^2.
+  return cap_f * vdd * vdd * config.clock_hz * config.clock_tree_overhead *
+         kToNano;
+}
+
+PowerEstimate estimate_default_activity(const MappedNetlist& net,
+                                        const TechLibrary& lib,
+                                        const PowerConfig& config) {
+  PowerEstimate e;
+  e.clock_nw = clock_power_nw(net, lib, config);
+  const Real vdd = lib.vdd();
+  const Real cap_f = net.total_node_cap_ff(lib) * kFemto;
+  // alpha transitions/cycle, each costing C V^2 / 2.
+  e.data_nw = config.default_activity * 0.5 * cap_f * vdd * vdd *
+              config.clock_hz * kToNano;
+  return e;
+}
+
+PowerEstimate estimate_measured_activity(const MappedNetlist& net,
+                                         const TechLibrary& lib,
+                                         const PowerConfig& config,
+                                         std::size_t bit_toggles,
+                                         std::size_t cycles) {
+  dsp::require(cycles > 0, "estimate_measured_activity: cycles must be > 0");
+  PowerEstimate e;
+  e.clock_nw = clock_power_nw(net, lib, config);
+  const Real vdd = lib.vdd();
+  // Average switched node capacitance: spread the library mix uniformly.
+  const std::size_t cells = std::max<std::size_t>(net.total_cells(), 1);
+  const Real avg_cap_f =
+      net.total_node_cap_ff(lib) / static_cast<Real>(cells) * kFemto;
+  const Real toggles_per_cycle =
+      static_cast<Real>(bit_toggles) / static_cast<Real>(cycles);
+  // Each RTL bit toggle fans out into a small cone of gate outputs.
+  constexpr Real kFanoutFactor = 2.5;
+  e.data_nw = toggles_per_cycle * kFanoutFactor * 0.5 * avg_cap_f * vdd *
+              vdd * config.clock_hz * kToNano;
+  return e;
+}
+
+}  // namespace datc::synth

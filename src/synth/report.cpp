@@ -1,0 +1,91 @@
+#include "synth/report.hpp"
+
+#include <sstream>
+
+#include "rtl/simulator.hpp"
+
+namespace datc::synth {
+
+std::size_t dtc_port_count(const core::DtcConfig& config) {
+  // D_in + clk + RST + EN + VDD + GND + Frame_selector[1:0] + Set_Vth.
+  return 6 + 2 + config.dac_bits;
+}
+
+SynthesisReport synthesize_dtc(const core::DtcConfig& config,
+                               const std::vector<bool>& d_in_stimulus,
+                               const PowerConfig& power,
+                               const TechLibrary& lib) {
+  rtl::DtcRtl dut(config);
+  std::vector<rtl::ComponentDescriptor> components;
+  dut.describe(components);
+  const MappedNetlist net = map_components(components);
+
+  SynthesisReport rep;
+  rep.library = lib.name();
+  rep.supply_v = lib.vdd();
+  rep.clock_hz = power.clock_hz;
+  rep.num_cells = net.total_cells();
+  rep.num_ports = dtc_port_count(config);
+  rep.core_area_um2 = net.total_area_um2(lib);
+  rep.power_default = estimate_default_activity(net, lib, power);
+
+  // Activity measurement on the provided stimulus.
+  rtl::Simulator sim;
+  sim.add(dut);
+  sim.reset();
+  sim.reset_toggles();
+  for (const bool b : d_in_stimulus) {
+    dut.set_d_in(b);
+    sim.step();
+  }
+  rep.activity_cycles = sim.stats().cycles;
+  rep.activity_toggles = sim.total_bit_toggles();
+  rep.power_measured = estimate_measured_activity(
+      net, lib, power, rep.activity_toggles,
+      std::max<std::size_t>(rep.activity_cycles, 1));
+  return rep;
+}
+
+std::string format_table1(const SynthesisReport& report) {
+  std::ostringstream os;
+  os << "Table I - simulation and synthesis results (model vs paper)\n";
+  os << "-----------------------------------------------------------\n";
+  auto row = [&os](const std::string& k, const std::string& model,
+                   const std::string& paper) {
+    os << "  " << k;
+    for (std::size_t i = k.size(); i < 30; ++i) os << ' ';
+    os << model;
+    for (std::size_t i = model.size(); i < 18; ++i) os << ' ';
+    os << "(paper: " << paper << ")\n";
+  };
+  std::ostringstream v;
+  v.precision(3);
+  row("Power supply", std::to_string(report.supply_v).substr(0, 3) + " V",
+      "1.8 V");
+  row("System clock frequency",
+      std::to_string(static_cast<int>(report.clock_hz)) + " Hz", "2 kHz");
+  row("Number of cells", std::to_string(report.num_cells), "512");
+  row("Number of ports", std::to_string(report.num_ports), "12");
+  {
+    std::ostringstream a;
+    a << static_cast<long long>(report.core_area_um2) << " um^2";
+    row("Core area", a.str(), "11700 um^2");
+  }
+  {
+    std::ostringstream p;
+    p.precision(3);
+    p << report.power_default.total_nw() << " nW";
+    row("Dynamic power (alpha=0.5)", p.str(), "~70 nW");
+  }
+  {
+    std::ostringstream p;
+    p.precision(3);
+    p << report.power_measured.total_nw() << " nW";
+    row("Dynamic power (measured)", p.str(), "-");
+  }
+  os << "  activity: " << report.activity_toggles << " bit toggles over "
+     << report.activity_cycles << " cycles\n";
+  return os.str();
+}
+
+}  // namespace datc::synth

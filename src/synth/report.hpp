@@ -1,0 +1,39 @@
+#pragma once
+// Table-I-style synthesis report for the DTC: supply, clock, cell count,
+// port count, core area and dynamic power, with the paper's reported
+// values alongside for comparison.
+
+#include <string>
+
+#include "rtl/dtc_rtl.hpp"
+#include "synth/power.hpp"
+
+namespace datc::synth {
+
+struct SynthesisReport {
+  std::string library;
+  Real supply_v{1.8};
+  Real clock_hz{2000.0};
+  std::size_t num_cells{0};
+  std::size_t num_ports{0};
+  Real core_area_um2{0.0};
+  PowerEstimate power_default{};   ///< alpha = 0.5 (tool default)
+  PowerEstimate power_measured{};  ///< from RTL toggle counts
+  std::size_t activity_cycles{0};
+  std::size_t activity_toggles{0};
+};
+
+/// Port count of the DTC as the paper pins it out: D_in, clk, RST, EN,
+/// VDD, GND, Frame_selector[1:0], Set_Vth[3:0] -> 12 for the 4-bit DAC.
+[[nodiscard]] std::size_t dtc_port_count(const core::DtcConfig& config);
+
+/// Synthesises (maps + estimates) the DTC and runs an activity-measuring
+/// RTL simulation on the supplied D_in stimulus bits.
+[[nodiscard]] SynthesisReport synthesize_dtc(
+    const core::DtcConfig& config, const std::vector<bool>& d_in_stimulus,
+    const PowerConfig& power = {}, const TechLibrary& lib = TechLibrary::hv180());
+
+/// Renders the report next to the paper's Table I values.
+[[nodiscard]] std::string format_table1(const SynthesisReport& report);
+
+}  // namespace datc::synth

@@ -1,0 +1,30 @@
+#include "synth/tech_library.hpp"
+
+namespace datc::synth {
+
+TechLibrary TechLibrary::hv180() {
+  TechLibrary lib("hv180_calibrated", 1.8);
+  auto set = [&lib](CellKind k, const char* cell_name, Real area, Real cap,
+                    Real clk_cap = 0.0) {
+    lib.cells_[static_cast<std::size_t>(k)] =
+        CellSpec{cell_name, area, cap, clk_cap};
+  };
+  //   kind            name        area um^2  out cap fF  clk pin fF
+  set(CellKind::kInv,     "INVX1",      7.5,      42.0);
+  set(CellKind::kNand2,   "NAND2X1",   11.0,      56.0);
+  set(CellKind::kXnor2,   "XNOR2X1",   19.5,      72.0);
+  set(CellKind::kMux2,    "MUX2X1",    17.0,      66.0);
+  set(CellKind::kAoi21,   "AOI21X1",   13.0,      58.0);
+  set(CellKind::kAddHalf, "ADDHX1",    23.0,      78.0);
+  set(CellKind::kAddFull, "ADDFX1",    37.5,      96.0);
+  set(CellKind::kDffr,    "DFFRX1",    46.5,      88.0,     26.0);
+  set(CellKind::kClkBuf,  "CLKBUFX2",  12.0,     110.0);
+  return lib;
+}
+
+const CellSpec& TechLibrary::cell(CellKind kind) const {
+  dsp::require(kind != CellKind::kCount_, "TechLibrary: invalid cell kind");
+  return cells_[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace datc::synth

@@ -1,0 +1,58 @@
+#pragma once
+// Miniature standard-cell technology model standing in for the paper's
+// proprietary high-voltage 0.18um CMOS library. Areas and node
+// capacitances are calibrated to typical HV 0.18um cells (thick-oxide
+// devices: large areas, large parasitics) so that the mapped DTC lands in
+// the paper's reported regime (~500 cells, ~10^4 um^2, tens of nW at
+// 2 kHz / 1.8 V). See DESIGN.md for the substitution rationale.
+
+#include <array>
+#include <string>
+
+#include "dsp/types.hpp"
+
+namespace datc::synth {
+
+using dsp::Real;
+
+enum class CellKind {
+  kInv,
+  kNand2,
+  kXnor2,
+  kMux2,
+  kAoi21,
+  kAddHalf,
+  kAddFull,
+  kDffr,    ///< resettable D flip-flop
+  kClkBuf,
+  kCount_,  ///< sentinel
+};
+
+inline constexpr std::size_t kNumCellKinds =
+    static_cast<std::size_t>(CellKind::kCount_);
+
+struct CellSpec {
+  std::string name;
+  Real area_um2{0.0};
+  Real out_node_cap_ff{0.0};  ///< switched capacitance on the output net
+  Real clk_pin_cap_ff{0.0};   ///< nonzero for sequential cells
+};
+
+class TechLibrary {
+ public:
+  /// The calibrated HV 0.18um model.
+  [[nodiscard]] static TechLibrary hv180();
+
+  [[nodiscard]] const CellSpec& cell(CellKind kind) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Real vdd() const { return vdd_v_; }
+
+ private:
+  TechLibrary(std::string name, Real vdd_v) : name_(std::move(name)),
+                                              vdd_v_(vdd_v) {}
+  std::string name_;
+  Real vdd_v_;
+  std::array<CellSpec, kNumCellKinds> cells_{};
+};
+
+}  // namespace datc::synth

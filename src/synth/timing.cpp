@@ -1,0 +1,83 @@
+#include "synth/timing.hpp"
+
+#include <cmath>
+
+namespace datc::synth {
+
+unsigned logic_levels(rtl::ComponentKind kind, unsigned width) {
+  switch (kind) {
+    case rtl::ComponentKind::kFlipFlop:
+      return 0;  // sequencing handled separately
+    case rtl::ComponentKind::kHalfAdder:
+      return width;  // ripple carry through the incrementer
+    case rtl::ComponentKind::kFullAdder:
+      // Adders in the weighted sum are chained by the mapper's shift-add
+      // decomposition; one instance contributes its ripple depth.
+      return width;
+    case rtl::ComponentKind::kComparatorEq: {
+      // XNOR column + AND reduce tree.
+      unsigned levels = 1;
+      unsigned w = width;
+      while (w > 1) {
+        w = (w + 1) / 2;
+        ++levels;
+      }
+      return levels;
+    }
+    case rtl::ComponentKind::kConstComparator: {
+      unsigned levels = 1;
+      unsigned w = std::max(width / 10u, 1u);  // per-compare bits
+      while (w > 1) {
+        w = (w + 1) / 2;
+        ++levels;
+      }
+      return levels;
+    }
+    case rtl::ComponentKind::kMux2:
+      return 1;
+    case rtl::ComponentKind::kRomBits:
+      return 2;  // folded column mux depth
+    case rtl::ComponentKind::kPriorityEncoder: {
+      unsigned levels = 0;
+      unsigned w = width;
+      while (w > 1) {
+        w = (w + 1) / 2;
+        ++levels;
+      }
+      return levels;
+    }
+    case rtl::ComponentKind::kGateMisc:
+      return 1;
+  }
+  return 1;
+}
+
+TimingReport estimate_dtc_timing(
+    const std::vector<rtl::ComponentDescriptor>& components,
+    const TimingConfig& config) {
+  dsp::require(config.gate_delay_ns > 0.0,
+               "estimate_dtc_timing: gate delay must be positive");
+  TimingReport rep;
+  // The End_of_frame cone, in architectural order. Components not on the
+  // cone (frame counter compare runs in parallel and is shorter) are
+  // skipped; the names match DtcRtl::describe().
+  const char* cone[] = {"counter_inc", "wmul_w2", "wsum", "interval_rom",
+                        "interval_cmp", "priority_enc", "control"};
+  for (const char* stage : cone) {
+    for (const auto& c : components) {
+      if (c.name != stage) continue;
+      const unsigned levels = logic_levels(c.kind, c.width);
+      rep.critical_path.push_back({c.name, levels});
+      rep.total_levels += levels;
+    }
+  }
+  dsp::require(!rep.critical_path.empty(),
+               "estimate_dtc_timing: no recognised datapath components");
+  rep.period_ns = config.dff_clk_to_q_ns + config.dff_setup_ns +
+                  config.wire_factor * config.gate_delay_ns *
+                      static_cast<Real>(rep.total_levels);
+  rep.max_clock_hz = 1e9 / rep.period_ns;
+  return rep;
+}
+
+}  // namespace datc::synth

@@ -1,0 +1,51 @@
+#pragma once
+// Static timing estimate for the mapped netlist: levels of logic on the
+// critical path x calibrated gate delay + sequencing overhead gives the
+// maximum clock frequency — the remaining Table-I-adjacent figure a
+// synthesis run reports. At the paper's 2 kHz the slack is ~six orders
+// of magnitude; the interesting output is how slow the HV process could
+// be clocked and still close timing, and which block owns the path.
+
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+#include "synth/tech_library.hpp"
+
+namespace datc::synth {
+
+struct TimingConfig {
+  Real gate_delay_ns{1.8};   ///< average HV 0.18um gate delay at 1.8 V
+  Real dff_clk_to_q_ns{2.5};
+  Real dff_setup_ns{1.2};
+  Real wire_factor{1.35};    ///< routing margin multiplier
+};
+
+struct PathSegment {
+  std::string name;
+  unsigned levels{0};
+};
+
+struct TimingReport {
+  std::vector<PathSegment> critical_path;
+  unsigned total_levels{0};
+  Real period_ns{0.0};
+  Real max_clock_hz{0.0};
+  /// Slack against a target clock (positive = meets timing).
+  [[nodiscard]] Real slack_ns(Real clock_hz) const {
+    return 1e9 / clock_hz - period_ns;
+  }
+};
+
+/// Levels-of-logic model per component kind (datapath depth of one
+/// instance of the given width).
+[[nodiscard]] unsigned logic_levels(rtl::ComponentKind kind, unsigned width);
+
+/// Estimates the critical path of the DTC-style architecture: the
+/// End_of_frame cone (counter -> weighted sum -> interval compare ->
+/// priority encode -> Set_Vth register).
+[[nodiscard]] TimingReport estimate_dtc_timing(
+    const std::vector<rtl::ComponentDescriptor>& components,
+    const TimingConfig& config = {});
+
+}  // namespace datc::synth

@@ -1,0 +1,65 @@
+#include "uwb/aer.hpp"
+
+#include <algorithm>
+
+namespace datc::uwb {
+
+core::EventStream aer_merge(const std::vector<core::EventStream>& channels,
+                            const AerConfig& config, AerStats* stats) {
+  dsp::require(channels.size() <= (1u << config.address_bits),
+               "aer_merge: more channels than the address space");
+  dsp::require(config.min_spacing_s >= 0.0 && config.max_queue_delay_s >= 0.0,
+               "aer_merge: timing parameters must be non-negative");
+
+  // Gather and time-sort all events with their channel addresses.
+  std::vector<core::Event> all;
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    for (const auto& e : channels[c].events()) {
+      core::Event tagged = e;
+      tagged.channel = static_cast<std::uint8_t>(c);
+      all.push_back(tagged);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const core::Event& a, const core::Event& b) {
+                     return a.time_s < b.time_s;
+                   });
+
+  AerStats local;
+  local.in_events = all.size();
+  core::EventStream out;
+  Real next_free = -1.0;
+  for (const auto& e : all) {
+    const Real send_at = std::max(e.time_s, next_free);
+    const Real delay = send_at - e.time_s;
+    if (delay > config.max_queue_delay_s) {
+      ++local.dropped;
+      continue;
+    }
+    out.add(send_at, e.vth_code, e.channel);
+    next_free = send_at + config.min_spacing_s;
+    ++local.sent;
+    local.max_delay_s = std::max(local.max_delay_s, delay);
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<core::EventStream> aer_split(const core::EventStream& merged,
+                                         unsigned num_channels) {
+  dsp::require(num_channels >= 1, "aer_split: need >= 1 channel");
+  std::vector<core::EventStream> out(num_channels);
+  for (const auto& e : merged.events()) {
+    if (e.channel < num_channels) {
+      out[e.channel].add(e.time_s, e.vth_code, e.channel);
+    }
+  }
+  return out;
+}
+
+std::size_t aer_symbols_per_event(const AerConfig& config,
+                                  unsigned code_bits) {
+  return 1 + config.address_bits + code_bits;
+}
+
+}  // namespace datc::uwb

@@ -1,0 +1,46 @@
+#pragma once
+// Address-Event Representation framing (refs [9],[12]): multiple sEMG
+// channels share one IR-UWB link by prepending an address to each event.
+// A simple arbiter enforces a minimum packet spacing on air; colliding
+// events are delayed (queued) or dropped beyond a configurable latency
+// budget — the trade-off the multi-channel glove system of ref. [12]
+// navigates.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/events.hpp"
+#include "dsp/types.hpp"
+
+namespace datc::uwb {
+
+using dsp::Real;
+
+struct AerConfig {
+  unsigned address_bits{3};       ///< up to 8 electrodes, as in the dataset
+  Real min_spacing_s{1e-3};       ///< one packet per UWB slot
+  Real max_queue_delay_s{20e-3};  ///< events later than this are dropped
+};
+
+struct AerStats {
+  std::size_t in_events{0};
+  std::size_t sent{0};
+  std::size_t dropped{0};
+  Real max_delay_s{0.0};
+};
+
+/// Merges per-channel event streams into one arbitrated AER stream.
+/// Events keep their vth codes; `channel` fields carry the address.
+[[nodiscard]] core::EventStream aer_merge(
+    const std::vector<core::EventStream>& channels, const AerConfig& config,
+    AerStats* stats = nullptr);
+
+/// Splits an AER stream back into per-channel streams (receiver side).
+[[nodiscard]] std::vector<core::EventStream> aer_split(
+    const core::EventStream& merged, unsigned num_channels);
+
+/// Symbols per AER event: marker + address + code bits.
+[[nodiscard]] std::size_t aer_symbols_per_event(const AerConfig& config,
+                                                unsigned code_bits);
+
+}  // namespace datc::uwb

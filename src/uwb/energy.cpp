@@ -1,0 +1,30 @@
+#include "uwb/energy.hpp"
+
+namespace datc::uwb {
+
+TxEnergyReport event_tx_energy(std::size_t pulses, Real duration_s,
+                               const TxEnergyConfig& cfg, bool with_dtc) {
+  dsp::require(duration_s > 0.0, "event_tx_energy: duration must be > 0");
+  TxEnergyReport r;
+  r.radio_j = static_cast<Real>(pulses) * cfg.energy_per_pulse_j;
+  r.logic_j = cfg.sleep_power_w * duration_s;
+  if (with_dtc) r.logic_j += cfg.dtc_power_w * duration_s;
+  r.total_j = r.radio_j + r.logic_j;
+  return r;
+}
+
+TxEnergyReport packet_tx_energy(std::size_t total_bits, Real duration_s,
+                                const TxEnergyConfig& cfg,
+                                Real ones_fraction) {
+  dsp::require(duration_s > 0.0, "packet_tx_energy: duration must be > 0");
+  dsp::require(ones_fraction >= 0.0 && ones_fraction <= 1.0,
+               "packet_tx_energy: ones fraction outside [0,1]");
+  TxEnergyReport r;
+  r.radio_j = static_cast<Real>(total_bits) * ones_fraction *
+              cfg.energy_per_pulse_j;
+  r.logic_j = (cfg.sleep_power_w + cfg.adc_power_w) * duration_s;
+  r.total_j = r.radio_j + r.logic_j;
+  return r;
+}
+
+}  // namespace datc::uwb

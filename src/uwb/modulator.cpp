@@ -1,0 +1,84 @@
+#include "uwb/modulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datc::uwb {
+
+void PulseTrain::sort_by_time() {
+  std::stable_sort(pulses_.begin(), pulses_.end(),
+                   [](const PulseEmission& a, const PulseEmission& b) {
+                     return a.time_s < b.time_s;
+                   });
+}
+
+dsp::TimeSeries PulseTrain::render(const PulseShapeConfig& shape, Real t0,
+                                   Real t1, Real fs_hz,
+                                   std::size_t max_samples) const {
+  dsp::require(t1 > t0 && fs_hz > 0.0, "PulseTrain::render: bad window");
+  const Real n_req = (t1 - t0) * fs_hz;
+  dsp::require(n_req <= static_cast<Real>(max_samples),
+               "PulseTrain::render: window too large to render");
+  const auto n = static_cast<std::size_t>(std::llround(n_req));
+  std::vector<Real> out(n, 0.0);
+  const Real support = 6.0 * shape.tau_s;
+  for (const auto& p : pulses_) {
+    if (p.time_s + support < t0 || p.time_s - support > t1) continue;
+    const auto i_lo = static_cast<std::ptrdiff_t>(
+        std::floor((p.time_s - support - t0) * fs_hz));
+    const auto i_hi = static_cast<std::ptrdiff_t>(
+        std::ceil((p.time_s + support - t0) * fs_hz));
+    for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(i_lo, 0);
+         i <= i_hi && i < static_cast<std::ptrdiff_t>(n); ++i) {
+      const Real t = t0 + static_cast<Real>(i) / fs_hz;
+      PulseShapeConfig unit = shape;
+      unit.amplitude_v = 1.0;
+      out[static_cast<std::size_t>(i)] +=
+          p.amplitude_v * pulse_value(unit, t - p.time_s);
+    }
+  }
+  return dsp::TimeSeries(std::move(out), fs_hz);
+}
+
+PulseTrain modulate_atc(const core::EventStream& events,
+                        const ModulatorConfig& config) {
+  PulseTrain train;
+  std::uint32_t id = 0;
+  for (const auto& e : events.events()) {
+    train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id++,
+                            /*is_marker=*/true});
+  }
+  return train;
+}
+
+PulseTrain modulate_datc(const core::EventStream& events,
+                         const ModulatorConfig& config) {
+  dsp::require(config.symbol_period_s > 0.0,
+               "modulate_datc: symbol period must be positive");
+  dsp::require(config.code_bits >= 1 && config.code_bits <= 8,
+               "modulate_datc: code bits must lie in [1,8]");
+  PulseTrain train;
+  std::uint32_t id = 0;
+  for (const auto& e : events.events()) {
+    train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id,
+                            /*is_marker=*/true});
+    for (unsigned b = 0; b < config.code_bits; ++b) {
+      const unsigned bit_index =
+          config.msb_first ? config.code_bits - 1 - b : b;
+      const bool bit = (e.vth_code >> bit_index) & 1u;
+      if (!bit) continue;  // OOK: no pulse for a zero bit
+      const Real t =
+          e.time_s + static_cast<Real>(b + 1) * config.symbol_period_s;
+      train.add(PulseEmission{t, config.shape.amplitude_v, id,
+                              /*is_marker=*/false});
+    }
+    ++id;
+  }
+  return train;
+}
+
+Real packet_duration_s(const ModulatorConfig& config) {
+  return static_cast<Real>(config.code_bits + 1) * config.symbol_period_s;
+}
+
+}  // namespace datc::uwb

@@ -1,0 +1,62 @@
+#pragma once
+// Event-to-pulse modulator. ATC radiates one bare pulse per event; D-ATC
+// radiates the Fig. 2E packet: a marker pulse followed by the Set_Vth code
+// in OOK bit slots. Pulses are represented symbolically (time, amplitude);
+// waveform rendering is only needed for PSD/mask analysis.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/events.hpp"
+#include "dsp/types.hpp"
+#include "uwb/pulse.hpp"
+
+namespace datc::uwb {
+
+struct PulseEmission {
+  Real time_s{0.0};
+  Real amplitude_v{0.0};
+  std::uint32_t packet_id{0};  ///< which event emitted it (diagnostics)
+  bool is_marker{false};
+};
+
+class PulseTrain {
+ public:
+  void add(const PulseEmission& p) { pulses_.push_back(p); }
+  [[nodiscard]] const std::vector<PulseEmission>& pulses() const {
+    return pulses_;
+  }
+  [[nodiscard]] std::size_t size() const { return pulses_.size(); }
+  [[nodiscard]] bool empty() const { return pulses_.empty(); }
+  void sort_by_time();
+
+  /// Renders the train into a sampled waveform over [t0, t1) at fs_hz.
+  /// Meant for short PSD-analysis windows — rendering 20 s at 20 GS/s is
+  /// deliberately not supported (throws above `max_samples`).
+  [[nodiscard]] dsp::TimeSeries render(const PulseShapeConfig& shape, Real t0,
+                                       Real t1, Real fs_hz,
+                                       std::size_t max_samples = 1u << 24) const;
+
+ private:
+  std::vector<PulseEmission> pulses_;
+};
+
+struct ModulatorConfig {
+  PulseShapeConfig shape{};
+  Real symbol_period_s{100e-9};  ///< bit-slot spacing inside a packet
+  unsigned code_bits{4};         ///< threshold bits per D-ATC packet
+  bool msb_first{true};
+};
+
+/// ATC: one marker pulse per event.
+[[nodiscard]] PulseTrain modulate_atc(const core::EventStream& events,
+                                      const ModulatorConfig& config);
+
+/// D-ATC: marker + OOK code bits per event (1 + code_bits slots).
+[[nodiscard]] PulseTrain modulate_datc(const core::EventStream& events,
+                                       const ModulatorConfig& config);
+
+/// Total on-air duration of one D-ATC packet.
+[[nodiscard]] Real packet_duration_s(const ModulatorConfig& config);
+
+}  // namespace datc::uwb

@@ -1,0 +1,83 @@
+#include "uwb/pulse.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace datc::uwb {
+namespace {
+
+/// Hermite polynomial H_n(x) (physicists'), via the recurrence.
+Real hermite(unsigned n, Real x) {
+  Real h0 = 1.0;
+  if (n == 0) return h0;
+  Real h1 = 2.0 * x;
+  for (unsigned k = 2; k <= n; ++k) {
+    const Real h2 = 2.0 * x * h1 - 2.0 * static_cast<Real>(k - 1) * h0;
+    h0 = h1;
+    h1 = h2;
+  }
+  return h1;
+}
+
+/// Unnormalised n-th derivative of exp(-t^2 / (2 tau^2)):
+/// d^n/dt^n exp(-x^2/2) = (-1)^n He_n(x) exp(-x^2/2) with x = t/tau.
+/// Using physicists' H_n(x/sqrt2) keeps the recurrence simple; only the
+/// normalised shape matters here.
+Real gaussian_derivative(unsigned n, Real x) {
+  const Real g = std::exp(-x * x / 2.0);
+  const Real scale = std::pow(2.0, -static_cast<Real>(n) / 2.0);
+  return scale * hermite(n, x / std::numbers::sqrt2_v<Real>) * g *
+         ((n % 2) ? -1.0 : 1.0);
+}
+
+/// Peak magnitude of the order-th derivative shape (found numerically once
+/// per call; the search range covers all practical orders).
+Real shape_peak(unsigned n) {
+  Real peak = 0.0;
+  for (int i = -600; i <= 600; ++i) {
+    const Real x = static_cast<Real>(i) / 100.0;
+    peak = std::max(peak, std::abs(gaussian_derivative(n, x)));
+  }
+  return peak;
+}
+
+}  // namespace
+
+Real pulse_value(const PulseShapeConfig& shape, Real t_s) {
+  dsp::require(shape.tau_s > 0.0, "pulse_value: tau must be positive");
+  dsp::require(shape.derivative_order >= 1 && shape.derivative_order <= 8,
+               "pulse_value: derivative order must lie in [1,8]");
+  const Real x = t_s / shape.tau_s;
+  return shape.amplitude_v * gaussian_derivative(shape.derivative_order, x) /
+         shape_peak(shape.derivative_order);
+}
+
+std::vector<Real> pulse_waveform(const PulseShapeConfig& shape, Real fs_hz,
+                                 Real support_sigmas) {
+  dsp::require(fs_hz > 0.0, "pulse_waveform: fs must be positive");
+  const Real t_max = support_sigmas * shape.tau_s;
+  const auto half = static_cast<std::size_t>(std::ceil(t_max * fs_hz));
+  std::vector<Real> w(2 * half + 1);
+  const Real peak = shape_peak(shape.derivative_order);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const Real t = (static_cast<Real>(i) - static_cast<Real>(half)) / fs_hz;
+    w[i] = shape.amplitude_v *
+           gaussian_derivative(shape.derivative_order, t / shape.tau_s) /
+           peak;
+  }
+  return w;
+}
+
+Real pulse_energy(const PulseShapeConfig& shape, Real fs_hz) {
+  const auto w = pulse_waveform(shape, fs_hz);
+  Real e = 0.0;
+  for (const Real v : w) e += v * v;
+  return e / fs_hz;
+}
+
+Real pulse_center_freq_hz(const PulseShapeConfig& shape) {
+  return std::sqrt(static_cast<Real>(shape.derivative_order)) /
+         (2.0 * std::numbers::pi_v<Real> * shape.tau_s);
+}
+
+}  // namespace datc::uwb

@@ -1,0 +1,37 @@
+#pragma once
+// IR-UWB pulse shapes: derivatives of the Gaussian pulse, the classic
+// waveforms radiated by all-digital UWB transmitters such as ref. [11]
+// (0.3-4.4 GHz pulsed TX). The 5th derivative is the lowest order whose
+// spectrum fits under the FCC indoor mask without extra filtering.
+
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace datc::uwb {
+
+using dsp::Real;
+
+struct PulseShapeConfig {
+  unsigned derivative_order{5};  ///< 1 = monocycle, 2 = doublet, ...
+  Real tau_s{80e-12};            ///< Gaussian time constant (~GHz band)
+  Real amplitude_v{0.1};         ///< peak |amplitude| at the antenna
+};
+
+/// Value of the order-th derivative Gaussian pulse at time t (centred at
+/// t = 0), normalised to unit peak magnitude.
+[[nodiscard]] Real pulse_value(const PulseShapeConfig& shape, Real t_s);
+
+/// Sampled waveform over +-support_sigmas*tau, at fs_hz.
+[[nodiscard]] std::vector<Real> pulse_waveform(const PulseShapeConfig& shape,
+                                               Real fs_hz,
+                                               Real support_sigmas = 6.0);
+
+/// Energy of the sampled pulse (V^2 s).
+[[nodiscard]] Real pulse_energy(const PulseShapeConfig& shape, Real fs_hz);
+
+/// Approximate centre frequency of the order-th derivative pulse:
+/// f_c = sqrt(order) / (2 pi tau).
+[[nodiscard]] Real pulse_center_freq_hz(const PulseShapeConfig& shape);
+
+}  // namespace datc::uwb

@@ -1,0 +1,104 @@
+#include "uwb/receiver.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/stats.hpp"
+
+namespace datc::uwb {
+
+Real normal_q(Real x) { return dsp::normal_q(x); }
+
+Real normal_q_inv(Real p) { return dsp::normal_q_inv(p); }
+
+Real detection_probability(const EnergyDetectorConfig& det,
+                           const ChannelConfig& ch, Real pulse_energy_v2s) {
+  dsp::require(pulse_energy_v2s >= 0.0,
+               "detection_probability: energy must be non-negative");
+  // Noise PSD (one-sided) in W/Hz including the RX noise figure.
+  const Real n0 =
+      std::pow(10.0, (ch.noise_psd_dbm_hz + ch.rx_noise_figure_db) / 10.0) *
+      1e-3;
+  const Real energy_j = pulse_energy_v2s / 50.0;  // across 50 ohm
+  const Real m = 2.0 * det.bandwidth_hz * det.integration_window_s;  // dof
+  const Real lambda = 2.0 * energy_j / n0;  // noncentrality
+  const Real gamma =
+      m + normal_q_inv(det.false_alarm_prob) * std::sqrt(2.0 * m);
+  const Real mean1 = m + lambda;
+  const Real sd1 = std::sqrt(2.0 * (m + 2.0 * lambda));
+  return normal_q((gamma - mean1) / sd1);
+}
+
+UwbReceiver::UwbReceiver(const UwbReceiverConfig& config,
+                         const ChannelConfig& channel, dsp::Rng rng)
+    : config_(config), channel_(channel), rng_(rng) {
+  PulseShapeConfig unit = config_.modulator.shape;
+  unit.amplitude_v = 1.0;
+  // Sample the unit pulse finely enough for an accurate energy integral.
+  const Real fs = 64.0 / unit.tau_s;
+  unit_pulse_energy_ = pulse_energy(unit, fs);
+}
+
+core::EventStream UwbReceiver::decode(const PulseTrain& rx) {
+  stats_ = DecodeStats{};
+  core::EventStream out;
+  const auto& pulses = rx.pulses();
+  stats_.pulses_in = pulses.size();
+
+  // Stage 1: per-pulse detection.
+  std::vector<PulseEmission> detected;
+  detected.reserve(pulses.size());
+  for (const auto& p : pulses) {
+    const Real energy = unit_pulse_energy_ * p.amplitude_v * p.amplitude_v;
+    const Real pd =
+        detection_probability(config_.detector, channel_, energy);
+    if (rng_.chance(pd)) detected.push_back(p);
+  }
+  stats_.pulses_detected = detected.size();
+
+  if (!config_.decode_codes) {
+    for (const auto& p : detected) out.add(p.time_s, 0);
+    return out;
+  }
+
+  // Stage 2: packet reassembly. Any detected pulse not claimed as a bit of
+  // an open packet is treated as a marker starting a new packet.
+  const Real ts = config_.modulator.symbol_period_s;
+  const unsigned bits = config_.modulator.code_bits;
+  const Real tol = config_.slot_tolerance * ts;
+  std::size_t i = 0;
+  while (i < detected.size()) {
+    const Real t0 = detected[i].time_s;
+    std::vector<bool> bit(bits, false);
+    std::size_t j = i + 1;
+    while (j < detected.size() &&
+           detected[j].time_s <= t0 + static_cast<Real>(bits) * ts + tol) {
+      const Real dt = detected[j].time_s - t0;
+      const auto slot = static_cast<long>(std::llround(dt / ts));
+      if (slot >= 1 && slot <= static_cast<long>(bits) &&
+          std::abs(dt - static_cast<Real>(slot) * ts) <= tol) {
+        bit[static_cast<std::size_t>(slot - 1)] = true;
+      }
+      ++j;
+    }
+    // False alarms inside empty slots.
+    for (unsigned b = 0; b < bits; ++b) {
+      if (!bit[b] && rng_.chance(config_.detector.false_alarm_prob)) {
+        bit[b] = true;
+        ++stats_.false_alarm_bits;
+      }
+    }
+    std::uint8_t code = 0;
+    for (unsigned b = 0; b < bits; ++b) {
+      const unsigned bit_index =
+          config_.modulator.msb_first ? bits - 1 - b : b;
+      if (bit[b]) code = static_cast<std::uint8_t>(code | (1u << bit_index));
+    }
+    out.add(t0, code);
+    ++stats_.packets_decoded;
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace datc::uwb

@@ -1,0 +1,196 @@
+// Behavioural DTC: frame bookkeeping, event semantics, threshold
+// adaptation dynamics and the duty-tracking equilibrium property.
+
+#include "core/dtc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+TEST(Dtc, ResetState) {
+  core::Dtc dtc;
+  EXPECT_EQ(dtc.set_vth(), 1u);  // Listing 1 floor code
+  EXPECT_EQ(dtc.current_count(), 0u);
+  EXPECT_EQ(dtc.n_one3(), 0u);
+}
+
+TEST(Dtc, EndOfFrameEveryFrameLen) {
+  core::Dtc dtc;  // frame = 100
+  for (int f = 0; f < 3; ++f) {
+    for (int k = 0; k < 99; ++k) {
+      EXPECT_FALSE(dtc.step(false).end_of_frame);
+    }
+    EXPECT_TRUE(dtc.step(false).end_of_frame);
+  }
+}
+
+TEST(Dtc, CountsOnesThroughInReg) {
+  core::Dtc dtc;
+  // In_reg delays by one cycle: the value fed at cycle k is counted at
+  // cycle k+1.
+  (void)dtc.step(true);             // captures 1, counts old 0
+  EXPECT_EQ(dtc.current_count(), 0u);
+  (void)dtc.step(false);            // counts the captured 1
+  EXPECT_EQ(dtc.current_count(), 1u);
+  (void)dtc.step(false);
+  EXPECT_EQ(dtc.current_count(), 1u);
+}
+
+TEST(Dtc, EventOnRisingEdgeOnly) {
+  core::Dtc dtc;
+  (void)dtc.step(true);                    // capture 1
+  auto s = dtc.step(true);                 // d_out rises
+  EXPECT_TRUE(s.event);
+  s = dtc.step(true);                      // still high: no event
+  EXPECT_FALSE(s.event);
+  (void)dtc.step(false);                   // capture 0
+  s = dtc.step(true);                      // d_out low now
+  EXPECT_FALSE(s.event);
+  s = dtc.step(true);                      // rises again
+  EXPECT_TRUE(s.event);
+}
+
+TEST(Dtc, HistoryShiftsAtFrameEnd) {
+  core::Dtc dtc;  // frame 100
+  // Frame 1: feed 30 ones.
+  for (int k = 0; k < 30; ++k) (void)dtc.step(true);
+  for (int k = 0; k < 70; ++k) (void)dtc.step(false);
+  EXPECT_EQ(dtc.n_one3(), 30u);
+  EXPECT_EQ(dtc.n_one2(), 0u);
+  // Frame 2: feed 50 ones.
+  for (int k = 0; k < 50; ++k) (void)dtc.step(true);
+  for (int k = 0; k < 50; ++k) (void)dtc.step(false);
+  EXPECT_EQ(dtc.n_one3(), 50u);
+  EXPECT_EQ(dtc.n_one2(), 30u);
+  EXPECT_EQ(dtc.n_one1(), 0u);
+}
+
+TEST(Dtc, ThresholdRisesWithDuty) {
+  core::Dtc dtc;  // frame 100, reset code 1
+  // Saturate: all ones for three frames -> AVR -> ~100 -> top code.
+  for (int k = 0; k < 300; ++k) (void)dtc.step(true);
+  EXPECT_EQ(dtc.set_vth(), 15u);
+  // Go silent: code returns to the floor.
+  for (int k = 0; k < 400; ++k) (void)dtc.step(false);
+  EXPECT_EQ(dtc.set_vth(), 1u);
+}
+
+TEST(Dtc, SetVthTracksConfiguredDuty) {
+  // Feeding a constant duty D for long enough must settle the code near
+  // the interval index for D (code ~ D/0.03 - 1 for the 4-bit table).
+  for (const Real duty : {0.09, 0.21, 0.33}) {
+    core::DtcConfig cfg;
+    cfg.frame = core::FrameSize::k200;
+    core::Dtc dtc(cfg);
+    constexpr std::size_t kPeriod = 100;  // deterministic duty pattern
+    for (std::size_t k = 0; k < 3000; ++k) {
+      const bool on = static_cast<Real>(k % kPeriod) <
+                      duty * static_cast<Real>(kPeriod);
+      (void)dtc.step(on);
+    }
+    const unsigned expected =
+        static_cast<unsigned>(duty / 0.03) - 1;  // interval index
+    EXPECT_NEAR(static_cast<Real>(dtc.set_vth()),
+                static_cast<Real>(expected), 1.5)
+        << "duty=" << duty;
+  }
+}
+
+TEST(Dtc, ListingLiteralLagsByOneFrame) {
+  core::DtcConfig literal;
+  literal.order = core::PredictorUpdateOrder::kListingLiteral;
+  core::Dtc a;          // kCountFirst
+  core::Dtc b(literal);
+  // One full frame of all-ones. kCountFirst reacts at the first frame
+  // boundary; kListingLiteral still averages three empty frames.
+  for (int k = 0; k < 100; ++k) {
+    (void)a.step(true);
+    (void)b.step(true);
+  }
+  EXPECT_GT(a.set_vth(), 1u);
+  EXPECT_EQ(b.set_vth(), 1u);
+  // After the next frame the literal order catches up.
+  for (int k = 0; k < 100; ++k) (void)b.step(true);
+  EXPECT_GT(b.set_vth(), 1u);
+}
+
+TEST(Dtc, ResetRestoresInitialState) {
+  core::Dtc dtc;
+  for (int k = 0; k < 500; ++k) (void)dtc.step(true);
+  EXPECT_GT(dtc.set_vth(), 1u);
+  dtc.reset();
+  EXPECT_EQ(dtc.set_vth(), 1u);
+  EXPECT_EQ(dtc.current_count(), 0u);
+  EXPECT_EQ(dtc.n_one3(), 0u);
+}
+
+TEST(Dtc, ConfigValidation) {
+  core::DtcConfig cfg;
+  cfg.reset_code = 16;
+  EXPECT_THROW(core::Dtc d(cfg), std::invalid_argument);
+  cfg = core::DtcConfig{};
+  cfg.min_code = 16;
+  EXPECT_THROW(core::Dtc d(cfg), std::invalid_argument);
+}
+
+struct DutyCase {
+  core::FrameSize frame;
+  Real duty;
+};
+
+class DutyEquilibriumTest : public ::testing::TestWithParam<DutyCase> {};
+
+TEST_P(DutyEquilibriumTest, RandomBernoulliDutySettles) {
+  const auto p = GetParam();
+  core::DtcConfig cfg;
+  cfg.frame = p.frame;
+  core::Dtc dtc(cfg);
+  dsp::Rng rng(static_cast<std::uint64_t>(core::frame_cycles(p.frame)) +
+               static_cast<std::uint64_t>(p.duty * 1000));
+  // Drive with i.i.d. Bernoulli(duty) for 40 frames, then check the code
+  // stays within +-2 of the expected interval index for 10 more frames.
+  const unsigned flen = core::frame_cycles(p.frame);
+  for (unsigned k = 0; k < 40 * flen; ++k) (void)dtc.step(rng.chance(p.duty));
+  const Real expected = p.duty / 0.03 - 1.0;
+  for (unsigned k = 0; k < 10 * flen; ++k) {
+    (void)dtc.step(rng.chance(p.duty));
+    ASSERT_NEAR(static_cast<Real>(dtc.set_vth()), expected, 2.2)
+        << "frame=" << flen << " duty=" << p.duty;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FramesAndDuties, DutyEquilibriumTest,
+    ::testing::Values(DutyCase{core::FrameSize::k100, 0.09},
+                      DutyCase{core::FrameSize::k100, 0.24},
+                      DutyCase{core::FrameSize::k200, 0.15},
+                      DutyCase{core::FrameSize::k200, 0.33},
+                      DutyCase{core::FrameSize::k400, 0.09},
+                      DutyCase{core::FrameSize::k400, 0.42},
+                      DutyCase{core::FrameSize::k800, 0.21},
+                      DutyCase{core::FrameSize::k800, 0.45}));
+
+TEST(Dtc, FixedVsFloatDatapathAgreeOnCodes) {
+  core::DtcConfig fx;
+  core::DtcConfig fl;
+  fl.use_fixed_point = false;
+  core::Dtc a(fx);
+  core::Dtc b(fl);
+  dsp::Rng rng(99);
+  int disagreements = 0;
+  for (int k = 0; k < 20000; ++k) {
+    const bool d = rng.chance(0.2);
+    const auto sa = a.step(d);
+    const auto sb = b.step(d);
+    if (sa.set_vth != sb.set_vth) ++disagreements;
+  }
+  // Boundary cases may differ by the Q8 rounding, but only rarely.
+  EXPECT_LT(disagreements, 20000 / 50);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// ATC and D-ATC encoders plus the Sec-III-B symbol accounting.
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "core/atc_encoder.hpp"
+#include "core/datc_encoder.hpp"
+#include "core/symbols.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using datc::dsp::TimeSeries;
+using namespace datc;
+
+constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+
+TimeSeries sine(Real amp, Real f_hz, Real fs_hz, Real duration_s) {
+  const auto n = static_cast<std::size_t>(duration_s * fs_hz);
+  std::vector<Real> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(kTwoPi * f_hz * static_cast<Real>(i) / fs_hz);
+  }
+  return TimeSeries(std::move(x), fs_hz);
+}
+
+TEST(AtcEncoder, SineCrossingCount) {
+  // Rectified 10 Hz sine of amplitude 1 crosses 0.5 upward twice per
+  // period: 2 * 10 * 2 s = 40 events.
+  const auto sig = sine(1.0, 10.0, 2500.0, 2.0);
+  core::AtcEncoderConfig cfg;
+  cfg.threshold_v = 0.5;
+  const auto r = core::encode_atc(sig, cfg);
+  EXPECT_EQ(r.events.size(), 40u);
+  EXPECT_TRUE(r.events.is_time_sorted());
+}
+
+TEST(AtcEncoder, NoEventsBelowThreshold) {
+  const auto sig = sine(0.2, 50.0, 2500.0, 1.0);
+  core::AtcEncoderConfig cfg;
+  cfg.threshold_v = 0.3;
+  const auto r = core::encode_atc(sig, cfg);
+  EXPECT_TRUE(r.events.empty());
+  EXPECT_DOUBLE_EQ(r.duty_cycle, 0.0);
+}
+
+TEST(AtcEncoder, InterpolatedTimestamps) {
+  // A ramp crossing 0.5 exactly halfway between samples 4 and 5.
+  std::vector<Real> x(10, 0.0);
+  for (std::size_t i = 5; i < 10; ++i) x[i] = 1.0;
+  x[4] = 0.0;  // crossing between index 4 (0.0) and 5 (1.0) at frac 0.5
+  TimeSeries sig(std::move(x), 10.0);
+  core::AtcEncoderConfig cfg;
+  cfg.threshold_v = 0.5;
+  const auto r = core::encode_atc(sig, cfg);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_NEAR(r.events[0].time_s, 0.45, 1e-12);  // (4 + 0.5)/10
+}
+
+TEST(AtcEncoder, DutyCycleMeasured) {
+  // Square wave above threshold half the time.
+  std::vector<Real> x;
+  for (int k = 0; k < 100; ++k) x.push_back(k % 2 ? 1.0 : 0.0);
+  TimeSeries sig(std::move(x), 100.0);
+  core::AtcEncoderConfig cfg;
+  cfg.threshold_v = 0.5;
+  const auto r = core::encode_atc(sig, cfg);
+  EXPECT_NEAR(r.duty_cycle, 0.5, 0.02);
+}
+
+TEST(AtcEncoder, HysteresisReducesChatter) {
+  // Noise riding on the threshold: hysteresis must reduce event count.
+  dsp::Rng rng(3);
+  std::vector<Real> x(5000);
+  for (auto& v : x) v = 0.3 + 0.02 * rng.gaussian();
+  TimeSeries sig(std::move(x), 2500.0);
+  core::AtcEncoderConfig no_hyst;
+  no_hyst.threshold_v = 0.3;
+  core::AtcEncoderConfig hyst;
+  hyst.threshold_v = 0.3;
+  hyst.hysteresis_v = 0.05;
+  const auto a = core::encode_atc(sig, no_hyst);
+  const auto b = core::encode_atc(sig, hyst);
+  EXPECT_LT(b.events.size(), a.events.size() / 2);
+}
+
+TEST(AtcEncoder, Validation) {
+  const auto sig = sine(1.0, 10.0, 100.0, 0.1);
+  core::AtcEncoderConfig cfg;
+  cfg.threshold_v = 0.0;
+  EXPECT_THROW((void)core::encode_atc(sig, cfg), std::invalid_argument);
+  cfg.threshold_v = 0.2;
+  cfg.hysteresis_v = 0.3;
+  EXPECT_THROW((void)core::encode_atc(sig, cfg), std::invalid_argument);
+}
+
+TEST(DatcEncoder, TraceShapesConsistent) {
+  const auto sig = sine(0.5, 80.0, 2500.0, 2.0);
+  const auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+  EXPECT_EQ(r.num_cycles, 4000u);  // 2 s at 2 kHz
+  EXPECT_EQ(r.trace.d_out.size(), r.num_cycles);
+  EXPECT_EQ(r.trace.set_vth.size(), r.num_cycles);
+  EXPECT_EQ(r.trace.frame_ones.size(), 40u);  // 4000 / 100
+  EXPECT_EQ(r.trace.frame_vth.size(), 40u);
+}
+
+TEST(DatcEncoder, EventsAreRisingEdgesOfTrace) {
+  const auto sig = sine(0.5, 80.0, 2500.0, 2.0);
+  const auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+  std::size_t edges = 0;
+  for (std::size_t k = 1; k < r.trace.d_out.size(); ++k) {
+    if (r.trace.d_out[k] == 1 && r.trace.d_out[k - 1] == 0) ++edges;
+  }
+  // First-cycle rising edge (0 -> d_out[0]==1) would also fire.
+  if (!r.trace.d_out.empty() && r.trace.d_out[0] == 1) ++edges;
+  EXPECT_EQ(r.events.size(), edges);
+}
+
+TEST(DatcEncoder, FrameOnesMatchTraceSum) {
+  const auto sig = sine(0.4, 60.0, 2500.0, 1.0);
+  const auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+  // Sum of d_out over frame f equals frame_ones[f].
+  for (std::size_t f = 0; f < r.trace.frame_ones.size(); ++f) {
+    std::uint32_t sum = 0;
+    for (std::size_t k = f * 100; k < (f + 1) * 100; ++k) {
+      sum += r.trace.d_out[k];
+    }
+    EXPECT_EQ(sum, r.trace.frame_ones[f]) << "frame " << f;
+  }
+}
+
+TEST(DatcEncoder, AdaptsThresholdUpForLargeSignal) {
+  const auto sig = sine(0.9, 80.0, 2500.0, 2.0);
+  const auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+  // After adaptation the code must sit well above the reset floor.
+  EXPECT_GT(r.trace.set_vth.back(), 3u);
+}
+
+TEST(DatcEncoder, EventCarriesCodeInEffect) {
+  const auto sig = sine(0.9, 80.0, 2500.0, 2.0);
+  const auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+  ASSERT_FALSE(r.events.empty());
+  for (const auto& e : r.events.events()) {
+    EXPECT_LE(e.vth_code, 15u);
+  }
+  // Late events should carry adapted (non-reset) codes.
+  EXPECT_GT(r.events.events().back().vth_code, 1u);
+}
+
+TEST(DatcEncoder, VthVoltageUsesDacLaw) {
+  const auto sig = sine(0.9, 80.0, 2500.0, 1.0);
+  const auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+  const auto v = r.vth_voltage();
+  ASSERT_EQ(v.size(), r.trace.set_vth.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v[i],
+                     static_cast<Real>(r.trace.set_vth[i]) / 16.0);
+  }
+}
+
+TEST(DatcEncoder, EmptySignal) {
+  TimeSeries empty;
+  const auto r = core::encode_datc(empty, core::DatcEncoderConfig{});
+  EXPECT_TRUE(r.events.empty());
+  EXPECT_EQ(r.num_cycles, 0u);
+}
+
+// Sec. III-B symbol accounting — the paper's own numbers.
+TEST(Symbols, PaperComparisonNumbers) {
+  EXPECT_EQ(core::packet_symbols(50000, 12).total, 600000u);
+  EXPECT_EQ(core::atc_symbols(3183).total, 3183u);
+  EXPECT_EQ(core::atc_symbols(5821).total, 5821u);
+  const auto d = core::datc_symbols(3724, 4);
+  EXPECT_EQ(d.symbols_per_event, 5u);
+  EXPECT_EQ(d.total, 18620u);
+}
+
+TEST(Symbols, OverheadModel) {
+  core::PacketOverhead oh;  // 40 bits per 16-sample packet
+  const auto c = core::packet_symbols_with_overhead(160, 12, oh);
+  // 160*12 payload + 10 packets * 40 overhead.
+  EXPECT_EQ(c.total, 1920u + 400u);
+  oh.samples_per_packet = 0;
+  EXPECT_THROW((void)core::packet_symbols_with_overhead(10, 12, oh),
+               std::invalid_argument);
+}
+
+TEST(Symbols, RateHelper) {
+  EXPECT_DOUBLE_EQ(core::symbol_rate_hz(core::atc_symbols(2000), 20.0),
+                   100.0);
+  EXPECT_THROW((void)core::symbol_rate_hz(core::atc_symbols(1), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Event-stream persistence: CSV and binary round trips, malformed-input
+// rejection.
+
+#include "core/event_io.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "dsp/rng.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+core::EventStream sample_events(std::size_t n = 100) {
+  core::EventStream ev;
+  dsp::Rng rng(55);
+  Real t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.uniform(1e-4, 5e-3);
+    ev.add(t, static_cast<std::uint8_t>(rng.integer(0, 15)),
+           static_cast<std::uint8_t>(rng.integer(0, 7)));
+  }
+  return ev;
+}
+
+TEST(EventIo, CsvRoundTripExact) {
+  const auto ev = sample_events();
+  std::stringstream ss;
+  core::write_events_csv(ss, ev);
+  const auto back = core::read_events_csv(ss);
+  ASSERT_EQ(back.size(), ev.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].time_s, ev[i].time_s);
+    EXPECT_EQ(back[i].vth_code, ev[i].vth_code);
+    EXPECT_EQ(back[i].channel, ev[i].channel);
+  }
+}
+
+TEST(EventIo, CsvEmptyStreamRoundTrip) {
+  core::EventStream empty;
+  std::stringstream ss;
+  core::write_events_csv(ss, empty);
+  EXPECT_TRUE(core::read_events_csv(ss).empty());
+}
+
+TEST(EventIo, CsvRejectsBadHeader) {
+  std::stringstream ss("wrong,header,here\n1,2,3\n");
+  EXPECT_THROW((void)core::read_events_csv(ss), std::invalid_argument);
+}
+
+TEST(EventIo, CsvRejectsBadRows) {
+  {
+    std::stringstream ss("time_s,vth_code,channel\n0.1,2\n");
+    EXPECT_THROW((void)core::read_events_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("time_s,vth_code,channel\n0.1,abc,0\n");
+    EXPECT_THROW((void)core::read_events_csv(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("time_s,vth_code,channel\n0.1,999,0\n");
+    EXPECT_THROW((void)core::read_events_csv(ss), std::invalid_argument);
+  }
+}
+
+TEST(EventIo, CsvToleratesCrlf) {
+  std::stringstream ss("time_s,vth_code,channel\r\n0.5,3,1\n");
+  const auto ev = core::read_events_csv(ss);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_DOUBLE_EQ(ev[0].time_s, 0.5);
+}
+
+TEST(EventIo, BinaryRoundTripExact) {
+  const auto ev = sample_events(500);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  core::write_events_binary(ss, ev);
+  const auto back = core::read_events_binary(ss);
+  ASSERT_EQ(back.size(), ev.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].time_s, ev[i].time_s);
+    EXPECT_EQ(back[i].vth_code, ev[i].vth_code);
+    EXPECT_EQ(back[i].channel, ev[i].channel);
+  }
+}
+
+TEST(EventIo, BinaryRejectsBadMagic) {
+  std::stringstream ss("NOTMAGIC........", std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)core::read_events_binary(ss), std::invalid_argument);
+}
+
+TEST(EventIo, BinaryRejectsTruncation) {
+  const auto ev = sample_events(10);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  core::write_events_binary(ss, ev);
+  std::string data = ss.str();
+  data.resize(data.size() - 5);  // chop the last event
+  std::stringstream cut(data, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)core::read_events_binary(cut), std::invalid_argument);
+}
+
+TEST(EventIo, FileRoundTrip) {
+  const auto ev = sample_events(50);
+  EXPECT_TRUE(core::write_events_csv("/tmp/datc_events_test.csv", ev));
+  const auto csv = core::read_events_csv("/tmp/datc_events_test.csv");
+  EXPECT_EQ(csv.size(), ev.size());
+  EXPECT_TRUE(core::write_events_binary("/tmp/datc_events_test.bin", ev));
+  const auto bin = core::read_events_binary("/tmp/datc_events_test.bin");
+  EXPECT_EQ(bin.size(), ev.size());
+  EXPECT_FALSE(core::write_events_csv("/nonexistent_dir_xyz/e.csv", ev));
+  EXPECT_THROW((void)core::read_events_csv("/nonexistent_dir_xyz/e.csv"),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Interval table (Eqn. 2) — the exact constants the paper lists, for all
+// four frame sizes, plus the generalised-resolution construction.
+
+#include "core/interval_table.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+TEST(IntervalTable, PaperConstantsFourBit) {
+  const core::IntervalTable t;  // 4 bits, 0.03 .. 0.48
+  EXPECT_EQ(t.num_levels(), 16u);
+  // Eqn. 2: interval_level_k = 0.03 * (k+1) * frame_size.
+  for (const auto frame : core::kAllFrameSizes) {
+    const Real fsize = static_cast<Real>(core::frame_cycles(frame));
+    for (unsigned k = 0; k < 16; ++k) {
+      const Real expected = 0.03 * static_cast<Real>(k + 1) * fsize;
+      EXPECT_EQ(t.level(frame, k),
+                static_cast<std::uint32_t>(std::lround(expected)))
+          << "frame=" << fsize << " k=" << k;
+    }
+  }
+  // Spot checks from the paper's text.
+  EXPECT_EQ(t.level(core::FrameSize::k100, 15), 48u);   // 0.48 * 100
+  EXPECT_EQ(t.level(core::FrameSize::k100, 14), 45u);   // 0.45 * 100
+  EXPECT_EQ(t.level(core::FrameSize::k100, 1), 6u);     // 0.06 * 100
+  EXPECT_EQ(t.level(core::FrameSize::k100, 0), 3u);     // 0.03 * 100
+  EXPECT_EQ(t.level(core::FrameSize::k800, 15), 384u);  // 0.48 * 800
+}
+
+TEST(IntervalTable, DutyOfLevelLinear) {
+  const core::IntervalTable t;
+  EXPECT_NEAR(t.duty_of_level(0), 0.03, 1e-12);
+  EXPECT_NEAR(t.duty_of_level(15), 0.48, 1e-12);
+  EXPECT_NEAR(t.duty_of_level(7), 0.03 + 7.0 * 0.03, 1e-12);
+  EXPECT_THROW((void)t.duty_of_level(16), std::invalid_argument);
+}
+
+TEST(IntervalTable, StrictlyIncreasingLevels) {
+  for (unsigned bits = 2; bits <= 8; ++bits) {
+    const core::IntervalTable t(bits);
+    for (const auto frame : core::kAllFrameSizes) {
+      for (unsigned k = 1; k < t.num_levels(); ++k) {
+        EXPECT_GE(t.level(frame, k), t.level(frame, k - 1))
+            << "bits=" << bits << " k=" << k;
+      }
+      // Strict increase for frames long enough to resolve the duty step.
+      if (core::frame_cycles(frame) >= (1u << bits) * 4) {
+        for (unsigned k = 1; k < t.num_levels(); ++k) {
+          EXPECT_GT(t.level(frame, k), t.level(frame, k - 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalTable, RomBitsAccounting) {
+  const core::IntervalTable t;
+  // 4 frame sizes x 16 levels x 9-bit entries (max value 384 needs 9 bits).
+  EXPECT_EQ(t.rom_bits(), 4u * 16u * 9u);
+}
+
+TEST(IntervalTable, Validation) {
+  EXPECT_THROW(core::IntervalTable(0), std::invalid_argument);
+  EXPECT_THROW(core::IntervalTable(9), std::invalid_argument);
+  EXPECT_THROW(core::IntervalTable(4, 0.5, 0.4), std::invalid_argument);
+  EXPECT_THROW(core::IntervalTable(4, 0.0, 0.5), std::invalid_argument);
+}
+
+TEST(Frame, SelectorRoundTrip) {
+  for (const auto f : core::kAllFrameSizes) {
+    EXPECT_EQ(core::frame_from_selector(core::frame_selector(f)), f);
+  }
+  EXPECT_THROW((void)core::frame_from_selector(4), std::invalid_argument);
+}
+
+TEST(Frame, DurationsAtPaperClock) {
+  EXPECT_DOUBLE_EQ(core::frame_duration_s(core::FrameSize::k100, 2000.0),
+                   0.05);
+  EXPECT_DOUBLE_EQ(core::frame_duration_s(core::FrameSize::k800, 2000.0),
+                   0.4);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Weighted-average predictor (Eqn. 1 / Listing 1): fixed-point vs float
+// agreement and the priority level selection.
+
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+TEST(Predictor, PaperWeightsQ8) {
+  const core::PredictorWeights w;
+  const auto q = w.q8();
+  EXPECT_EQ(q[0], 256u);  // WF3 = 1.00
+  EXPECT_EQ(q[1], 166u);  // WF2 = 0.65 (0.6484 in Q8)
+  EXPECT_EQ(q[2], 90u);   // WF1 = 0.35 (0.3516 in Q8)
+  EXPECT_EQ(q[0] + q[1] + q[2], 512u);  // the >>9 normalisation is exact
+}
+
+TEST(Predictor, FloatMatchesHandComputation) {
+  const core::PredictorWeights w;
+  // (1*100 + 0.65*50 + 0.35*20) / 2 = 69.75
+  EXPECT_NEAR(core::weighted_average_float(w, 100, 50, 20), 69.75, 1e-12);
+}
+
+TEST(Predictor, FixedTruncatesLikeHardware) {
+  const core::PredictorWeights w;
+  // (256*100 + 166*50 + 90*20) / 512 = 35500/512 = 69.33 -> 69
+  EXPECT_EQ(core::weighted_average_fixed(w, 100, 50, 20), 69u);
+}
+
+TEST(Predictor, EqualInputsAreFixedPoint) {
+  const core::PredictorWeights w;
+  for (const std::uint32_t n : {0u, 1u, 7u, 100u, 800u}) {
+    EXPECT_EQ(core::weighted_average_fixed(w, n, n, n), n);
+    EXPECT_NEAR(core::weighted_average_float(w, n, n, n),
+                static_cast<Real>(n), 1e-9);
+  }
+}
+
+class FixedVsFloatTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedVsFloatTest, AgreeWithinOneCount) {
+  dsp::Rng rng(GetParam());
+  const core::PredictorWeights w;
+  for (int i = 0; i < 2000; ++i) {
+    const auto n3 = static_cast<std::uint32_t>(rng.integer(0, 800));
+    const auto n2 = static_cast<std::uint32_t>(rng.integer(0, 800));
+    const auto n1 = static_cast<std::uint32_t>(rng.integer(0, 800));
+    const Real f = core::weighted_average_float(
+        w, static_cast<Real>(n3), static_cast<Real>(n2),
+        static_cast<Real>(n1));
+    const auto fx = core::weighted_average_fixed(w, n3, n2, n1);
+    // Q8 quantisation of 0.65/0.35 contributes up to ~0.0008 * 800 per
+    // tap plus 1 count of truncation: bounded by 2.5 counts.
+    EXPECT_NEAR(static_cast<Real>(fx), f, 2.5)
+        << n3 << "," << n2 << "," << n1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedVsFloatTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Predictor, NewestFrameDominates) {
+  const core::PredictorWeights w;
+  // A jump in the newest frame moves the average more than the same jump
+  // in the oldest frame.
+  const Real base = core::weighted_average_float(w, 100, 100, 100);
+  const Real newest = core::weighted_average_float(w, 200, 100, 100);
+  const Real oldest = core::weighted_average_float(w, 100, 100, 200);
+  EXPECT_GT(newest - base, oldest - base);
+}
+
+TEST(SelectLevel, PriorityChainOfListing1) {
+  const core::IntervalTable t;  // levels at 0.03(k+1)*frame
+  const auto f = core::FrameSize::k100;
+  // AVR >= 48 -> 15.
+  EXPECT_EQ(core::select_level(t, f, 48.0), 15u);
+  EXPECT_EQ(core::select_level(t, f, 100.0), 15u);
+  // 45 <= AVR < 48 -> 14.
+  EXPECT_EQ(core::select_level(t, f, 45.0), 14u);
+  EXPECT_EQ(core::select_level(t, f, 47.9), 14u);
+  // interval_level_2 = 9: AVR >= 9 -> 2.
+  EXPECT_EQ(core::select_level(t, f, 9.0), 2u);
+  // Below interval_level_2 the chain falls through to 1 — never 0, as in
+  // the paper's Listing 1 (interval_level_1 and _0 are defined by Eqn. 2
+  // but unused by the priority chain).
+  EXPECT_EQ(core::select_level(t, f, 8.9), 1u);
+  EXPECT_EQ(core::select_level(t, f, 0.0), 1u);
+}
+
+TEST(SelectLevel, OptionalLevelZeroFloor) {
+  const core::IntervalTable t;
+  const auto f = core::FrameSize::k100;
+  // With min_code = 0 the unused interval_level_1 entry (= 6) becomes
+  // live and code 0 becomes reachable.
+  EXPECT_EQ(core::select_level(t, f, 0.0, 0), 0u);
+  EXPECT_EQ(core::select_level(t, f, 6.0, 0), 1u);  // >= level_1 (6)
+  EXPECT_EQ(core::select_level(t, f, 5.9, 0), 0u);
+}
+
+TEST(SelectLevel, MonotoneInAvr) {
+  const core::IntervalTable t;
+  for (const auto frame : core::kAllFrameSizes) {
+    unsigned last = 0;
+    for (Real avr = 0.0; avr <= 400.0; avr += 0.5) {
+      const unsigned lvl = core::select_level(t, frame, avr);
+      EXPECT_GE(lvl, last);
+      last = lvl;
+    }
+  }
+}
+
+TEST(SelectLevel, MinCodeValidation) {
+  const core::IntervalTable t;
+  EXPECT_THROW((void)core::select_level(t, core::FrameSize::k100, 0.0, 16),
+               std::invalid_argument);
+}
+
+TEST(Predictor, ZeroWeightSumRejected) {
+  core::PredictorWeights w;
+  w.w = {0.0, 0.0, 0.0};
+  EXPECT_THROW((void)core::weighted_average_float(w, 1, 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::weighted_average_fixed(w, 1, 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

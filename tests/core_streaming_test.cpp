@@ -1,0 +1,146 @@
+// Streaming encoders: sample-by-sample operation must be bit-identical to
+// the batch encoders (the property a real-time integration relies on).
+
+#include "core/streaming.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "emg/dataset.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+dsp::TimeSeries test_signal(std::uint64_t seed, Real duration_s = 4.0) {
+  emg::RecordingSpec spec;
+  spec.seed = seed;
+  spec.gain_v = 0.35;
+  spec.duration_s = duration_s;
+  return emg::make_recording(spec).emg_v;
+}
+
+class StreamingEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingEquivalenceTest, DatcStreamingMatchesBatch) {
+  const auto sig = test_signal(GetParam());
+  const core::DatcEncoderConfig cfg;
+  const auto batch = core::encode_datc(sig, cfg);
+
+  core::EventStream streamed;
+  core::StreamingDatcEncoder enc(cfg, sig.sample_rate_hz(),
+                                 [&streamed](const core::Event& e) {
+                                   streamed.add(e.time_s, e.vth_code);
+                                 });
+  enc.push_block(sig.view());
+
+  ASSERT_EQ(streamed.size(), batch.events.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_NEAR(streamed[i].time_s, batch.events[i].time_s, 1e-12);
+    EXPECT_EQ(streamed[i].vth_code, batch.events[i].vth_code) << "i=" << i;
+  }
+  EXPECT_EQ(enc.cycles(), batch.num_cycles);
+  EXPECT_EQ(enc.events_emitted(), batch.events.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalenceTest,
+                         ::testing::Values(3, 17, 42, 99));
+
+TEST(StreamingDatc, SampleBySampleEqualsBlock) {
+  const auto sig = test_signal(5, 2.0);
+  const core::DatcEncoderConfig cfg;
+  core::EventStream a;
+  core::StreamingDatcEncoder ea(cfg, sig.sample_rate_hz(),
+                                [&a](const core::Event& e) {
+                                  a.add(e.time_s, e.vth_code);
+                                });
+  for (const Real v : sig.samples()) ea.push(v);
+
+  core::EventStream b;
+  core::StreamingDatcEncoder eb(cfg, sig.sample_rate_hz(),
+                                [&b](const core::Event& e) {
+                                  b.add(e.time_s, e.vth_code);
+                                });
+  eb.push_block(sig.view());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+  }
+}
+
+TEST(StreamingDatc, ResetRestartsCleanly) {
+  const auto sig = test_signal(7, 2.0);
+  const core::DatcEncoderConfig cfg;
+  core::EventStream first;
+  core::EventStream second;
+  core::EventStream* target = &first;
+  core::StreamingDatcEncoder enc(cfg, sig.sample_rate_hz(),
+                                 [&target](const core::Event& e) {
+                                   target->add(e.time_s, e.vth_code);
+                                 });
+  enc.push_block(sig.view());
+  enc.reset();
+  EXPECT_EQ(enc.cycles(), 0u);
+  target = &second;
+  enc.push_block(sig.view());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].time_s, second[i].time_s);
+    EXPECT_EQ(first[i].vth_code, second[i].vth_code);
+  }
+}
+
+TEST(StreamingDatc, Validation) {
+  const core::DatcEncoderConfig cfg;
+  EXPECT_THROW(core::StreamingDatcEncoder(cfg, 0.0, [](const core::Event&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(core::StreamingDatcEncoder(cfg, 2500.0, nullptr),
+               std::invalid_argument);
+}
+
+class StreamingAtcTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingAtcTest, MatchesBatch) {
+  const auto sig = test_signal(GetParam());
+  core::AtcEncoderConfig cfg;
+  cfg.threshold_v = 0.25;
+  cfg.hysteresis_v = 0.02;
+  const auto batch = core::encode_atc(sig, cfg);
+
+  core::EventStream streamed;
+  core::StreamingAtcEncoder enc(cfg, sig.sample_rate_hz(),
+                                [&streamed](const core::Event& e) {
+                                  streamed.add(e.time_s);
+                                });
+  enc.push_block(sig.view());
+  ASSERT_EQ(streamed.size(), batch.events.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_NEAR(streamed[i].time_s, batch.events[i].time_s, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingAtcTest,
+                         ::testing::Values(2, 11, 23));
+
+TEST(StreamingAtc, SineEventTimes) {
+  // 5 Hz rectified sine, threshold 0.5: two upward crossings per period.
+  constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+  core::AtcEncoderConfig cfg;
+  cfg.threshold_v = 0.5;
+  std::vector<Real> times;
+  core::StreamingAtcEncoder enc(cfg, 1000.0,
+                                [&times](const core::Event& e) {
+                                  times.push_back(e.time_s);
+                                });
+  for (int i = 0; i < 1000; ++i) {
+    enc.push(std::sin(kTwoPi * 5.0 * static_cast<Real>(i) / 1000.0));
+  }
+  EXPECT_EQ(times.size(), 10u);
+  // First |sin| crossing of 0.5 at asin(0.5)/(2 pi 5) = 1/60 s.
+  EXPECT_NEAR(times.front(), 1.0 / 60.0, 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// IIR filter design tests: frequency-response checks against the design
+// targets, stability, and streaming-vs-batch consistency.
+
+#include "dsp/filter_design.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "dsp/biquad.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/stats.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+constexpr Real kPi = std::numbers::pi_v<Real>;
+
+Real norm_w(Real f_hz, Real fs_hz) { return 2.0 * kPi * f_hz / fs_hz; }
+
+TEST(Biquad, IdentityCoefficientsPassSignal) {
+  dsp::Biquad bq(dsp::BiquadCoeffs{});
+  for (int i = 0; i < 10; ++i) {
+    const Real x = static_cast<Real>(i) * 0.1;
+    EXPECT_DOUBLE_EQ(bq.process(x), x);
+  }
+}
+
+TEST(Biquad, StabilityCriterion) {
+  dsp::BiquadCoeffs stable{1, 0, 0, -1.2, 0.5};
+  EXPECT_TRUE(stable.is_stable());
+  dsp::BiquadCoeffs unstable{1, 0, 0, 0.0, 1.1};
+  EXPECT_FALSE(unstable.is_stable());
+}
+
+TEST(Biquad, CascadeResetClearsState) {
+  dsp::BiquadCascade c(dsp::butterworth_lowpass(4, 100.0, 1000.0));
+  const std::vector<Real> x{1.0, 0.5, -0.3, 0.2};
+  const auto y1 = c.filter(x);
+  c.reset();
+  const auto y2 = c.filter(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+  }
+}
+
+struct LpCase {
+  int order;
+  Real fc;
+  Real fs;
+};
+
+class ButterworthLpTest : public ::testing::TestWithParam<LpCase> {};
+
+TEST_P(ButterworthLpTest, MagnitudeResponse) {
+  const auto p = GetParam();
+  dsp::BiquadCascade lp(dsp::butterworth_lowpass(p.order, p.fc, p.fs));
+  EXPECT_TRUE(lp.is_stable());
+  // DC gain ~1.
+  EXPECT_NEAR(lp.magnitude_at(norm_w(1e-3, p.fs)), 1.0, 1e-3);
+  // -3 dB at the cutoff.
+  EXPECT_NEAR(lp.magnitude_at(norm_w(p.fc, p.fs)), std::sqrt(0.5), 0.02);
+  // Monotone-ish decay: an octave above the cutoff the attenuation should
+  // be at least ~5 dB per order.
+  if (2.0 * p.fc < p.fs / 2.0) {
+    const Real mag = lp.magnitude_at(norm_w(2.0 * p.fc, p.fs));
+    const Real atten_db = -20.0 * std::log10(mag);
+    EXPECT_GT(atten_db, 5.0 * p.order) << "order=" << p.order;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ButterworthLpTest,
+    ::testing::Values(LpCase{1, 100.0, 2500.0}, LpCase{2, 100.0, 2500.0},
+                      LpCase{3, 100.0, 2500.0}, LpCase{4, 100.0, 2500.0},
+                      LpCase{5, 200.0, 2500.0}, LpCase{6, 450.0, 2500.0},
+                      LpCase{8, 450.0, 2500.0}, LpCase{4, 2.0, 2500.0}));
+
+class ButterworthHpTest : public ::testing::TestWithParam<LpCase> {};
+
+TEST_P(ButterworthHpTest, MagnitudeResponse) {
+  const auto p = GetParam();
+  dsp::BiquadCascade hp(dsp::butterworth_highpass(p.order, p.fc, p.fs));
+  EXPECT_TRUE(hp.is_stable());
+  // Near Nyquist the gain should be ~1.
+  EXPECT_NEAR(hp.magnitude_at(norm_w(0.49 * p.fs, p.fs)), 1.0, 0.02);
+  EXPECT_NEAR(hp.magnitude_at(norm_w(p.fc, p.fs)), std::sqrt(0.5), 0.02);
+  // Attenuation well below the cutoff: a first-order section only gives
+  // |H(fc/4)| ~ 0.24; higher orders fall much faster.
+  const Real mag = hp.magnitude_at(norm_w(p.fc / 4.0, p.fs));
+  EXPECT_LT(mag, p.order == 1 ? 0.26 : 0.15) << "order=" << p.order;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ButterworthHpTest,
+    ::testing::Values(LpCase{1, 100.0, 2500.0}, LpCase{2, 20.0, 2500.0},
+                      LpCase{3, 20.0, 2500.0}, LpCase{4, 50.0, 2500.0},
+                      LpCase{5, 100.0, 2500.0}));
+
+TEST(FilterDesign, BandpassPassesCentreRejectsEdges) {
+  dsp::BiquadCascade bp(dsp::butterworth_bandpass(4, 20.0, 450.0, 2500.0));
+  EXPECT_TRUE(bp.is_stable());
+  EXPECT_NEAR(bp.magnitude_at(norm_w(150.0, 2500.0)), 1.0, 0.05);
+  EXPECT_LT(bp.magnitude_at(norm_w(2.0, 2500.0)), 0.05);
+  EXPECT_LT(bp.magnitude_at(norm_w(1100.0, 2500.0)), 0.05);
+}
+
+TEST(FilterDesign, NotchKillsTargetFrequency) {
+  const auto n = dsp::notch(50.0, 10.0, 2500.0);
+  dsp::BiquadCascade c({n});
+  EXPECT_LT(c.magnitude_at(norm_w(50.0, 2500.0)), 1e-6);
+  EXPECT_NEAR(c.magnitude_at(norm_w(5.0, 2500.0)), 1.0, 0.02);
+  EXPECT_NEAR(c.magnitude_at(norm_w(500.0, 2500.0)), 1.0, 0.02);
+}
+
+TEST(FilterDesign, InvalidParametersThrow) {
+  EXPECT_THROW((void)dsp::butterworth_lowpass(0, 100.0, 1000.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)dsp::butterworth_lowpass(2, 600.0, 1000.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)dsp::butterworth_bandpass(2, 300.0, 100.0, 1000.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)dsp::notch(50.0, -1.0, 1000.0), std::invalid_argument);
+}
+
+TEST(FilterDesign, FilteredNoiseVarianceShrinksWithBand) {
+  dsp::Rng rng(3);
+  std::vector<Real> white(20000);
+  for (auto& v : white) v = rng.gaussian();
+  dsp::BiquadCascade narrow(dsp::butterworth_bandpass(4, 100.0, 150.0, 2500.0));
+  dsp::BiquadCascade wide(dsp::butterworth_bandpass(4, 20.0, 450.0, 2500.0));
+  const Real var_narrow = dsp::variance(narrow.filter(white));
+  const Real var_wide = dsp::variance(wide.filter(white));
+  EXPECT_LT(var_narrow, var_wide);
+}
+
+// Streaming process() must equal batch filter().
+TEST(Biquad, StreamingMatchesBatch) {
+  dsp::Rng rng(5);
+  std::vector<Real> x(500);
+  for (auto& v : x) v = rng.gaussian();
+  dsp::BiquadCascade a(dsp::butterworth_lowpass(4, 200.0, 2500.0));
+  dsp::BiquadCascade b(dsp::butterworth_lowpass(4, 200.0, 2500.0));
+  const auto batch = a.filter(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.process(x[i]), batch[i]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// FIR design and filtering.
+
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "dsp/rng.hpp"
+#include "dsp/stats.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+
+Real tone_gain(const std::vector<Real>& taps, Real f_hz, Real fs_hz) {
+  // Steady-state amplitude of a filtered tone.
+  dsp::FirFilter fir(taps);
+  const std::size_t n = 4000;
+  Real peak = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real y =
+        fir.process(std::sin(kTwoPi * f_hz * static_cast<Real>(i) / fs_hz));
+    if (i > n / 2) peak = std::max(peak, std::abs(y));
+  }
+  return peak;
+}
+
+TEST(FirDesign, LowpassUnityDcAndStopband) {
+  const auto taps = dsp::design_fir_lowpass(63, 200.0, 2500.0);
+  Real dc = 0.0;
+  for (const Real t : taps) dc += t;
+  EXPECT_NEAR(dc, 1.0, 1e-12);
+  EXPECT_NEAR(tone_gain(taps, 20.0, 2500.0), 1.0, 0.02);
+  EXPECT_LT(tone_gain(taps, 800.0, 2500.0), 0.01);
+}
+
+TEST(FirDesign, HighpassBlocksDcPassesHigh) {
+  const auto taps = dsp::design_fir_highpass(63, 200.0, 2500.0);
+  Real dc = 0.0;
+  for (const Real t : taps) dc += t;
+  EXPECT_NEAR(dc, 0.0, 1e-9);
+  EXPECT_LT(tone_gain(taps, 20.0, 2500.0), 0.05);
+  EXPECT_NEAR(tone_gain(taps, 1000.0, 2500.0), 1.0, 0.05);
+}
+
+TEST(FirDesign, RejectsBadArguments) {
+  EXPECT_THROW((void)dsp::design_fir_lowpass(10, 100.0, 1000.0),
+               std::invalid_argument);  // even taps
+  EXPECT_THROW((void)dsp::design_fir_lowpass(11, 600.0, 1000.0),
+               std::invalid_argument);  // above Nyquist
+}
+
+TEST(FirFilter, ImpulseResponseEqualsTaps) {
+  const std::vector<Real> taps{0.5, -0.25, 0.125};
+  dsp::FirFilter fir(taps);
+  std::vector<Real> impulse{1.0, 0.0, 0.0, 0.0};
+  const auto y = fir.filter(impulse);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], -0.25);
+  EXPECT_DOUBLE_EQ(y[2], 0.125);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(FirFilter, GroupDelaySymmetricTaps) {
+  dsp::FirFilter fir(dsp::design_fir_lowpass(31, 100.0, 1000.0));
+  EXPECT_DOUBLE_EQ(fir.group_delay(), 15.0);
+}
+
+TEST(MatchedFilter, PeaksAtAlignment) {
+  // Matched filter output peaks exactly when the template fully overlaps.
+  std::vector<Real> tmpl{0.2, -1.0, 0.7, 0.1};
+  const auto taps = dsp::matched_filter_taps(tmpl);
+  const auto y = dsp::convolve(tmpl, taps);
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > y[peak]) peak = i;
+  }
+  EXPECT_EQ(peak, tmpl.size() - 1);
+  // Peak value equals the template norm (unit-energy taps).
+  Real e = 0.0;
+  for (const Real v : tmpl) e += v * v;
+  EXPECT_NEAR(y[peak], std::sqrt(e), 1e-12);
+}
+
+TEST(MatchedFilter, RejectsZeroTemplate) {
+  const std::vector<Real> zero(5, 0.0);
+  EXPECT_THROW((void)dsp::matched_filter_taps(zero), std::invalid_argument);
+}
+
+TEST(Convolve, LengthAndIdentity) {
+  const std::vector<Real> x{1.0, 2.0, 3.0};
+  const std::vector<Real> delta{1.0};
+  EXPECT_EQ(dsp::convolve(x, delta), x);
+  const std::vector<Real> k{1.0, 1.0};
+  const auto y = dsp::convolve(x, k);
+  EXPECT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[3], 3.0);
+}
+
+TEST(FirFilter, StreamingMatchesConvolution) {
+  dsp::Rng rng(9);
+  std::vector<Real> x(100);
+  for (auto& v : x) v = rng.gaussian();
+  const std::vector<Real> taps{0.3, 0.5, -0.2, 0.1};
+  dsp::FirFilter fir(taps);
+  const auto stream = fir.filter(x);
+  const auto full = dsp::convolve(x, taps);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(stream[i], full[i], 1e-12);
+  }
+}
+
+}  // namespace

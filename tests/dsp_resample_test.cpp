@@ -1,0 +1,107 @@
+// TimeSeries semantics and sample-rate conversion (the 2.5 kHz analog /
+// 2 kHz DTC-clock boundary).
+
+#include "dsp/resample.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+#include "dsp/stats.hpp"
+#include "dsp/types.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using datc::dsp::TimeSeries;
+using namespace datc;
+
+constexpr Real kTwoPi = 2.0 * std::numbers::pi_v<Real>;
+
+TimeSeries make_sine(Real f_hz, Real fs_hz, Real duration_s) {
+  const auto n = static_cast<std::size_t>(duration_s * fs_hz);
+  std::vector<Real> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(kTwoPi * f_hz * static_cast<Real>(i) / fs_hz);
+  }
+  return TimeSeries(std::move(x), fs_hz);
+}
+
+TEST(TimeSeries, BasicProperties) {
+  TimeSeries ts({1.0, 2.0, 3.0, 4.0}, 2.0);
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.duration_s(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.time_of(2), 1.0);
+  EXPECT_THROW(TimeSeries({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, AtTimeInterpolatesAndClamps) {
+  TimeSeries ts({0.0, 1.0, 2.0}, 1.0);
+  EXPECT_DOUBLE_EQ(ts.at_time(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ts.at_time(1.25), 1.25);
+  EXPECT_DOUBLE_EQ(ts.at_time(-5.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(ts.at_time(99.0), 2.0);   // clamp right
+  TimeSeries empty;
+  EXPECT_THROW((void)empty.at_time(0.0), std::logic_error);
+}
+
+TEST(Resample, PreservesSineShape) {
+  const auto x = make_sine(50.0, 2500.0, 1.0);
+  const auto y = dsp::resample_linear(x, 2000.0);
+  EXPECT_EQ(y.size(), 2000u);
+  // Compare against the analytic sine on the new grid.
+  Real max_err = 0.0;
+  for (std::size_t i = 100; i + 100 < y.size(); ++i) {
+    const Real t = static_cast<Real>(i) / 2000.0;
+    max_err = std::max(max_err, std::abs(y[i] - std::sin(kTwoPi * 50.0 * t)));
+  }
+  EXPECT_LT(max_err, 0.01);
+}
+
+TEST(Resample, RateUpAndDownRoundTrip) {
+  const auto x = make_sine(30.0, 1000.0, 0.5);
+  const auto up = dsp::resample_linear(x, 4000.0);
+  const auto back = dsp::resample_linear(up, 1000.0);
+  EXPECT_EQ(back.size(), x.size());
+  for (std::size_t i = 10; i + 10 < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 0.01);
+  }
+}
+
+TEST(Decimate, ReducesRateAndRejectsAliases) {
+  // 300 Hz tone at 8 kHz, decimate by 8 -> 1 kHz (300 Hz still below
+  // Nyquist, survives); a 450 Hz tone would alias and must be attenuated
+  // by the anti-alias filter when decimating by 10 (Nyquist 400).
+  auto x = make_sine(300.0, 8000.0, 1.0);
+  const auto y = dsp::decimate(x, 8);
+  EXPECT_DOUBLE_EQ(y.sample_rate_hz(), 1000.0);
+  EXPECT_NEAR(dsp::rms(std::span<const Real>(y.samples())
+                           .subspan(200, y.size() - 400)),
+              1.0 / std::sqrt(2.0), 0.05);
+
+  auto alias = make_sine(900.0, 8000.0, 1.0);
+  const auto z = dsp::decimate(alias, 10);
+  EXPECT_LT(dsp::rms(z.view()), 0.05);
+}
+
+TEST(Decimate, FactorOneIsIdentity) {
+  const auto x = make_sine(10.0, 1000.0, 0.1);
+  const auto y = dsp::decimate(x, 1);
+  EXPECT_EQ(y.samples(), x.samples());
+}
+
+TEST(HoldUpsample, RepeatsValues) {
+  TimeSeries x({1.0, 2.0}, 10.0);
+  const auto y = dsp::hold_upsample(x, 3);
+  EXPECT_EQ(y.samples(), (std::vector<Real>{1, 1, 1, 2, 2, 2}));
+  EXPECT_DOUBLE_EQ(y.sample_rate_hz(), 30.0);
+}
+
+TEST(Resample, InvalidArgumentsThrow) {
+  const auto x = make_sine(10.0, 100.0, 0.1);
+  EXPECT_THROW((void)dsp::resample_linear(x, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)dsp::decimate(x, 0), std::invalid_argument);
+  EXPECT_THROW((void)dsp::hold_upsample(x, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// RTL kernel: two-phase signals, toggle counting, combinational settle,
+// and the VCD writer (validated by parsing its own output).
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "rtl/module.hpp"
+#include "rtl/signal.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/vcd.hpp"
+
+namespace {
+
+using namespace datc;
+
+TEST(Signal, CommitSemantics) {
+  rtl::Bus s("s", 8, 0);
+  EXPECT_EQ(s.read(), 0u);
+  s.write(5);
+  EXPECT_EQ(s.read(), 0u);  // not yet committed
+  EXPECT_TRUE(s.commit());
+  EXPECT_EQ(s.read(), 5u);
+  EXPECT_FALSE(s.commit());  // no change
+}
+
+TEST(Signal, ToggleCountsBits) {
+  rtl::Bus s("s", 8, 0);
+  s.write(0xFF);
+  (void)s.commit();
+  EXPECT_EQ(s.bit_toggles(), 8u);
+  s.write(0xFE);
+  (void)s.commit();
+  EXPECT_EQ(s.bit_toggles(), 9u);
+  s.reset_toggles();
+  EXPECT_EQ(s.bit_toggles(), 0u);
+}
+
+TEST(Signal, BoolToggles) {
+  rtl::Bit b("b", 1, false);
+  b.write(true);
+  (void)b.commit();
+  b.write(false);
+  (void)b.commit();
+  EXPECT_EQ(b.bit_toggles(), 2u);
+}
+
+TEST(Signal, ForceSkipsToggleCount) {
+  rtl::Bus s("s", 4, 0);
+  s.force(0xF);
+  EXPECT_EQ(s.read(), 0xFu);
+  EXPECT_EQ(s.bit_toggles(), 0u);  // reset is not dynamic activity
+}
+
+TEST(Signal, WidthValidation) {
+  EXPECT_THROW(rtl::Bus("bad", 0), std::invalid_argument);
+  EXPECT_THROW(rtl::Bus("bad", 65), std::invalid_argument);
+}
+
+/// A 2-bit counter module used to exercise the simulator.
+class Counter2 : public rtl::Module {
+ public:
+  Counter2() : Module("cnt2"),
+               q_(make_signal<std::uint32_t>("q", 2, 0)),
+               wrap_(make_signal<bool>("wrap", 1, false)) {}
+  void eval() override { wrap_.write(q_.read() == 3); }
+  void tick() override { q_.write((q_.read() + 1) & 3u); }
+  void reset() override { q_.reset_value_now(); }
+  rtl::Bus& q_;
+  rtl::Bit& wrap_;
+};
+
+TEST(Simulator, CounterCounts) {
+  Counter2 c;
+  rtl::Simulator sim;
+  sim.add(c);
+  sim.reset();
+  for (unsigned i = 1; i <= 10; ++i) {
+    sim.step();
+    EXPECT_EQ(c.q_.read(), i & 3u);
+  }
+  EXPECT_EQ(sim.stats().cycles, 10u);
+}
+
+/// A module whose combinational nets need several delta cycles to settle
+/// (a 3-stage buffer chain).
+class Chain : public rtl::Module {
+ public:
+  Chain() : Module("chain"),
+            in_(make_signal<bool>("in", 1, false)),
+            a_(make_signal<bool>("a", 1, false)),
+            b_(make_signal<bool>("b", 1, false)),
+            out_(make_signal<bool>("out", 1, false)) {}
+  void eval() override {
+    a_.write(in_.read());
+    b_.write(a_.read());
+    out_.write(b_.read());
+  }
+  rtl::Bit& in_;
+  rtl::Bit& a_;
+  rtl::Bit& b_;
+  rtl::Bit& out_;
+};
+
+TEST(Simulator, SettlesMultiLevelCombinational) {
+  Chain ch;
+  rtl::Simulator sim;
+  sim.add(ch);
+  sim.reset();
+  ch.in_.write(true);
+  sim.step();
+  EXPECT_TRUE(ch.out_.read());
+  EXPECT_GE(sim.stats().max_delta_depth, 3u);
+}
+
+/// A combinational loop (ring oscillator) must be detected, not hang.
+class Osc : public rtl::Module {
+ public:
+  Osc() : Module("osc"), x_(make_signal<bool>("x", 1, false)) {}
+  void eval() override { x_.write(!x_.read()); }
+  rtl::Bit& x_;
+};
+
+TEST(Simulator, DetectsCombinationalLoop) {
+  Osc osc;
+  rtl::Simulator sim(16);
+  sim.add(osc);
+  EXPECT_THROW(sim.step(), std::runtime_error);
+}
+
+TEST(Simulator, ToggleAccounting) {
+  Counter2 c;
+  rtl::Simulator sim;
+  sim.add(c);
+  sim.reset();
+  sim.reset_toggles();
+  sim.run(4);  // q: 0->1->2->3->0 = 1+2+1+2 = 6 bit toggles, wrap: 0->1->0
+  EXPECT_GE(sim.total_bit_toggles(), 6u);
+}
+
+TEST(Vcd, WellFormedOutput) {
+  const std::string path = "/tmp/datc_vcd_test.vcd";
+  {
+    Counter2 c;
+    rtl::Simulator sim;
+    sim.add(c);
+    rtl::VcdWriter vcd(path, 500000.0);
+    vcd.track(c.q_);
+    vcd.track(c.wrap_);
+    sim.attach_vcd(&vcd);
+    sim.reset();
+    sim.run(8);
+    vcd.close();
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  // Mandatory VCD sections.
+  EXPECT_NE(text.find("$timescale"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 2"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(text.find("$dumpvars"), std::string::npos);
+  // Value changes with timestamps appear.
+  EXPECT_NE(text.find("#1"), std::string::npos);
+  // Multi-bit values are dumped in binary ('b' prefix).
+  EXPECT_NE(text.find("b01"), std::string::npos);
+}
+
+TEST(Vcd, TrackAfterSampleRejected) {
+  const std::string path = "/tmp/datc_vcd_test2.vcd";
+  Counter2 c;
+  rtl::Simulator sim;
+  sim.add(c);
+  rtl::VcdWriter vcd(path);
+  vcd.track(c.q_);
+  sim.attach_vcd(&vcd);
+  sim.reset();
+  sim.step();
+  EXPECT_THROW(vcd.track(c.wrap_), std::invalid_argument);
+}
+
+TEST(Vcd, RejectsBadPath) {
+  EXPECT_THROW(rtl::VcdWriter bad("/nonexistent_dir_xyz/q.vcd"),
+               std::invalid_argument);
+}
+
+}  // namespace

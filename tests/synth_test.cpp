@@ -1,0 +1,130 @@
+// Synthesis cost model: technology mapping, area/power estimation and the
+// Table-I report regime.
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "synth/report.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+synth::MappedNetlist map_default_dtc() {
+  rtl::DtcRtl dut{core::DtcConfig{}};
+  std::vector<rtl::ComponentDescriptor> comps;
+  dut.describe(comps);
+  return synth::map_components(comps);
+}
+
+TEST(TechLibrary, Hv180CellsPopulated) {
+  const auto lib = synth::TechLibrary::hv180();
+  EXPECT_DOUBLE_EQ(lib.vdd(), 1.8);
+  EXPECT_GT(lib.cell(synth::CellKind::kDffr).area_um2, 0.0);
+  EXPECT_GT(lib.cell(synth::CellKind::kDffr).clk_pin_cap_ff, 0.0);
+  EXPECT_EQ(lib.cell(synth::CellKind::kInv).clk_pin_cap_ff, 0.0);
+  // Sequential cells are bigger than inverters.
+  EXPECT_GT(lib.cell(synth::CellKind::kDffr).area_um2,
+            lib.cell(synth::CellKind::kInv).area_um2);
+}
+
+TEST(Mapper, FlipFlopsMapOneToOne) {
+  std::vector<rtl::ComponentDescriptor> comps{
+      {"regs", rtl::ComponentKind::kFlipFlop, 10}};
+  const auto net = synth::map_components(comps);
+  EXPECT_EQ(net.num_flip_flops, 10u);
+  EXPECT_EQ(net.cell_counts.at(synth::CellKind::kDffr), 10u);
+  // Clock buffers added (10 FF / 8 per buffer -> 2).
+  EXPECT_EQ(net.cell_counts.at(synth::CellKind::kClkBuf), 2u);
+}
+
+TEST(Mapper, RomFoldsHeavily) {
+  std::vector<rtl::ComponentDescriptor> comps{
+      {"rom", rtl::ComponentKind::kRomBits, 640}};
+  const auto net = synth::map_components(comps);
+  // ~0.12 mux per bit.
+  EXPECT_NEAR(static_cast<Real>(net.cell_counts.at(synth::CellKind::kMux2)),
+              640.0 * 0.12, 3.0);
+}
+
+TEST(Mapper, DtcLandsInPaperRegime) {
+  const auto net = map_default_dtc();
+  const auto lib = synth::TechLibrary::hv180();
+  // Paper: 512 cells, 11700 um^2. The model must land in the same decade
+  // and within ~2x.
+  EXPECT_GT(net.total_cells(), 250u);
+  EXPECT_LT(net.total_cells(), 1000u);
+  EXPECT_GT(net.total_area_um2(lib), 6000.0);
+  EXPECT_LT(net.total_area_um2(lib), 24000.0);
+  EXPECT_EQ(net.num_flip_flops, 56u);
+}
+
+TEST(Power, DefaultActivityInPaperRegime) {
+  const auto net = map_default_dtc();
+  const auto lib = synth::TechLibrary::hv180();
+  const auto p = synth::estimate_default_activity(net, lib,
+                                                  synth::PowerConfig{});
+  // Paper: ~70 nW at 2 kHz / 1.8 V. Same decade required.
+  EXPECT_GT(p.total_nw(), 15.0);
+  EXPECT_LT(p.total_nw(), 200.0);
+  EXPECT_GT(p.clock_nw, 0.0);
+  EXPECT_GT(p.data_nw, 0.0);
+}
+
+TEST(Power, ScalesLinearlyWithClock) {
+  const auto net = map_default_dtc();
+  const auto lib = synth::TechLibrary::hv180();
+  synth::PowerConfig slow;
+  slow.clock_hz = 2000.0;
+  synth::PowerConfig fast;
+  fast.clock_hz = 4000.0;
+  const auto p1 = synth::estimate_default_activity(net, lib, slow);
+  const auto p2 = synth::estimate_default_activity(net, lib, fast);
+  EXPECT_NEAR(p2.total_nw() / p1.total_nw(), 2.0, 1e-9);
+}
+
+TEST(Power, MeasuredActivityBelowDefaultForSparseInput) {
+  // A mostly idle DTC toggles far less than the alpha=0.5 assumption.
+  core::DtcConfig cfg;
+  std::vector<bool> stim(4000, false);
+  for (std::size_t i = 0; i < stim.size(); i += 40) stim[i] = true;
+  const auto rep = synth::synthesize_dtc(cfg, stim);
+  EXPECT_LT(rep.power_measured.total_nw(), rep.power_default.total_nw());
+  EXPECT_GT(rep.power_measured.total_nw(), 0.0);
+}
+
+TEST(Power, MeasuredActivityRequiresCycles) {
+  const auto net = map_default_dtc();
+  const auto lib = synth::TechLibrary::hv180();
+  EXPECT_THROW((void)synth::estimate_measured_activity(
+                   net, lib, synth::PowerConfig{}, 100, 0),
+               std::invalid_argument);
+}
+
+TEST(Report, PortCountMatchesPaper) {
+  EXPECT_EQ(synth::dtc_port_count(core::DtcConfig{}), 12u);
+  core::DtcConfig wide;
+  wide.dac_bits = 6;
+  EXPECT_EQ(synth::dtc_port_count(wide), 14u);
+}
+
+TEST(Report, SynthesizeDtcProducesFullReport) {
+  dsp::Rng rng(3);
+  std::vector<bool> stim(2000);
+  for (std::size_t i = 0; i < stim.size(); ++i) stim[i] = rng.chance(0.2);
+  const auto rep = synth::synthesize_dtc(core::DtcConfig{}, stim);
+  EXPECT_EQ(rep.num_ports, 12u);
+  EXPECT_GT(rep.num_cells, 0u);
+  EXPECT_GT(rep.core_area_um2, 0.0);
+  EXPECT_EQ(rep.activity_cycles, 2000u);
+  EXPECT_GT(rep.activity_toggles, 0u);
+
+  const auto text = synth::format_table1(rep);
+  EXPECT_NE(text.find("Power supply"), std::string::npos);
+  EXPECT_NE(text.find("Number of cells"), std::string::npos);
+  EXPECT_NE(text.find("11700"), std::string::npos);  // paper column
+  EXPECT_NE(text.find("~70 nW"), std::string::npos);
+}
+
+}  // namespace

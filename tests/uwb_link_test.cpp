@@ -1,0 +1,236 @@
+// UWB link: modulation layout, channel statistics, energy-detector
+// probabilities, packet decode round-trips and AER arbitration.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "uwb/aer.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/modulator.hpp"
+#include "uwb/receiver.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+core::EventStream make_events(std::size_t n, Real spacing_s,
+                              std::uint8_t code) {
+  core::EventStream ev;
+  for (std::size_t i = 0; i < n; ++i) {
+    ev.add(1e-3 + spacing_s * static_cast<Real>(i), code);
+  }
+  return ev;
+}
+
+TEST(Modulator, AtcOnePulsePerEvent) {
+  const auto ev = make_events(10, 1e-3, 0);
+  const auto train = uwb::modulate_atc(ev, uwb::ModulatorConfig{});
+  EXPECT_EQ(train.size(), 10u);
+  for (const auto& p : train.pulses()) EXPECT_TRUE(p.is_marker);
+}
+
+TEST(Modulator, DatcPacketLayout) {
+  // Code 0b1010 (10): marker + 2 one-bits = 3 pulses per event.
+  const auto ev = make_events(4, 1e-3, 10);
+  uwb::ModulatorConfig mod;
+  const auto train = uwb::modulate_datc(ev, mod);
+  EXPECT_EQ(train.size(), 4u * 3u);
+  // MSB-first: bit slots 1 and 3 carry pulses for 0b1010.
+  const auto& p = train.pulses();
+  EXPECT_TRUE(p[0].is_marker);
+  EXPECT_NEAR(p[1].time_s - p[0].time_s, 1.0 * mod.symbol_period_s, 1e-12);
+  EXPECT_NEAR(p[2].time_s - p[0].time_s, 3.0 * mod.symbol_period_s, 1e-12);
+}
+
+TEST(Modulator, AllOnesCodeFullPacket) {
+  const auto ev = make_events(1, 1e-3, 15);
+  const auto train = uwb::modulate_datc(ev, uwb::ModulatorConfig{});
+  EXPECT_EQ(train.size(), 5u);  // marker + 4 bits
+  EXPECT_DOUBLE_EQ(uwb::packet_duration_s(uwb::ModulatorConfig{}),
+                   5.0 * 100e-9);
+}
+
+TEST(Channel, GainDecreasesWithDistance) {
+  uwb::ChannelConfig near;
+  near.distance_m = 0.5;
+  uwb::ChannelConfig far = near;
+  far.distance_m = 3.0;
+  EXPECT_GT(uwb::channel_gain(near), uwb::channel_gain(far));
+  EXPECT_GT(uwb::channel_gain(near), 0.0);
+}
+
+TEST(Channel, ErasureStatistics) {
+  const auto ev = make_events(2000, 1e-4, 15);
+  const auto train = uwb::modulate_atc(ev, uwb::ModulatorConfig{});
+  uwb::ChannelConfig ch;
+  ch.erasure_prob = 0.25;
+  dsp::Rng rng(3);
+  const auto out = uwb::propagate(train, ch, rng);
+  EXPECT_NEAR(static_cast<Real>(out.erased), 2000.0 * 0.25, 80.0);
+  EXPECT_EQ(out.received.size() + out.erased, train.size());
+}
+
+TEST(Channel, JitterPerturbsTimes) {
+  const auto ev = make_events(100, 1e-4, 0);
+  const auto train = uwb::modulate_atc(ev, uwb::ModulatorConfig{});
+  uwb::ChannelConfig ch;
+  ch.jitter_rms_s = 1e-9;
+  dsp::Rng rng(5);
+  const auto out = uwb::propagate(train, ch, rng);
+  Real max_shift = 0.0;
+  for (std::size_t i = 0; i < out.received.size(); ++i) {
+    max_shift = std::max(max_shift, std::abs(out.received.pulses()[i].time_s -
+                                             train.pulses()[i].time_s));
+  }
+  EXPECT_GT(max_shift, 1e-10);
+  EXPECT_LT(max_shift, 1e-8);
+}
+
+TEST(Channel, NoiseRmsSane) {
+  uwb::ChannelConfig ch;
+  const Real n = uwb::noise_rms_v(ch, 2e9);
+  // Thermal noise with 6 dB NF in 2 GHz across 50 ohm: tens of microvolts.
+  EXPECT_GT(n, 1e-6);
+  EXPECT_LT(n, 1e-3);
+}
+
+TEST(Detector, ProbabilityMonotoneInEnergy) {
+  uwb::EnergyDetectorConfig det;
+  uwb::ChannelConfig ch;
+  Real last = 0.0;
+  for (const Real e : {1e-18, 1e-17, 1e-16, 1e-15, 1e-14}) {
+    const Real pd = uwb::detection_probability(det, ch, e);
+    EXPECT_GE(pd, last - 1e-12);
+    last = pd;
+  }
+  // Strong pulse: certain detection; zero energy: near the false-alarm
+  // floor.
+  EXPECT_GT(uwb::detection_probability(det, ch, 1e-12), 0.999);
+  EXPECT_LT(uwb::detection_probability(det, ch, 0.0), 0.01);
+}
+
+uwb::ChannelConfig strong_link() {
+  uwb::ChannelConfig ch;
+  ch.distance_m = 0.3;
+  ch.ref_loss_db = 30.0;
+  return ch;
+}
+
+TEST(Receiver, LosslessRoundTripRecoversCodes) {
+  const auto ev = make_events(50, 1e-3, 11);
+  uwb::ModulatorConfig mod;
+  mod.shape.amplitude_v = 0.5;
+  const auto train = uwb::modulate_datc(ev, mod);
+  const auto ch = strong_link();
+  dsp::Rng rng(7);
+  const auto prop = uwb::propagate(train, ch, rng);
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.modulator = mod;
+  uwb::UwbReceiver rx(rxc, ch, dsp::Rng(8));
+  const auto decoded = rx.decode(prop.received);
+  ASSERT_EQ(decoded.size(), 50u);
+  for (const auto& e : decoded.events()) {
+    EXPECT_EQ(e.vth_code, 11u);
+  }
+  EXPECT_EQ(rx.stats().packets_decoded, 50u);
+  EXPECT_EQ(rx.stats().pulses_detected, rx.stats().pulses_in);
+}
+
+TEST(Receiver, WeakLinkLosesEvents) {
+  const auto ev = make_events(200, 1e-3, 15);
+  uwb::ModulatorConfig mod;
+  mod.shape.amplitude_v = 0.5;
+  const auto train = uwb::modulate_datc(ev, mod);
+  uwb::ChannelConfig ch;
+  ch.distance_m = 50.0;  // absurdly far for a body-area link
+  ch.path_loss_exponent = 3.0;
+  dsp::Rng rng(9);
+  const auto prop = uwb::propagate(train, ch, rng);
+  uwb::UwbReceiverConfig rxc;
+  rxc.modulator = mod;
+  uwb::UwbReceiver rx(rxc, ch, dsp::Rng(10));
+  const auto decoded = rx.decode(prop.received);
+  EXPECT_LT(decoded.size(), 150u);
+}
+
+TEST(Receiver, MarkerOnlyModeForAtc) {
+  const auto ev = make_events(30, 1e-3, 0);
+  uwb::ModulatorConfig mod;
+  mod.shape.amplitude_v = 0.5;
+  const auto train = uwb::modulate_atc(ev, mod);
+  const auto ch = strong_link();
+  dsp::Rng rng(1);
+  const auto prop = uwb::propagate(train, ch, rng);
+  uwb::UwbReceiverConfig rxc;
+  rxc.modulator = mod;
+  rxc.decode_codes = false;
+  uwb::UwbReceiver rx(rxc, ch, dsp::Rng(2));
+  EXPECT_EQ(rx.decode(prop.received).size(), 30u);
+}
+
+TEST(Aer, MergePreservesEventsAndAddresses) {
+  std::vector<core::EventStream> chans(3);
+  chans[0].add(0.010, 5);
+  chans[1].add(0.020, 6);
+  chans[2].add(0.030, 7);
+  uwb::AerStats stats;
+  const auto merged = uwb::aer_merge(chans, uwb::AerConfig{}, &stats);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(stats.sent, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+  const auto split = uwb::aer_split(merged, 3);
+  EXPECT_EQ(split[0].size(), 1u);
+  EXPECT_EQ(split[1][0].vth_code, 6u);
+}
+
+TEST(Aer, ArbitrationDelaysCollisions) {
+  std::vector<core::EventStream> chans(2);
+  chans[0].add(0.010, 1);
+  chans[1].add(0.010, 2);  // simultaneous
+  uwb::AerConfig cfg;
+  cfg.min_spacing_s = 1e-3;
+  uwb::AerStats stats;
+  const auto merged = uwb::aer_merge(chans, cfg, &stats);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_NEAR(merged[1].time_s - merged[0].time_s, 1e-3, 1e-12);
+  EXPECT_GT(stats.max_delay_s, 0.0);
+}
+
+TEST(Aer, DropsBeyondLatencyBudget) {
+  std::vector<core::EventStream> chans(1);
+  for (int i = 0; i < 100; ++i) chans[0].add(0.010, 0);  // burst
+  uwb::AerConfig cfg;
+  cfg.min_spacing_s = 1e-3;
+  cfg.max_queue_delay_s = 5e-3;
+  uwb::AerStats stats;
+  const auto merged = uwb::aer_merge(chans, cfg, &stats);
+  EXPECT_LT(merged.size(), 100u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_EQ(stats.sent + stats.dropped, 100u);
+}
+
+TEST(Aer, AddressSpaceValidation) {
+  std::vector<core::EventStream> chans(9);
+  uwb::AerConfig cfg;
+  cfg.address_bits = 3;  // max 8 channels
+  EXPECT_THROW((void)uwb::aer_merge(chans, cfg), std::invalid_argument);
+  EXPECT_EQ(uwb::aer_symbols_per_event(cfg, 4), 8u);  // 1 + 3 + 4
+}
+
+TEST(EventStream, HelpersBehave) {
+  core::EventStream ev;
+  ev.add(0.3, 1, 2);
+  ev.add(0.1, 2, 1);
+  EXPECT_FALSE(ev.is_time_sorted());
+  ev.sort_by_time();
+  EXPECT_TRUE(ev.is_time_sorted());
+  EXPECT_EQ(ev.count_in(0.0, 0.2), 1u);
+  EXPECT_DOUBLE_EQ(ev.mean_rate_hz(2.0), 1.0);
+  const auto ch1 = ev.channel_slice(1);
+  ASSERT_EQ(ch1.size(), 1u);
+  EXPECT_DOUBLE_EQ(ch1[0].time_s, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// The simulated packet-based baseline system: CRC-16, framing, bit
+// channel, SFD hunt and waveform recovery.
+
+#include "uwb/packet_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emg/dataset.hpp"
+#include "uwb/energy.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+std::vector<bool> bits_of(std::initializer_list<int> v) {
+  std::vector<bool> out;
+  for (const int b : v) out.push_back(b != 0);
+  return out;
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE of ASCII "123456789" is 0x29B1.
+  std::vector<bool> bits;
+  for (const char c : std::string("123456789")) {
+    for (int b = 7; b >= 0; --b) bits.push_back((c >> b) & 1);
+  }
+  EXPECT_EQ(uwb::crc16_ccitt(bits), 0x29B1);
+}
+
+TEST(Crc16, DetectsSingleBitFlips) {
+  auto bits = bits_of({1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0});
+  const auto good = uwb::crc16_ccitt(bits);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = !bits[i];
+    EXPECT_NE(uwb::crc16_ccitt(bits), good) << "flip at " << i;
+    bits[i] = !bits[i];
+  }
+}
+
+TEST(PacketBaseline, FrameBitLayout) {
+  uwb::PacketBaselineConfig cfg;
+  uwb::Frame f;
+  f.seq = 7;
+  f.samples = {0xABC, 0x123};
+  const auto bits = f.to_bits(cfg);
+  // SFD(8) + id(8) + seq(8) + 2*12 + crc(16).
+  EXPECT_EQ(bits.size(), 8u + 8u + 8u + 24u + 16u);
+  // SFD is the first byte, MSB first (0xA7 = 10100111).
+  const auto sfd = bits_of({1, 0, 1, 0, 0, 1, 1, 1});
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(bits[i], sfd[i]);
+}
+
+TEST(PacketBaseline, PacketizeCountsMatchPaperAccounting) {
+  emg::RecordingSpec spec;
+  spec.seed = 3;
+  spec.duration_s = 20.0;
+  const auto rec = emg::make_recording(spec);
+  uwb::PacketBaselineConfig cfg;
+  const auto tx = uwb::packetize(rec.emg_v, cfg);
+  // 50 000 samples x 12 bits payload = the paper's 600 000 symbols.
+  EXPECT_EQ(tx.payload_bits, 600000u);
+  EXPECT_EQ(tx.frames.size(), 3125u);  // 50 000 / 16
+  EXPECT_GT(tx.total_bits, tx.payload_bits);
+}
+
+uwb::ChannelConfig strong_channel() {
+  uwb::ChannelConfig ch;
+  ch.distance_m = 0.3;
+  ch.ref_loss_db = 30.0;
+  return ch;
+}
+
+TEST(PacketBaseline, CleanChannelRecoversEverything) {
+  emg::RecordingSpec spec;
+  spec.seed = 5;
+  spec.duration_s = 4.0;
+  const auto rec = emg::make_recording(spec);
+  uwb::PacketBaselineConfig cfg;
+  uwb::PulseShapeConfig shape;
+  shape.amplitude_v = 0.5;
+  dsp::Rng rng(9);
+  uwb::EnergyDetectorConfig det;
+  // "Clean" here means the detector is not the limit: with ~72k zero
+  // slots in flight even the default 1e-6 false-alarm rate corrupts the
+  // odd frame, which is the lossy test's job to exercise.
+  det.false_alarm_prob = 1e-12;
+  const auto score = uwb::run_packet_baseline(
+      rec.emg_v, cfg, det, strong_channel(), shape, rng);
+  EXPECT_EQ(score.rx.frames_crc_fail, 0u);
+  EXPECT_EQ(score.rx.frames_lost_sync, 0u);
+  EXPECT_EQ(score.rx.frames_ok, score.rx.frames_sent);
+  // 12-bit quantisation of the waveform: essentially perfect envelope.
+  EXPECT_GT(score.correlation_pct, 99.0);
+}
+
+TEST(PacketBaseline, ErasuresKillFramesGracefully) {
+  emg::RecordingSpec spec;
+  spec.seed = 6;
+  spec.duration_s = 4.0;
+  const auto rec = emg::make_recording(spec);
+  uwb::PacketBaselineConfig cfg;
+  uwb::PulseShapeConfig shape;
+  shape.amplitude_v = 0.5;
+  auto ch = strong_channel();
+  ch.erasure_prob = 0.002;  // 0.2 % pulse loss -> ~30 % of 232-bit frames hit
+  dsp::Rng rng(10);
+  const auto score = uwb::run_packet_baseline(
+      rec.emg_v, cfg, uwb::EnergyDetectorConfig{}, ch, shape, rng);
+  EXPECT_GT(score.rx.frames_crc_fail + score.rx.frames_lost_sync, 0u);
+  EXPECT_LT(score.rx.frames_ok, score.rx.frames_sent);
+  // Sample-and-hold across lost frames still tracks the envelope.
+  EXPECT_GT(score.correlation_pct, 80.0);
+}
+
+TEST(PacketBaseline, CrcCatchesChannelErrors) {
+  // With bit errors present, no corrupted frame may pass as OK: flip a
+  // payload bit manually and confirm the CRC path rejects it.
+  uwb::PacketBaselineConfig cfg;
+  uwb::Frame f;
+  f.seq = 1;
+  f.samples.assign(cfg.samples_per_packet, 0x555);
+  auto bits = f.to_bits(cfg);
+  bits[20] = !bits[20];  // corrupt payload
+  std::vector<bool> body(bits.begin() + 8, bits.end() - 16);
+  std::uint16_t rx_crc = 0;
+  for (std::size_t i = bits.size() - 16; i < bits.size(); ++i) {
+    rx_crc = static_cast<std::uint16_t>((rx_crc << 1) | (bits[i] ? 1 : 0));
+  }
+  EXPECT_NE(uwb::crc16_ccitt(body), rx_crc);
+}
+
+TEST(TxEnergy, EventSchemesBeatPacketBaseline) {
+  const uwb::TxEnergyConfig cfg;
+  const Real duration = 20.0;
+  // Paper-scale numbers: ATC 3183 pulses, D-ATC 18620, packets 600k bits.
+  const auto atc = uwb::event_tx_energy(3183, duration, cfg, false);
+  const auto datc = uwb::event_tx_energy(18620, duration, cfg, true);
+  const auto pkt = uwb::packet_tx_energy(600000, duration, cfg);
+  EXPECT_LT(atc.total_j, datc.total_j);
+  EXPECT_LT(datc.total_j, pkt.total_j / 10.0);
+  EXPECT_GT(datc.average_power_w(duration), 0.0);
+}
+
+TEST(TxEnergy, Validation) {
+  const uwb::TxEnergyConfig cfg;
+  EXPECT_THROW((void)uwb::event_tx_energy(1, 0.0, cfg, false),
+               std::invalid_argument);
+  EXPECT_THROW((void)uwb::packet_tx_energy(1, 1.0, cfg, 2.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// datc — command-line front end to the library.
+//
+//   datc generate --seed N --gain G --duration S --out sig.csv
+//       synthesise a grip-protocol sEMG recording (CSV: time_s,emg_v)
+//   datc encode   --in sig.csv --scheme datc|atc --vth V --out events.csv
+//       run a transmitter over a recording
+//   datc reconstruct --events events.csv --duration S [--truth sig.csv]
+//       rebuild the force envelope; prints correlation when truth given
+//   datc table1
+//       print the DTC synthesis report
+//
+// All I/O is CSV so results pipe straight into plotting tools.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/atc_encoder.hpp"
+#include "core/datc_encoder.hpp"
+#include "core/event_io.hpp"
+#include "core/reconstruct.hpp"
+#include "dsp/envelope.hpp"
+#include "dsp/stats.hpp"
+#include "emg/dataset.hpp"
+#include "synth/report.hpp"
+
+using namespace datc;
+using dsp::Real;
+
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got " + key);
+    }
+    args[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+Real arg_num(const Args& a, const std::string& key, Real fallback) {
+  const auto it = a.find(key);
+  return it == a.end() ? fallback : std::stod(it->second);
+}
+
+std::string arg_str(const Args& a, const std::string& key,
+                    const std::string& fallback) {
+  const auto it = a.find(key);
+  return it == a.end() ? fallback : it->second;
+}
+
+bool write_signal_csv(const std::string& path, const dsp::TimeSeries& sig) {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << "time_s,emg_v\n";
+  f.precision(10);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    f << sig.time_of(i) << ',' << sig[i] << '\n';
+  }
+  return f.good();
+}
+
+dsp::TimeSeries read_signal_csv(const std::string& path) {
+  std::ifstream f(path);
+  dsp::require(f.good(), "cannot open " + path);
+  std::string line;
+  dsp::require(static_cast<bool>(std::getline(f, line)), "empty file");
+  std::vector<Real> t;
+  std::vector<Real> v;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string a;
+    std::string b;
+    dsp::require(static_cast<bool>(std::getline(row, a, ',')) &&
+                     static_cast<bool>(std::getline(row, b, ',')),
+                 "bad row: " + line);
+    t.push_back(std::stod(a));
+    v.push_back(std::stod(b));
+  }
+  dsp::require(t.size() >= 2, "need at least two samples");
+  const Real fs = 1.0 / (t[1] - t[0]);
+  return dsp::TimeSeries(std::move(v), fs);
+}
+
+int cmd_generate(const Args& a) {
+  emg::RecordingSpec spec;
+  spec.seed = static_cast<std::uint64_t>(arg_num(a, "seed", 1.0));
+  spec.gain_v = arg_num(a, "gain", 0.35);
+  spec.duration_s = arg_num(a, "duration", 20.0);
+  spec.name = "cli";
+  const auto rec = emg::make_recording(spec);
+  const auto out = arg_str(a, "out", "signal.csv");
+  if (!write_signal_csv(out, rec.emg_v)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu samples (%.1f s, gain %.2f V) to %s\n",
+              rec.emg_v.size(), spec.duration_s, spec.gain_v, out.c_str());
+  return 0;
+}
+
+int cmd_encode(const Args& a) {
+  const auto sig = read_signal_csv(arg_str(a, "in", "signal.csv"));
+  const auto scheme = arg_str(a, "scheme", "datc");
+  const auto out = arg_str(a, "out", "events.csv");
+  core::EventStream events;
+  if (scheme == "datc") {
+    const auto r = core::encode_datc(sig, core::DatcEncoderConfig{});
+    events = r.events;
+  } else if (scheme == "atc") {
+    core::AtcEncoderConfig cfg;
+    cfg.threshold_v = arg_num(a, "vth", 0.3);
+    events = core::encode_atc(sig, cfg).events;
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s' (datc|atc)\n", scheme.c_str());
+    return 1;
+  }
+  if (!core::write_events_csv(out, events)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu events -> %s\n", scheme.c_str(), events.size(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_reconstruct(const Args& a) {
+  const auto events = core::read_events_csv(arg_str(a, "events", "events.csv"));
+  const Real duration = arg_num(a, "duration", 20.0);
+  core::RateCalibrationConfig cal_cfg;
+  cal_cfg.count_fs_hz = 2000.0;
+  const auto cal = std::make_shared<core::RateCalibration>(cal_cfg);
+  const core::DatcReconstructor rx(core::ReconstructionConfig{}, cal);
+  const auto est = rx.reconstruct(events, duration);
+  const auto out = arg_str(a, "out", "envelope.csv");
+  {
+    std::ofstream f(out);
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    f << "time_s,arv_v\n";
+    for (std::size_t i = 0; i < est.size(); ++i) {
+      f << static_cast<Real>(i) / 2500.0 << ',' << est[i] << '\n';
+    }
+  }
+  std::printf("reconstructed %zu envelope samples -> %s\n", est.size(),
+              out.c_str());
+  const auto truth_path = arg_str(a, "truth", "");
+  if (!truth_path.empty()) {
+    const auto sig = read_signal_csv(truth_path);
+    const auto truth = dsp::arv_envelope(sig.view(), sig.sample_rate_hz(),
+                                         0.25);
+    const std::size_t n = std::min(truth.size(), est.size());
+    std::printf("correlation vs %s: %.2f %%\n", truth_path.c_str(),
+                dsp::correlation_percent(
+                    std::span<const Real>(truth.data(), n),
+                    std::span<const Real>(est.data(), n)));
+  }
+  return 0;
+}
+
+int cmd_table1() {
+  std::vector<bool> stim(8000);
+  for (std::size_t i = 0; i < stim.size(); ++i) stim[i] = (i / 7) % 4 == 0;
+  const auto rep = synth::synthesize_dtc(core::DtcConfig{}, stim);
+  std::printf("%s", synth::format_table1(rep).c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: datc <generate|encode|reconstruct|table1> [--flag "
+               "value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const auto args = parse_args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "encode") return cmd_encode(args);
+    if (cmd == "reconstruct") return cmd_reconstruct(args);
+    if (cmd == "table1") return cmd_table1();
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "datc %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
