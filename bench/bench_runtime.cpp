@@ -1,0 +1,238 @@
+// Multi-channel encoding-engine throughput: the seed serial loop
+// (sim::EndToEnd::run_datc per channel — double encode, per-cycle trace
+// recording, per-pulse detection integrals) against runtime::PipelineRunner
+// (fused block encode into EventArenas, cached-detection receiver, thread
+// pool). The two paths are bit-identical per channel (asserted here and in
+// tests/runtime_pipeline_test.cpp), so the speedup is pure implementation.
+//
+// Emits BENCH_runtime.json next to the binary so CI tracks the trajectory.
+
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <fstream>
+
+#include "core/event_arena.hpp"
+#include "core/streaming.hpp"
+#include "runtime/pipeline_runner.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+constexpr std::size_t kChannels = 16;
+constexpr Real kDurationS = 20.0;
+
+const std::vector<emg::Recording>& workload() {
+  static const std::vector<emg::Recording> recs = [] {
+    std::vector<emg::Recording> out;
+    out.reserve(kChannels);
+    for (std::size_t i = 0; i < kChannels; ++i) {
+      emg::RecordingSpec spec;
+      spec.seed = 500 + i;
+      spec.duration_s = kDurationS;
+      // Log-spread gains across the dataset's subject range.
+      spec.gain_v = 0.16 * std::pow(0.85 / 0.16,
+                                    static_cast<Real>(i) /
+                                        static_cast<Real>(kChannels - 1));
+      spec.name = "bench-ch" + std::to_string(i);
+      out.push_back(emg::make_recording(spec));
+    }
+    return out;
+  }();
+  return recs;
+}
+
+runtime::RunnerConfig runner_config() {
+  runtime::RunnerConfig cfg;
+  cfg.link.seed = 7;
+  cfg.score_tx_side = true;
+  return cfg;
+}
+
+double run_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_runtime_table() {
+  bench::print_header(
+      "Multi-channel encoding engine",
+      "no paper counterpart - engine vs seed serial loop, bit-identical "
+      "outputs");
+
+  const auto& recs = workload();
+  std::printf("workload: %zu channels x %.0f s EMG (%.0f s total)\n",
+              recs.size(), kDurationS, kDurationS * recs.size());
+
+  const auto cfg = runner_config();
+  const sim::EndToEnd reference(cfg.eval, cfg.link);
+  runtime::PipelineRunner runner(cfg);
+
+  // Warm-up (first-touch of lazily built calibrations happens in ctors).
+  std::vector<sim::EndToEndResult> base_results;
+  const double baseline_ms = run_ms(
+      [&] { base_results = reference.run_datc_batch(recs, /*jobs=*/1); });
+
+  runtime::BatchReport serial_report;
+  const double engine_serial_ms =
+      run_ms([&] { serial_report = runner.run_serial(recs); });
+
+  const std::size_t jobs = runner.jobs();
+  runtime::BatchReport parallel_report;
+  const double engine_parallel_ms =
+      run_ms([&] { parallel_report = runner.run(recs); });
+
+  bool identical = true;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    identical = identical &&
+                base_results[i].rx_side.correlation_pct ==
+                    serial_report.channels[i].rx_correlation_pct &&
+                base_results[i].events_rx ==
+                    serial_report.channels[i].events_rx &&
+                serial_report.channels[i].rx_correlation_pct ==
+                    parallel_report.channels[i].rx_correlation_pct;
+  }
+
+  const double speedup_serial = baseline_ms / engine_serial_ms;
+  const double speedup_parallel = baseline_ms / engine_parallel_ms;
+  char pooled_label[32];
+  std::snprintf(pooled_label, sizeof pooled_label, "engine (%zu thread%s)",
+                jobs, jobs == 1 ? "" : "s");
+  std::printf("%-19s: %9.1f ms\n", "seed serial loop", baseline_ms);
+  std::printf("%-19s: %9.1f ms   (%.1fx)\n", "engine (1 thread)",
+              engine_serial_ms, speedup_serial);
+  std::printf("%-19s: %9.1f ms   (%.1fx)\n", pooled_label,
+              engine_parallel_ms, speedup_parallel);
+  std::printf("bit-identical outputs: %s\n", identical ? "yes" : "NO (BUG)");
+  std::printf("engine throughput  : %.0fx realtime\n",
+              parallel_report.throughput_x_realtime());
+
+  std::ofstream json("BENCH_runtime.json");
+  json << "{\n"
+       << "  \"channels\": " << recs.size() << ",\n"
+       << "  \"duration_s\": " << kDurationS << ",\n"
+       << "  \"baseline_ms\": " << baseline_ms << ",\n"
+       << "  \"engine_serial_ms\": " << engine_serial_ms << ",\n"
+       << "  \"engine_parallel_ms\": " << engine_parallel_ms << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"speedup_serial\": " << speedup_serial << ",\n"
+       << "  \"speedup_parallel\": " << speedup_parallel << ",\n"
+       << "  \"throughput_x_realtime\": "
+       << parallel_report.throughput_x_realtime() << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+}
+
+void bench_engine_16ch_serial(benchmark::State& state) {
+  const auto& recs = workload();
+  runtime::PipelineRunner runner(runner_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_serial(recs).channels.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(recs.size()));
+}
+BENCHMARK(bench_engine_16ch_serial)->Unit(benchmark::kMillisecond);
+
+void bench_engine_16ch_pooled(benchmark::State& state) {
+  const auto& recs = workload();
+  runtime::PipelineRunner runner(runner_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(recs).channels.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(recs.size()));
+}
+BENCHMARK(bench_engine_16ch_pooled)->Unit(benchmark::kMillisecond);
+
+void bench_seed_serial_4ch(benchmark::State& state) {
+  // Seed path on a quarter workload (it is ~12x slower per channel).
+  const auto& recs = workload();
+  const std::span<const emg::Recording> quarter(recs.data(), 4);
+  const auto cfg = runner_config();
+  const sim::EndToEnd reference(cfg.eval, cfg.link);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference.run_datc_batch(quarter, 1).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(bench_seed_serial_4ch)->Unit(benchmark::kMillisecond);
+
+void bench_encode_block_arena(benchmark::State& state) {
+  // Fused block kernel into a reused arena (the engine's encode stage).
+  const auto& rec = workload().front();
+  core::EventArena arena;
+  const core::DatcEncoderConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_datc_events(rec.emg_v, cfg, arena));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rec.emg_v.size()));
+}
+BENCHMARK(bench_encode_block_arena)->Unit(benchmark::kMillisecond);
+
+void bench_streaming_push_function_sink(benchmark::State& state) {
+  // The historical per-sample path through a std::function sink.
+  const auto& rec = workload().front();
+  const core::DatcEncoderConfig cfg;
+  for (auto _ : state) {
+    std::size_t count = 0;
+    core::StreamingDatcEncoder enc(
+        cfg, rec.emg_v.sample_rate_hz(),
+        [&count](const core::Event&) { ++count; });
+    for (const Real v : rec.emg_v.samples()) enc.push(v);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rec.emg_v.size()));
+}
+BENCHMARK(bench_streaming_push_function_sink)->Unit(benchmark::kMillisecond);
+
+void bench_streaming_block_arena_sink(benchmark::State& state) {
+  // Same record through the templated block path into an arena.
+  const auto& rec = workload().front();
+  const core::DatcEncoderConfig cfg;
+  core::EventArena arena(4096);
+  for (auto _ : state) {
+    arena.clear();
+    core::StreamingDatcEncoderT<core::ArenaSink> enc(
+        cfg, rec.emg_v.sample_rate_hz(), core::ArenaSink{&arena});
+    enc.push_block(rec.emg_v.view());
+    benchmark::DoNotOptimize(arena.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rec.emg_v.size()));
+}
+BENCHMARK(bench_streaming_block_arena_sink)->Unit(benchmark::kMillisecond);
+
+void bench_dtc_step_loop(benchmark::State& state) {
+  core::Dtc dtc;
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtc.step((k++ / 3) % 4 == 0).set_vth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bench_dtc_step_loop);
+
+void bench_dtc_run_frames(benchmark::State& state) {
+  core::Dtc dtc;
+  std::vector<std::uint8_t> bits(8000);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (i / 3) % 4 == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtc.run_frames(bits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(bench_dtc_run_frames);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_runtime_table)

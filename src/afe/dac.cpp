@@ -29,6 +29,14 @@ Real Dac::voltage(unsigned code) const {
   return ideal + inl_v_[code];
 }
 
+std::vector<Real> Dac::voltage_table() const {
+  std::vector<Real> table(max_code_ + 1u);
+  for (unsigned code = 0; code <= max_code_; ++code) {
+    table[code] = voltage(code);
+  }
+  return table;
+}
+
 Real Dac::lsb() const {
   return config_.vref / static_cast<Real>(1u << config_.bits);
 }

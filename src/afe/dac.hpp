@@ -28,6 +28,10 @@ class Dac {
   /// Output voltage for a code; codes clamp to [0, 2^bits - 1].
   [[nodiscard]] Real voltage(unsigned code) const;
 
+  /// All 2^bits output voltages (INL included) — the block-mode encoders
+  /// index this table instead of recomputing the DAC law per clock cycle.
+  [[nodiscard]] std::vector<Real> voltage_table() const;
+
   [[nodiscard]] unsigned max_code() const { return max_code_; }
   [[nodiscard]] unsigned bits() const { return config_.bits; }
   [[nodiscard]] Real lsb() const;

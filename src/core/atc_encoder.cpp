@@ -14,6 +14,9 @@ AtcResult encode_atc(const dsp::TimeSeries& emg_v,
   AtcResult out;
   const auto& x = emg_v.samples();
   if (x.empty()) return out;
+  // Crossings are bounded by half the sample count but are far sparser in
+  // practice; this keeps typical records to a single allocation.
+  out.events.reserve(x.size() / 64 + 8);
 
   const Real fs = emg_v.sample_rate_hz();
   const Real arm_level = config.threshold_v - config.hysteresis_v;

@@ -1,0 +1,92 @@
+#pragma once
+// Fused block-mode D-ATC encode kernel. One template instantiation runs
+// comparator + DTC + event emission for a span of clock cycles with every
+// hot register (In_reg, the edge detector, the ones counter, the hysteresis
+// state) held in locals, the DAC law replaced by a precomputed table, and
+// the frame-boundary bookkeeping hoisted out of the per-cycle loop — the
+// threshold code is constant between frame boundaries, so each chunk runs
+// against a fixed comparison level.
+//
+// The arithmetic is expression-for-expression identical to the reference
+// paths (encode_datc / StreamingDatcEncoder::push), so the emitted events
+// are bit-identical; tests assert this. Callers must route stochastic
+// comparators (metastable_prob > 0) through the per-cycle reference path —
+// the kernel only models the deterministic offset + hysteresis rule.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "afe/comparator.hpp"
+#include "core/datc_encoder.hpp"
+#include "core/dtc.hpp"
+
+namespace datc::core::detail {
+
+/// Runs cycles k in [k_begin, k_end) while the clock instant (in analog
+/// sample coordinates) stays <= pos_limit. `sample_at(pos)` returns the
+/// un-rectified analog value at that instant; `emit(t_k, code)` is called
+/// for each transmitted event with the code in effect when it fired.
+/// Returns the first cycle index NOT processed.
+template <class SampleAt, class Emit>
+std::size_t run_datc_block(Dtc& dtc, afe::Comparator& comparator,
+                           const DatcEncoderConfig& config,
+                           std::span<const Real> dac_table,
+                           std::size_t k_begin, std::size_t k_end,
+                           Real pos_limit, Real analog_fs_hz,
+                           SampleAt&& sample_at, Emit&& emit) {
+  DtcCursor cur = dtc.block_cursor();
+  bool cmp_last = comparator.last_decision();
+
+  const Real clock_hz = config.clock_hz;
+  const Real offset_v = config.comparator.offset_v;
+  const Real half_hyst = config.comparator.hysteresis_v / 2.0;
+  const bool rectify = config.rectify_input;
+  const unsigned flen = dtc.frame_len();
+
+  std::size_t k = k_begin;
+  bool past_limit = false;
+  while (k < k_end && !past_limit) {
+    // Threshold level fixed until the next frame boundary.
+    const Real vth = dac_table[cur.set_vth];
+    const Real level_hi = vth + half_hyst;  // switching level when last == 0
+    const Real level_lo = vth - half_hyst;  // switching level when last == 1
+    const auto code = static_cast<std::uint8_t>(cur.set_vth);
+
+    const std::size_t chunk =
+        std::min<std::size_t>(k_end - k, flen - cur.cycle_in_frame);
+    bool in_reg = cur.in_reg;
+    bool d_out_prev = cur.d_out_prev;
+    std::uint32_t counter = cur.counter;
+    std::uint32_t done = 0;
+    for (; done < chunk; ++done, ++k) {
+      const Real t_k = static_cast<Real>(k) / clock_hz;
+      const Real pos = t_k * analog_fs_hz;
+      if (pos > pos_limit) {
+        past_limit = true;
+        break;
+      }
+      Real v = sample_at(pos);
+      if (rectify) v = std::abs(v);
+      const bool d_in = (v + offset_v) > (cmp_last ? level_lo : level_hi);
+      cmp_last = d_in;
+      const bool d_out = in_reg;
+      if (d_out && !d_out_prev) emit(t_k, code);
+      counter += d_out;
+      d_out_prev = d_out;
+      in_reg = d_in;
+    }
+    cur.in_reg = in_reg;
+    cur.d_out_prev = d_out_prev;
+    cur.counter = counter;
+    cur.cycle_in_frame += done;
+    if (cur.cycle_in_frame >= flen) dtc.finish_frame(cur);
+  }
+
+  dtc.restore_cursor(cur);
+  comparator.set_last_decision(cmp_last);
+  return k;
+}
+
+}  // namespace datc::core::detail

@@ -1,6 +1,10 @@
 #include "core/datc_encoder.hpp"
 
 #include <cmath>
+#include <limits>
+
+#include "core/datc_block.hpp"
+#include "core/event_arena.hpp"
 
 namespace datc::core {
 
@@ -32,6 +36,11 @@ DatcResult encode_datc(const dsp::TimeSeries& emg_v,
   out.num_cycles = num_cycles;
   out.trace.d_out.reserve(num_cycles);
   out.trace.set_vth.reserve(num_cycles);
+  const std::size_t frame_len = frame_cycles(config.dtc.frame);
+  out.trace.frame_ones.reserve(num_cycles / frame_len + 1);
+  out.trace.frame_vth.reserve(num_cycles / frame_len + 1);
+  // Generous for realistic duty cycles (events fire well below clock/8).
+  out.events.reserve(num_cycles / 8 + 16);
 
   for (std::size_t k = 0; k < num_cycles; ++k) {
     const Real t = static_cast<Real>(k) / config.clock_hz;
@@ -56,6 +65,57 @@ DatcResult encode_datc(const dsp::TimeSeries& emg_v,
     }
   }
   return out;
+}
+
+std::size_t encode_datc_events(const dsp::TimeSeries& emg_v,
+                               const DatcEncoderConfig& config,
+                               EventArena& arena) {
+  dsp::require(config.clock_hz > 0.0,
+               "encode_datc_events: clock must be positive");
+  arena.clear();
+  if (emg_v.empty()) return 0;
+
+  const auto num_cycles = static_cast<std::size_t>(
+      std::floor(emg_v.duration_s() * config.clock_hz));
+  arena.reserve(num_cycles / 8 + 16);
+
+  Dtc dtc(config.dtc);
+  afe::Dac dac(afe::DacConfig{config.dtc.dac_bits, config.dac_vref});
+  afe::Comparator comparator(config.comparator);
+
+  if (!comparator.is_deterministic()) {
+    // Stochastic comparator: the reference per-cycle path is authoritative.
+    auto result = encode_datc(emg_v, config);
+    for (const auto& e : result.events.events()) arena.push(e);
+    return arena.size();
+  }
+
+  const auto dac_table = dac.voltage_table();
+  const Real fs = emg_v.sample_rate_hz();
+  const Real* x = emg_v.samples().data();
+  const std::size_t n = emg_v.size();
+  const Real last = static_cast<Real>(n - 1);
+  // Same clamped interpolation as TimeSeries::at_time, inlined over the
+  // raw array (the kernel feeds `pos` = t * fs directly).
+  const auto sample_at = [x, n, last](Real pos) -> Real {
+    if (pos <= 0.0) return x[0];
+    if (pos >= last) return x[n - 1];
+    const auto i0 = static_cast<std::size_t>(pos);
+    const Real frac = pos - static_cast<Real>(i0);
+    return x[i0] + frac * (x[i0 + 1] - x[i0]);
+  };
+  detail::run_datc_block(
+      dtc, comparator, config, dac_table, 0, num_cycles,
+      std::numeric_limits<Real>::infinity(), fs, sample_at,
+      [&arena](Real t, std::uint8_t code) { arena.push(Event{t, code, 0}); });
+  return arena.size();
+}
+
+EventStream encode_datc_events(const dsp::TimeSeries& emg_v,
+                               const DatcEncoderConfig& config) {
+  EventArena arena;
+  encode_datc_events(emg_v, config, arena);
+  return arena.take_stream();
 }
 
 }  // namespace datc::core

@@ -51,4 +51,19 @@ struct DatcResult {
 [[nodiscard]] DatcResult encode_datc(const dsp::TimeSeries& emg_v,
                                      const DatcEncoderConfig& config);
 
+class EventArena;
+
+/// Events-only fast path: the fused block kernel (datc_block.hpp) with no
+/// per-cycle trace recording. Emits into `arena` (cleared first; storage is
+/// reused across records) and returns the event count. The emitted events
+/// are bit-identical to encode_datc(...).events — asserted by tests.
+/// Falls back to the per-cycle reference path for stochastic comparators.
+std::size_t encode_datc_events(const dsp::TimeSeries& emg_v,
+                               const DatcEncoderConfig& config,
+                               EventArena& arena);
+
+/// Convenience overload returning a fresh EventStream.
+[[nodiscard]] EventStream encode_datc_events(const dsp::TimeSeries& emg_v,
+                                             const DatcEncoderConfig& config);
+
 }  // namespace datc::core

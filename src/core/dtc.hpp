@@ -14,6 +14,7 @@
 // simulation outputs").
 
 #include <cstdint>
+#include <span>
 
 #include "core/frame.hpp"
 #include "core/interval_table.hpp"
@@ -41,12 +42,46 @@ struct DtcStep {
   unsigned set_vth{0};       ///< DAC code in effect *after* this cycle
 };
 
+/// Snapshot of the per-cycle registers, used by the block-mode hot paths
+/// to keep the inner loop's state in locals (registers) instead of
+/// bouncing through the object on every cycle.
+struct DtcCursor {
+  bool in_reg{false};
+  bool d_out_prev{false};
+  std::uint32_t counter{0};
+  std::uint32_t cycle_in_frame{0};
+  unsigned set_vth{1};
+};
+
 class Dtc {
  public:
   explicit Dtc(const DtcConfig& config = {});
 
   /// Advance one clock cycle with the sampled comparator level.
   DtcStep step(bool d_in);
+
+  /// Block path: clock the DTC through `d_in.size()` precomputed comparator
+  /// bits in one call. Bit-identical to calling step() per cycle, but the
+  /// inner loop keeps the registers in locals and hoists the frame-boundary
+  /// bookkeeping out of the per-cycle path. When `events_out` is non-null it
+  /// receives one flag byte per cycle (1 = transmit event). Returns the
+  /// number of events. Frames may straddle calls; state carries over.
+  std::size_t run_frames(std::span<const std::uint8_t> d_in,
+                         std::uint8_t* events_out = nullptr);
+
+  // --- block-mode register access (hot paths; see datc_block.hpp) ---
+
+  /// Cycles per frame for the configured FrameSize.
+  [[nodiscard]] unsigned frame_len() const { return frame_len_; }
+  /// Snapshot the per-cycle registers.
+  [[nodiscard]] DtcCursor block_cursor() const;
+  /// Write a cursor back into the registers (end of a block run).
+  void restore_cursor(const DtcCursor& cur);
+  /// Frame boundary in block mode: runs the predictor / interval-table
+  /// update with cur.counter (exactly what step() does at end-of-frame),
+  /// writes the newly selected level into cur.set_vth and zeroes the frame
+  /// counters. The three-frame history lives in the Dtc itself.
+  void finish_frame(DtcCursor& cur);
 
   /// Synchronous reset (the RST pin).
   void reset();

@@ -1,0 +1,60 @@
+#pragma once
+// Preallocated, contiguous event storage for the block-mode hot paths.
+// One arena per channel: the encoding engine sizes it once from the record
+// length and appends events with no per-event allocation and no type
+// erasure (the arena itself is the sink object passed to the templated
+// streaming encoders, so the emit call inlines into the encode loop).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/events.hpp"
+
+namespace datc::core {
+
+class EventArena {
+ public:
+  EventArena() = default;
+  explicit EventArena(std::size_t capacity) { events_.reserve(capacity); }
+
+  /// Sink interface: the templated encoders call the arena directly.
+  void operator()(const Event& e) { events_.push_back(e); }
+
+  void push(const Event& e) { events_.push_back(e); }
+
+  /// Grow capacity without touching contents (idempotent if large enough).
+  void reserve(std::size_t capacity) { events_.reserve(capacity); }
+
+  /// Drop the events, keep the allocation — per-record reuse in batch runs.
+  void clear() { events_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return events_.capacity(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] const Event& operator[](std::size_t i) const {
+    return events_[i];
+  }
+
+  /// Copy into an EventStream (arena keeps its contents and allocation).
+  [[nodiscard]] EventStream to_stream() const { return EventStream(events_); }
+
+  /// Move the events out as an EventStream; the arena is left empty with
+  /// no reserved storage.
+  [[nodiscard]] EventStream take_stream() {
+    return EventStream(std::move(events_));
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Lightweight sink adaptor appending into an external arena. Passing this
+/// (one pointer) by value keeps the encoder templates cheap to move while
+/// the arena's storage stays owned by the caller.
+struct ArenaSink {
+  EventArena* arena{nullptr};
+  void operator()(const Event& e) const { arena->push(e); }
+};
+
+}  // namespace datc::core

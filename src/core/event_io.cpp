@@ -1,5 +1,6 @@
 #include "core/event_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -107,6 +108,11 @@ EventStream read_events_binary(std::istream& is) {
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   dsp::require(is.good(), "read_events_binary: truncated header");
   EventStream out;
+  // The header carries the exact count; a single allocation serves the
+  // whole stream. Clamp the pre-allocation so a corrupt count cannot
+  // trigger a huge reserve before the read loop hits EOF.
+  out.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      count, 1u << 22)));
   for (std::uint64_t i = 0; i < count; ++i) {
     Real t = 0.0;
     std::uint8_t code = 0;

@@ -28,6 +28,14 @@ class EventStream {
     events_.push_back(Event{time_s, vth_code, channel});
   }
 
+  /// Preallocate storage for `n` events (batch paths size this from the
+  /// record length so encoding never reallocates mid-stream).
+  void reserve(std::size_t n) { events_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const { return events_.capacity(); }
+
+  /// Surrender the underlying storage (move-out for arena/stream handoff).
+  [[nodiscard]] std::vector<Event> take() { return std::move(events_); }
+
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] bool empty() const { return events_.empty(); }

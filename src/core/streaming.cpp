@@ -1,125 +1,10 @@
 #include "core/streaming.hpp"
 
-#include <cmath>
-
 namespace datc::core {
 
-StreamingDatcEncoder::StreamingDatcEncoder(const DatcEncoderConfig& config,
-                                           Real analog_fs_hz, EventSink sink)
-    : config_(config),
-      analog_fs_hz_(analog_fs_hz),
-      sink_(std::move(sink)),
-      dtc_(config.dtc),
-      dac_(afe::DacConfig{config.dtc.dac_bits, config.dac_vref}),
-      comparator_(config.comparator) {
-  dsp::require(analog_fs_hz_ > 0.0,
-               "StreamingDatcEncoder: analog rate must be positive");
-  dsp::require(config_.clock_hz > 0.0,
-               "StreamingDatcEncoder: clock must be positive");
-  dsp::require(sink_ != nullptr, "StreamingDatcEncoder: null sink");
-}
-
-void StreamingDatcEncoder::push(Real sample_v) {
-  if (samples_seen_ == 0) {
-    prev_sample_ = sample_v;
-    samples_seen_ = 1;
-    run_clock_until(0.0, sample_v);
-    return;
-  }
-  // The newly covered interpolation interval is [n-1, n] in analog-sample
-  // coordinates, where n is this sample's index.
-  run_clock_until(static_cast<Real>(samples_seen_), sample_v);
-  prev_sample_ = sample_v;
-  ++samples_seen_;
-}
-
-void StreamingDatcEncoder::run_clock_until(Real upper_pos, Real cur_sample) {
-  // pos is the clock instant in analog-sample coordinates — the same
-  // quantity TimeSeries::at_time computes in the batch encoder, so the
-  // streaming path is bit-identical to encode_datc.
-  while (true) {
-    const Real t_k = static_cast<Real>(cycles_) / config_.clock_hz;
-    const Real pos = t_k * analog_fs_hz_;
-    if (pos > upper_pos) break;
-    Real v;
-    if (pos >= upper_pos) {
-      v = cur_sample;  // lands exactly on the newest sample
-    } else {
-      const Real frac = pos - (upper_pos - 1.0);
-      v = prev_sample_ + frac * (cur_sample - prev_sample_);
-    }
-    if (config_.rectify_input) v = std::abs(v);
-    const unsigned code = dtc_.set_vth();
-    const bool d_in = comparator_.compare(v, dac_.voltage(code));
-    const DtcStep s = dtc_.step(d_in);
-    if (s.event) {
-      ++events_;
-      sink_(Event{t_k, static_cast<std::uint8_t>(code), 0});
-    }
-    ++cycles_;
-  }
-}
-
-void StreamingDatcEncoder::push_block(std::span<const Real> samples_v) {
-  for (const Real v : samples_v) push(v);
-}
-
-void StreamingDatcEncoder::reset() {
-  dtc_.reset();
-  comparator_.reset();
-  samples_seen_ = 0;
-  cycles_ = 0;
-  events_ = 0;
-  prev_sample_ = 0.0;
-}
-
-StreamingAtcEncoder::StreamingAtcEncoder(const AtcEncoderConfig& config,
-                                         Real analog_fs_hz, EventSink sink)
-    : config_(config), analog_fs_hz_(analog_fs_hz), sink_(std::move(sink)) {
-  dsp::require(config_.threshold_v > 0.0,
-               "StreamingAtcEncoder: threshold must be positive");
-  dsp::require(config_.hysteresis_v >= 0.0 &&
-                   config_.hysteresis_v < config_.threshold_v,
-               "StreamingAtcEncoder: hysteresis must lie in [0, threshold)");
-  dsp::require(analog_fs_hz_ > 0.0,
-               "StreamingAtcEncoder: analog rate must be positive");
-  dsp::require(sink_ != nullptr, "StreamingAtcEncoder: null sink");
-}
-
-void StreamingAtcEncoder::push(Real sample_v) {
-  const Real cur =
-      config_.rectify_input ? std::abs(sample_v) : sample_v;
-  const Real arm_level = config_.threshold_v - config_.hysteresis_v;
-  if (first_) {
-    first_ = false;
-    prev_ = cur;
-    armed_ = !(cur > config_.threshold_v);
-    ++samples_seen_;
-    return;
-  }
-  if (armed_ && prev_ <= config_.threshold_v && cur > config_.threshold_v) {
-    const Real frac = (config_.threshold_v - prev_) / (cur - prev_);
-    const Real t =
-        (static_cast<Real>(samples_seen_ - 1) + frac) / analog_fs_hz_;
-    ++events_;
-    sink_(Event{t, 0, 0});
-    armed_ = false;
-  }
-  if (!armed_ && cur < arm_level) armed_ = true;
-  prev_ = cur;
-  ++samples_seen_;
-}
-
-void StreamingAtcEncoder::push_block(std::span<const Real> samples_v) {
-  for (const Real v : samples_v) push(v);
-}
-
-void StreamingAtcEncoder::reset() {
-  samples_seen_ = 0;
-  events_ = 0;
-  prev_ = 0.0;
-  armed_ = true;
-  first_ = true;
-}
+// The type-erased std::function instantiations are compiled once here; any
+// other sink type instantiates inline at its point of use.
+template class StreamingDatcEncoderT<EventSink>;
+template class StreamingAtcEncoderT<EventSink>;
 
 }  // namespace datc::core

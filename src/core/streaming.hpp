@@ -1,39 +1,130 @@
 #pragma once
 // Real-time streaming front ends. The batch encoders in atc_encoder.hpp /
 // datc_encoder.hpp consume whole records (convenient for experiments);
-// these classes accept one analog sample at a time — the shape an
-// embedded integration needs — and emit events through a callback.
+// these classes accept analog samples — one at a time or in blocks — and
+// emit events through a sink.
+//
+// The sink is a template parameter, so a concrete callable (an EventArena,
+// a lambda, a ring-buffer writer) inlines straight into the encode loop
+// with no std::function dispatch on the event hot path. The historical
+// type-erased aliases (StreamingDatcEncoder / StreamingAtcEncoder over
+// std::function) remain for callers that need runtime-bound sinks.
 //
 // The D-ATC streamer handles the analog-rate / DTC-clock boundary
 // internally: analog samples arrive at `analog_fs_hz` while the DTC is
 // clocked at `clock_hz`, with linear interpolation at each clock instant
 // (the behaviour of the asynchronous comparator sampled by In_reg).
+// push_block() runs the fused block kernel (datc_block.hpp): frame-chunked
+// execution against a precomputed DAC table, bit-identical to push().
 
 #include <functional>
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <utility>
 
 #include "afe/comparator.hpp"
 #include "afe/dac.hpp"
 #include "core/atc_encoder.hpp"
+#include "core/datc_block.hpp"
 #include "core/datc_encoder.hpp"
 #include "core/dtc.hpp"
 #include "core/events.hpp"
 
 namespace datc::core {
 
-/// Callback fired on each transmitted event.
+/// Callback fired on each transmitted event (type-erased convenience).
 using EventSink = std::function<void(const Event&)>;
 
-/// Streaming D-ATC transmitter.
-class StreamingDatcEncoder {
+namespace detail {
+
+template <class Sink>
+void require_non_null_sink(const Sink& sink, const char* what) {
+  if constexpr (requires { sink == nullptr; }) {
+    dsp::require(!(sink == nullptr), what);
+  } else {
+    (void)sink;
+    (void)what;
+  }
+}
+
+}  // namespace detail
+
+/// Streaming D-ATC transmitter, parameterised on the event sink.
+template <class Sink>
+class StreamingDatcEncoderT {
  public:
-  StreamingDatcEncoder(const DatcEncoderConfig& config, Real analog_fs_hz,
-                       EventSink sink);
+  StreamingDatcEncoderT(const DatcEncoderConfig& config, Real analog_fs_hz,
+                        Sink sink)
+      : config_(config),
+        analog_fs_hz_(analog_fs_hz),
+        sink_(std::move(sink)),
+        dtc_(config.dtc),
+        dac_(afe::DacConfig{config.dtc.dac_bits, config.dac_vref}),
+        dac_table_(dac_.voltage_table()),
+        comparator_(config.comparator) {
+    dsp::require(analog_fs_hz_ > 0.0,
+                 "StreamingDatcEncoder: analog rate must be positive");
+    dsp::require(config_.clock_hz > 0.0,
+                 "StreamingDatcEncoder: clock must be positive");
+    detail::require_non_null_sink(sink_, "StreamingDatcEncoder: null sink");
+  }
 
   /// Push one analog sample (volts). May fire zero or more events.
-  void push(Real sample_v);
+  void push(Real sample_v) {
+    if (samples_seen_ == 0) {
+      prev_sample_ = sample_v;
+      samples_seen_ = 1;
+      run_clock_until(0.0, sample_v);
+      return;
+    }
+    // The newly covered interpolation interval is [n-1, n] in analog-sample
+    // coordinates, where n is this sample's index.
+    run_clock_until(static_cast<Real>(samples_seen_), sample_v);
+    prev_sample_ = sample_v;
+    ++samples_seen_;
+  }
 
-  /// Process a block of samples.
-  void push_block(std::span<const Real> samples_v);
+  /// Process a block of samples through the fused kernel: one chunk per DTC
+  /// frame with the threshold level and all hot registers in locals.
+  /// Bit-identical to calling push() per sample.
+  void push_block(std::span<const Real> samples_v) {
+    if (samples_v.empty()) return;
+    if (!comparator_.is_deterministic()) {
+      // Stochastic comparator decisions must consult the Rng per cycle.
+      for (const Real v : samples_v) push(v);
+      return;
+    }
+    std::size_t consumed = 0;
+    if (samples_seen_ == 0) {
+      push(samples_v[0]);  // bootstrap: runs the pos == 0 cycle
+      consumed = 1;
+      if (samples_v.size() == 1) return;
+    }
+    const Real* xb = samples_v.data() + consumed;
+    const std::size_t bn = samples_v.size() - consumed;
+    const std::size_t s0 = samples_seen_;  // global index of xb[0]
+    const Real prev = prev_sample_;        // global sample s0 - 1
+    const Real upper = static_cast<Real>(s0 + bn - 1);
+    const auto sample_at = [xb, bn, prev, s0](Real pos) -> Real {
+      const auto i0 = static_cast<std::size_t>(pos);
+      const std::size_t local = i0 - (s0 - 1);
+      if (local >= bn) return xb[bn - 1];  // pos lands on the newest sample
+      const Real a = local == 0 ? prev : xb[local - 1];
+      const Real b = xb[local];
+      const Real frac = pos - static_cast<Real>(i0);
+      return a + frac * (b - a);
+    };
+    cycles_ = detail::run_datc_block(
+        dtc_, comparator_, config_, dac_table_, cycles_,
+        std::numeric_limits<std::size_t>::max(), upper, analog_fs_hz_,
+        sample_at, [this](Real t, std::uint8_t code) {
+          ++events_;
+          sink_(Event{t, code, 0});
+        });
+    samples_seen_ = s0 + bn;
+    prev_sample_ = xb[bn - 1];
+  }
 
   /// Total clock cycles executed so far.
   [[nodiscard]] std::size_t cycles() const { return cycles_; }
@@ -42,46 +133,134 @@ class StreamingDatcEncoder {
   /// Current DAC code (diagnostics).
   [[nodiscard]] unsigned set_vth() const { return dtc_.set_vth(); }
 
+  [[nodiscard]] Sink& sink() { return sink_; }
+
   /// Reset to power-on state (keeps the sink).
-  void reset();
+  void reset() {
+    dtc_.reset();
+    comparator_.reset();
+    samples_seen_ = 0;
+    cycles_ = 0;
+    events_ = 0;
+    prev_sample_ = 0.0;
+  }
 
  private:
   DatcEncoderConfig config_;
   Real analog_fs_hz_;
-  EventSink sink_;
+  Sink sink_;
   Dtc dtc_;
   afe::Dac dac_;
+  std::vector<Real> dac_table_;
   afe::Comparator comparator_;
   std::size_t samples_seen_{0};
   std::size_t cycles_{0};
   std::size_t events_{0};
   Real prev_sample_{0.0};
 
-  void run_clock_until(Real upper_pos, Real cur_sample);
+  void run_clock_until(Real upper_pos, Real cur_sample) {
+    // pos is the clock instant in analog-sample coordinates — the same
+    // quantity TimeSeries::at_time computes in the batch encoder, so the
+    // streaming path is bit-identical to encode_datc.
+    while (true) {
+      const Real t_k = static_cast<Real>(cycles_) / config_.clock_hz;
+      const Real pos = t_k * analog_fs_hz_;
+      if (pos > upper_pos) break;
+      Real v;
+      if (pos >= upper_pos) {
+        v = cur_sample;  // lands exactly on the newest sample
+      } else {
+        const Real frac = pos - (upper_pos - 1.0);
+        v = prev_sample_ + frac * (cur_sample - prev_sample_);
+      }
+      if (config_.rectify_input) v = std::abs(v);
+      const unsigned code = dtc_.set_vth();
+      const bool d_in = comparator_.compare(v, dac_.voltage(code));
+      const DtcStep s = dtc_.step(d_in);
+      if (s.event) {
+        ++events_;
+        sink_(Event{t_k, static_cast<std::uint8_t>(code), 0});
+      }
+      ++cycles_;
+    }
+  }
 };
 
 /// Streaming fixed-threshold ATC transmitter (asynchronous crossings with
-/// interpolated timestamps, like the batch encoder).
-class StreamingAtcEncoder {
+/// interpolated timestamps, like the batch encoder), parameterised on the
+/// event sink.
+template <class Sink>
+class StreamingAtcEncoderT {
  public:
-  StreamingAtcEncoder(const AtcEncoderConfig& config, Real analog_fs_hz,
-                      EventSink sink);
+  StreamingAtcEncoderT(const AtcEncoderConfig& config, Real analog_fs_hz,
+                       Sink sink)
+      : config_(config), analog_fs_hz_(analog_fs_hz), sink_(std::move(sink)) {
+    dsp::require(config_.threshold_v > 0.0,
+                 "StreamingAtcEncoder: threshold must be positive");
+    dsp::require(config_.hysteresis_v >= 0.0 &&
+                     config_.hysteresis_v < config_.threshold_v,
+                 "StreamingAtcEncoder: hysteresis must lie in [0, threshold)");
+    dsp::require(analog_fs_hz_ > 0.0,
+                 "StreamingAtcEncoder: analog rate must be positive");
+    detail::require_non_null_sink(sink_, "StreamingAtcEncoder: null sink");
+  }
 
-  void push(Real sample_v);
-  void push_block(std::span<const Real> samples_v);
+  void push(Real sample_v) {
+    const Real cur = config_.rectify_input ? std::abs(sample_v) : sample_v;
+    const Real arm_level = config_.threshold_v - config_.hysteresis_v;
+    if (first_) {
+      first_ = false;
+      prev_ = cur;
+      armed_ = !(cur > config_.threshold_v);
+      ++samples_seen_;
+      return;
+    }
+    if (armed_ && prev_ <= config_.threshold_v && cur > config_.threshold_v) {
+      const Real frac = (config_.threshold_v - prev_) / (cur - prev_);
+      const Real t =
+          (static_cast<Real>(samples_seen_ - 1) + frac) / analog_fs_hz_;
+      ++events_;
+      sink_(Event{t, 0, 0});
+      armed_ = false;
+    }
+    if (!armed_ && cur < arm_level) armed_ = true;
+    prev_ = cur;
+    ++samples_seen_;
+  }
+
+  void push_block(std::span<const Real> samples_v) {
+    // One compare per sample: with the sink inlined this loop is already
+    // the branch-light form; no chunked variant needed.
+    for (const Real v : samples_v) push(v);
+  }
 
   [[nodiscard]] std::size_t events_emitted() const { return events_; }
-  void reset();
+  [[nodiscard]] Sink& sink() { return sink_; }
+
+  void reset() {
+    samples_seen_ = 0;
+    events_ = 0;
+    prev_ = 0.0;
+    armed_ = true;
+    first_ = true;
+  }
 
  private:
   AtcEncoderConfig config_;
   Real analog_fs_hz_;
-  EventSink sink_;
+  Sink sink_;
   std::size_t samples_seen_{0};
   std::size_t events_{0};
   Real prev_{0.0};
   bool armed_{true};
   bool first_{true};
 };
+
+/// Type-erased aliases (the historical API; sinks bind at runtime).
+using StreamingDatcEncoder = StreamingDatcEncoderT<EventSink>;
+using StreamingAtcEncoder = StreamingAtcEncoderT<EventSink>;
+
+extern template class StreamingDatcEncoderT<EventSink>;
+extern template class StreamingAtcEncoderT<EventSink>;
 
 }  // namespace datc::core

@@ -1,0 +1,87 @@
+#pragma once
+// Multi-channel, multi-threaded encoding engine: shards N independent EMG
+// channels across a thread pool and runs encode -> UWB link -> reconstruct
+// per channel through the block-mode hot paths (EventArena sink, fused
+// encode kernel, cached-detection receiver).
+//
+// Determinism contract: channel i draws from Rng(link.seed ^ i) and writes
+// only its own output slot, so the parallel run is bit-identical to the
+// serial run — and, because every fast path is proven bit-identical to its
+// reference (encode_datc, UwbReceiver reference decode), also to the seed
+// sim::EndToEnd pipeline with the same per-channel seeds. Tests assert
+// both properties.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "emg/dataset.hpp"
+#include "sim/end_to_end.hpp"  // LinkConfig + the reference pipeline
+
+namespace datc::runtime {
+
+using dsp::Real;
+
+struct RunnerConfig {
+  std::size_t jobs{0};        ///< worker threads; 0 = hardware concurrency
+  bool score_tx_side{true};   ///< also reconstruct/score the lossless stream
+  bool keep_rx_events{false}; ///< retain decoded events in the report
+  sim::EvalConfig eval{};
+  sim::LinkConfig link{};     ///< link.seed is the base seed (xor channel id)
+};
+
+/// Per-channel outcome of one batch run.
+struct ChannelReport {
+  std::uint32_t channel{0};
+  std::size_t events_tx{0};
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  std::size_t events_rx{0};
+  Real tx_correlation_pct{0.0};  ///< lossless-link score (0 when disabled)
+  Real rx_correlation_pct{0.0};  ///< over-the-air score
+  uwb::DecodeStats decode{};
+  core::EventStream rx_events;   ///< populated when keep_rx_events
+};
+
+struct BatchReport {
+  std::vector<ChannelReport> channels;
+  Real wall_seconds{0.0};           ///< processing time (synthesis excluded)
+  Real emg_seconds_processed{0.0};  ///< sum of channel durations
+
+  /// How many seconds of EMG the engine chews per wall second.
+  [[nodiscard]] Real throughput_x_realtime() const {
+    return wall_seconds > 0.0 ? emg_seconds_processed / wall_seconds : 0.0;
+  }
+};
+
+class ThreadPool;
+
+class PipelineRunner {
+ public:
+  explicit PipelineRunner(const RunnerConfig& config);
+  ~PipelineRunner();
+
+  /// Runs every recording as one channel (channel id = index), sharded
+  /// across the pool. Output is bit-identical to run_serial().
+  [[nodiscard]] BatchReport run(std::span<const emg::Recording> recordings);
+
+  /// Reference serial execution of the same per-channel pipeline.
+  [[nodiscard]] BatchReport run_serial(
+      std::span<const emg::Recording> recordings) const;
+
+  /// One channel of the fast pipeline (exposed for tests and benches).
+  [[nodiscard]] ChannelReport run_channel(const emg::Recording& rec,
+                                          std::uint32_t channel_id) const;
+
+  [[nodiscard]] const sim::Evaluator& evaluator() const { return eval_; }
+  [[nodiscard]] const RunnerConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t jobs() const;
+
+ private:
+  RunnerConfig config_;
+  sim::Evaluator eval_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace datc::runtime

@@ -1,6 +1,7 @@
 #include "sim/end_to_end.hpp"
 
 #include "dsp/stats.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace datc::sim {
 
@@ -16,6 +17,36 @@ Real EndToEnd::score(const emg::Recording& rec,
 }
 
 EndToEndResult EndToEnd::run_datc(const emg::Recording& rec) const {
+  return run_datc_link(rec, link_);
+}
+
+DatcLinkRun run_datc_over_link(const core::EventStream& tx,
+                               const LinkConfig& link, unsigned code_bits,
+                               bool cache_detection) {
+  DatcLinkRun out;
+  uwb::ModulatorConfig mod = link.modulator;
+  mod.code_bits = code_bits;
+  const auto train = uwb::modulate_datc(tx, mod);
+  out.pulses_tx = train.size();
+
+  dsp::Rng rng(link.seed);
+  const auto ch = uwb::propagate(train, link.channel, rng);
+  out.pulses_erased = ch.erased;
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.detector = link.detector;
+  rxc.modulator = mod;
+  rxc.decode_codes = true;
+  rxc.cache_detection = cache_detection;
+  uwb::UwbReceiver rx(rxc, link.channel, rng.fork());
+  out.events_rx = rx.decode(ch.received);
+  out.events_rx.sort_by_time();
+  out.decode = rx.stats();
+  return out;
+}
+
+EndToEndResult EndToEnd::run_datc_link(const emg::Recording& rec,
+                                       const LinkConfig& link) const {
   EndToEndResult out;
   out.tx_side = eval_.datc(rec);
 
@@ -27,30 +58,35 @@ EndToEndResult EndToEnd::run_datc(const emg::Recording& rec) const {
   const auto tx = core::encode_datc(rec.emg_v, enc);
   const Real duration = rec.emg_v.duration_s();
 
-  uwb::ModulatorConfig mod = link_.modulator;
-  mod.code_bits = eval_.config().dtc.dac_bits;
-  const auto train = uwb::modulate_datc(tx.events, mod);
-  out.pulses_tx = train.size();
+  auto link_run =
+      run_datc_over_link(tx.events, link, eval_.config().dtc.dac_bits);
+  out.pulses_tx = link_run.pulses_tx;
+  out.pulses_erased = link_run.pulses_erased;
+  out.events_rx = link_run.events_rx.size();
+  out.decode = link_run.decode;
 
-  dsp::Rng rng(link_.seed);
-  const auto ch = uwb::propagate(train, link_.channel, rng);
-  out.pulses_erased = ch.erased;
-
-  uwb::UwbReceiverConfig rxc;
-  rxc.detector = link_.detector;
-  rxc.modulator = mod;
-  rxc.decode_codes = true;
-  uwb::UwbReceiver rx(rxc, link_.channel, rng.fork());
-  auto events_rx = rx.decode(ch.received);
-  events_rx.sort_by_time();
-  out.events_rx = events_rx.size();
-  out.decode = rx.stats();
-
-  const auto recon = eval_.reconstruct_datc(events_rx, duration);
+  const auto recon = eval_.reconstruct_datc(link_run.events_rx, duration);
   out.rx_side = out.tx_side;
   out.rx_side.scheme = "D-ATC (over UWB)";
-  out.rx_side.num_events = events_rx.size();
+  out.rx_side.num_events = link_run.events_rx.size();
   out.rx_side.correlation_pct = score(rec, recon);
+  return out;
+}
+
+std::vector<EndToEndResult> EndToEnd::run_datc_batch(
+    std::span<const emg::Recording> recs, std::size_t jobs) const {
+  std::vector<EndToEndResult> out(recs.size());
+  const auto one = [this, &recs, &out](std::size_t i) {
+    LinkConfig lc = link_;
+    lc.seed = link_.seed ^ static_cast<std::uint64_t>(i);
+    out[i] = run_datc_link(recs[i], lc);
+  };
+  if (jobs <= 1 || recs.size() <= 1) {
+    for (std::size_t i = 0; i < recs.size(); ++i) one(i);
+    return out;
+  }
+  runtime::ThreadPool pool(jobs);
+  runtime::parallel_for(pool, recs.size(), one);
   return out;
 }
 

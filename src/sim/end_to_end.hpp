@@ -6,6 +6,8 @@
 // the example applications.
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "sim/evaluation.hpp"
 #include "uwb/channel.hpp"
@@ -29,6 +31,24 @@ struct EndToEndResult {
   uwb::DecodeStats decode{};
 };
 
+/// One TX -> RX pass over the UWB link: modulate the D-ATC packet stream,
+/// propagate, decode with an energy-detection receiver, sort by time.
+struct DatcLinkRun {
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  core::EventStream events_rx;
+  uwb::DecodeStats decode{};
+};
+
+/// Shared link stage used by both the reference pipeline and
+/// runtime::PipelineRunner, so the two cannot drift. `cache_detection`
+/// memoises the per-pulse detection probability (bit-identical output; the
+/// engine enables it, the reference path keeps the seed cost model).
+[[nodiscard]] DatcLinkRun run_datc_over_link(const core::EventStream& tx,
+                                             const LinkConfig& link,
+                                             unsigned code_bits,
+                                             bool cache_detection = false);
+
 class EndToEnd {
  public:
   EndToEnd(const EvalConfig& eval, const LinkConfig& link);
@@ -40,6 +60,15 @@ class EndToEnd {
   [[nodiscard]] EndToEndResult run_atc(const emg::Recording& rec,
                                        Real threshold_v) const;
 
+  /// Multi-channel batch: one independent D-ATC link per recording,
+  /// channel i seeded with `link().seed ^ i` (so channel 0 reproduces
+  /// run_datc exactly). `jobs > 1` shards channels across a thread pool;
+  /// the result is bit-identical for any jobs value. This is the
+  /// reference-path batch — the high-throughput engine lives in
+  /// runtime::PipelineRunner.
+  [[nodiscard]] std::vector<EndToEndResult> run_datc_batch(
+      std::span<const emg::Recording> recs, std::size_t jobs = 1) const;
+
   [[nodiscard]] const Evaluator& evaluator() const { return eval_; }
   [[nodiscard]] const LinkConfig& link() const { return link_; }
 
@@ -49,6 +78,9 @@ class EndToEnd {
 
   [[nodiscard]] Real score(const emg::Recording& rec,
                            const std::vector<Real>& recon) const;
+
+  [[nodiscard]] EndToEndResult run_datc_link(const emg::Recording& rec,
+                                             const LinkConfig& link) const;
 };
 
 }  // namespace datc::sim

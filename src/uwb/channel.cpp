@@ -27,6 +27,7 @@ ChannelResult propagate(const PulseTrain& tx, const ChannelConfig& config,
   dsp::require(config.erasure_prob >= 0.0 && config.erasure_prob <= 1.0,
                "propagate: erasure probability outside [0,1]");
   ChannelResult out;
+  out.received.reserve(tx.size());
   const Real gain = channel_gain(config);
   for (const auto& p : tx.pulses()) {
     if (config.erasure_prob > 0.0 && rng.chance(config.erasure_prob)) {

@@ -43,6 +43,7 @@ dsp::TimeSeries PulseTrain::render(const PulseShapeConfig& shape, Real t0,
 PulseTrain modulate_atc(const core::EventStream& events,
                         const ModulatorConfig& config) {
   PulseTrain train;
+  train.reserve(events.size());
   std::uint32_t id = 0;
   for (const auto& e : events.events()) {
     train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id++,
@@ -58,6 +59,8 @@ PulseTrain modulate_datc(const core::EventStream& events,
   dsp::require(config.code_bits >= 1 && config.code_bits <= 8,
                "modulate_datc: code bits must lie in [1,8]");
   PulseTrain train;
+  // Worst case one marker plus all code bits set per event.
+  train.reserve(events.size() * (1 + config.code_bits));
   std::uint32_t id = 0;
   for (const auto& e : events.events()) {
     train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id,

@@ -23,6 +23,7 @@ struct PulseEmission {
 class PulseTrain {
  public:
   void add(const PulseEmission& p) { pulses_.push_back(p); }
+  void reserve(std::size_t n) { pulses_.reserve(n); }
   [[nodiscard]] const std::vector<PulseEmission>& pulses() const {
     return pulses_;
   }

@@ -48,14 +48,25 @@ core::EventStream UwbReceiver::decode(const PulseTrain& rx) {
   // Stage 1: per-pulse detection.
   std::vector<PulseEmission> detected;
   detected.reserve(pulses.size());
+  Real cached_energy = -1.0;
+  Real cached_pd = 0.0;
   for (const auto& p : pulses) {
     const Real energy = unit_pulse_energy_ * p.amplitude_v * p.amplitude_v;
-    const Real pd =
-        detection_probability(config_.detector, channel_, energy);
+    Real pd;
+    if (config_.cache_detection) {
+      if (energy != cached_energy) {
+        cached_energy = energy;
+        cached_pd = detection_probability(config_.detector, channel_, energy);
+      }
+      pd = cached_pd;
+    } else {
+      pd = detection_probability(config_.detector, channel_, energy);
+    }
     if (rng_.chance(pd)) detected.push_back(p);
   }
   stats_.pulses_detected = detected.size();
 
+  out.reserve(detected.size());
   if (!config_.decode_codes) {
     for (const auto& p : detected) out.add(p.time_s, 0);
     return out;

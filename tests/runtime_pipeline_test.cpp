@@ -1,0 +1,181 @@
+// The multi-channel encoding engine: parallel output must be bit-identical
+// to serial output, and the fast per-channel pipeline must be bit-identical
+// to the reference sim::EndToEnd path for the same per-channel seeds.
+
+#include <atomic>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "runtime/pipeline_runner.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+std::vector<emg::Recording> make_channels(std::size_t n, Real duration_s) {
+  std::vector<emg::Recording> recs;
+  recs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    emg::RecordingSpec spec;
+    spec.seed = 1000 + i;
+    spec.duration_s = duration_s;
+    // Spread the per-channel gains like the dataset's subject population.
+    spec.gain_v = 0.2 + 0.05 * static_cast<Real>(i);
+    spec.name = "ch" + std::to_string(i);
+    recs.push_back(emg::make_recording(spec));
+  }
+  return recs;
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  runtime::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  runtime::ThreadPool pool(3);
+  std::vector<int> hits(257, 0);
+  runtime::parallel_for(pool, hits.size(),
+                        [&hits](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  runtime::ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after an error.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(PipelineRunner, ParallelIsBitIdenticalToSerial) {
+  const auto recs = make_channels(6, 2.0);
+  runtime::RunnerConfig cfg;
+  cfg.jobs = 4;
+  cfg.keep_rx_events = true;
+  cfg.link.seed = 7;
+  runtime::PipelineRunner runner(cfg);
+
+  const auto serial = runner.run_serial(recs);
+  const auto parallel = runner.run(recs);
+
+  ASSERT_EQ(serial.channels.size(), parallel.channels.size());
+  for (std::size_t i = 0; i < serial.channels.size(); ++i) {
+    const auto& s = serial.channels[i];
+    const auto& p = parallel.channels[i];
+    EXPECT_EQ(s.channel, p.channel);
+    EXPECT_EQ(s.events_tx, p.events_tx) << i;
+    EXPECT_EQ(s.pulses_tx, p.pulses_tx) << i;
+    EXPECT_EQ(s.pulses_erased, p.pulses_erased) << i;
+    EXPECT_EQ(s.events_rx, p.events_rx) << i;
+    // Exact equality: parallel channels draw from private Rngs.
+    EXPECT_EQ(s.tx_correlation_pct, p.tx_correlation_pct) << i;
+    EXPECT_EQ(s.rx_correlation_pct, p.rx_correlation_pct) << i;
+    ASSERT_EQ(s.rx_events.size(), p.rx_events.size()) << i;
+    for (std::size_t k = 0; k < s.rx_events.size(); ++k) {
+      EXPECT_EQ(s.rx_events[k].time_s, p.rx_events[k].time_s);
+      EXPECT_EQ(s.rx_events[k].vth_code, p.rx_events[k].vth_code);
+    }
+  }
+  EXPECT_GT(parallel.throughput_x_realtime(), 0.0);
+  EXPECT_EQ(parallel.emg_seconds_processed, 12.0);
+}
+
+TEST(PipelineRunner, FastPathMatchesReferenceEndToEnd) {
+  // The engine's per-channel pipeline (block encode + cached-detection
+  // receiver) must reproduce the seed reference path exactly: same encoder
+  // arithmetic, same Rng draw sequence, same scores.
+  const auto recs = make_channels(3, 2.0);
+  runtime::RunnerConfig cfg;
+  cfg.jobs = 2;
+  cfg.link.seed = 42;
+  runtime::PipelineRunner runner(cfg);
+  const auto engine = runner.run(recs);
+
+  const sim::EndToEnd reference(cfg.eval, cfg.link);
+  const auto ref = reference.run_datc_batch(recs, /*jobs=*/1);
+
+  ASSERT_EQ(engine.channels.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(engine.channels[i].pulses_tx, ref[i].pulses_tx) << i;
+    EXPECT_EQ(engine.channels[i].pulses_erased, ref[i].pulses_erased) << i;
+    EXPECT_EQ(engine.channels[i].events_rx, ref[i].events_rx) << i;
+    EXPECT_EQ(engine.channels[i].rx_correlation_pct,
+              ref[i].rx_side.correlation_pct)
+        << i;
+    EXPECT_EQ(engine.channels[i].tx_correlation_pct,
+              ref[i].tx_side.correlation_pct)
+        << i;
+  }
+}
+
+TEST(PipelineRunner, BatchApiIsJobCountInvariant) {
+  const auto recs = make_channels(4, 1.5);
+  const sim::EvalConfig eval;
+  sim::LinkConfig link;
+  link.seed = 3;
+  const sim::EndToEnd e2e(eval, link);
+  const auto serial = e2e.run_datc_batch(recs, 1);
+  const auto parallel = e2e.run_datc_batch(recs, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].rx_side.correlation_pct,
+              parallel[i].rx_side.correlation_pct)
+        << i;
+    EXPECT_EQ(serial[i].events_rx, parallel[i].events_rx) << i;
+  }
+  // Channel 0 reproduces the single-channel API exactly.
+  const auto single = e2e.run_datc(recs[0]);
+  EXPECT_EQ(serial[0].rx_side.correlation_pct, single.rx_side.correlation_pct);
+  EXPECT_EQ(serial[0].events_rx, single.events_rx);
+}
+
+TEST(PipelineRunner, CachedDetectionMatchesReferenceDecode) {
+  // Build a pulse train, run it through both receiver configurations with
+  // the same Rng seed; decoded streams must match event-for-event.
+  const auto recs = make_channels(1, 2.0);
+  const sim::EvalConfig eval;
+  core::DatcEncoderConfig enc;
+  enc.dtc = eval.dtc;
+  const auto tx = core::encode_datc_events(recs[0].emg_v, enc);
+
+  uwb::ModulatorConfig mod;
+  mod.code_bits = eval.dtc.dac_bits;
+  const auto train = uwb::modulate_datc(tx, mod);
+
+  uwb::ChannelConfig channel;
+  dsp::Rng rng_a(99);
+  dsp::Rng rng_b(99);
+  const auto prop_a = uwb::propagate(train, channel, rng_a);
+  const auto prop_b = uwb::propagate(train, channel, rng_b);
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.modulator = mod;
+  rxc.cache_detection = false;
+  uwb::UwbReceiver rx_ref(rxc, channel, rng_a.fork());
+  rxc.cache_detection = true;
+  uwb::UwbReceiver rx_fast(rxc, channel, rng_b.fork());
+
+  const auto ev_ref = rx_ref.decode(prop_a.received);
+  const auto ev_fast = rx_fast.decode(prop_b.received);
+  ASSERT_EQ(ev_ref.size(), ev_fast.size());
+  for (std::size_t i = 0; i < ev_ref.size(); ++i) {
+    EXPECT_EQ(ev_ref[i].time_s, ev_fast[i].time_s) << i;
+    EXPECT_EQ(ev_ref[i].vth_code, ev_fast[i].vth_code) << i;
+  }
+  EXPECT_EQ(rx_ref.stats().pulses_detected, rx_fast.stats().pulses_detected);
+}
+
+}  // namespace
