@@ -11,7 +11,10 @@ namespace datc::core {
 namespace {
 
 constexpr char kCsvHeader[] = "time_s,vth_code,channel";
-constexpr char kMagic[8] = {'D', 'A', 'T', 'C', 'E', 'V', 'T', '1'};
+// v2 carries a 16-bit channel (AER addresses past 255); v1 files with the
+// old 8-bit channel remain readable.
+constexpr char kMagicV1[8] = {'D', 'A', 'T', 'C', 'E', 'V', 'T', '1'};
+constexpr char kMagicV2[8] = {'D', 'A', 'T', 'C', 'E', 'V', 'T', '2'};
 
 }  // namespace
 
@@ -60,11 +63,11 @@ EventStream read_events_csv(std::istream& is) {
       const Real t = std::stod(cells[0]);
       const unsigned long code = std::stoul(cells[1]);
       const unsigned long chan = std::stoul(cells[2]);
-      dsp::require(code <= 255 && chan <= 255,
+      dsp::require(code <= 255 && chan <= 65535,
                    "read_events_csv: field out of range at line " +
                        std::to_string(lineno));
       out.add(t, static_cast<std::uint8_t>(code),
-              static_cast<std::uint8_t>(chan));
+              static_cast<std::uint16_t>(chan));
     } catch (const std::logic_error&) {
       throw std::invalid_argument(
           "read_events_csv: non-numeric field at line " +
@@ -81,13 +84,13 @@ EventStream read_events_csv(const std::string& path) {
 }
 
 void write_events_binary(std::ostream& os, const EventStream& events) {
-  os.write(kMagic, sizeof(kMagic));
+  os.write(kMagicV2, sizeof(kMagicV2));
   const std::uint64_t count = events.size();
   os.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& e : events.events()) {
     os.write(reinterpret_cast<const char*>(&e.time_s), sizeof(e.time_s));
     os.write(reinterpret_cast<const char*>(&e.vth_code), 1);
-    os.write(reinterpret_cast<const char*>(&e.channel), 1);
+    os.write(reinterpret_cast<const char*>(&e.channel), 2);
   }
 }
 
@@ -102,8 +105,11 @@ bool write_events_binary(const std::string& path,
 EventStream read_events_binary(std::istream& is) {
   char magic[8];
   is.read(magic, sizeof(magic));
-  dsp::require(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-               "read_events_binary: bad magic");
+  const bool v1 =
+      is.good() && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  const bool v2 =
+      is.good() && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  dsp::require(v1 || v2, "read_events_binary: bad magic");
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   dsp::require(is.good(), "read_events_binary: truncated header");
@@ -116,10 +122,10 @@ EventStream read_events_binary(std::istream& is) {
   for (std::uint64_t i = 0; i < count; ++i) {
     Real t = 0.0;
     std::uint8_t code = 0;
-    std::uint8_t chan = 0;
+    std::uint16_t chan = 0;
     is.read(reinterpret_cast<char*>(&t), sizeof(t));
     is.read(reinterpret_cast<char*>(&code), 1);
-    is.read(reinterpret_cast<char*>(&chan), 1);
+    is.read(reinterpret_cast<char*>(&chan), v1 ? 1 : 2);
     dsp::require(is.good(), "read_events_binary: truncated at event " +
                                 std::to_string(i));
     out.add(t, code, chan);

@@ -20,8 +20,9 @@ void write_events_csv(std::ostream& os, const EventStream& events);
 [[nodiscard]] EventStream read_events_csv(std::istream& is);
 [[nodiscard]] EventStream read_events_csv(const std::string& path);
 
-/// Compact binary: magic "DATCEVT1", u64 count, then per event
-/// f64 time / u8 code / u8 channel (little-endian, packed).
+/// Compact binary: magic "DATCEVT2", u64 count, then per event
+/// f64 time / u8 code / u16 channel (little-endian, packed). Legacy
+/// "DATCEVT1" files (u8 channel) are still readable.
 void write_events_binary(std::ostream& os, const EventStream& events);
 [[nodiscard]] bool write_events_binary(const std::string& path,
                                        const EventStream& events);

@@ -34,7 +34,7 @@ Real EventStream::mean_rate_hz(Real duration_s) const {
   return static_cast<Real>(events_.size()) / duration_s;
 }
 
-EventStream EventStream::channel_slice(std::uint8_t channel) const {
+EventStream EventStream::channel_slice(std::uint16_t channel) const {
   EventStream out;
   for (const auto& e : events_) {
     if (e.channel == channel) out.add(e.time_s, e.vth_code, e.channel);

@@ -14,8 +14,8 @@ using dsp::Real;
 
 struct Event {
   Real time_s{0.0};
-  std::uint8_t vth_code{0};  ///< DAC level in effect when the event fired
-  std::uint8_t channel{0};   ///< AER address (multi-channel systems)
+  std::uint8_t vth_code{0};   ///< DAC level in effect when the event fired
+  std::uint16_t channel{0};   ///< AER address (multi-channel systems)
 };
 
 class EventStream {
@@ -24,7 +24,7 @@ class EventStream {
   explicit EventStream(std::vector<Event> events)
       : events_(std::move(events)) {}
 
-  void add(Real time_s, std::uint8_t vth_code = 0, std::uint8_t channel = 0) {
+  void add(Real time_s, std::uint8_t vth_code = 0, std::uint16_t channel = 0) {
     events_.push_back(Event{time_s, vth_code, channel});
   }
 
@@ -55,7 +55,7 @@ class EventStream {
   [[nodiscard]] Real mean_rate_hz(Real duration_s) const;
 
   /// Events of one AER channel only.
-  [[nodiscard]] EventStream channel_slice(std::uint8_t channel) const;
+  [[nodiscard]] EventStream channel_slice(std::uint16_t channel) const;
 
  private:
   std::vector<Event> events_;

@@ -24,6 +24,18 @@ Real correlation_against(const std::vector<Real>& truth,
                                   std::span<const Real>(recon.data(), n));
 }
 
+/// Runs `fn(i)` for every index — through the pool when one is given,
+/// in-order otherwise. Both paths write disjoint slots, so outputs are
+/// identical either way.
+template <typename Fn>
+void for_each_index(ThreadPool* pool, std::size_t n, const Fn& fn) {
+  if (pool != nullptr) {
+    parallel_for(*pool, n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
 }  // namespace
 
 PipelineRunner::PipelineRunner(const RunnerConfig& config)
@@ -51,7 +63,7 @@ ChannelReport PipelineRunner::run_channel(const emg::Recording& rec,
   const core::EventStream tx = arena.take_stream();
   out.events_tx = tx.size();
 
-  // Shared link stage, seeded deterministically per channel; the detection
+  // Private link per channel, seeded deterministically; the detection
   // cache is bit-identical and ~25x cheaper in stage 1.
   sim::LinkConfig link = config_.link;
   link.seed = config_.link.seed ^ static_cast<std::uint64_t>(channel_id);
@@ -75,38 +87,91 @@ ChannelReport PipelineRunner::run_channel(const emg::Recording& rec,
   return out;
 }
 
-BatchReport PipelineRunner::run(std::span<const emg::Recording> recordings) {
+BatchReport PipelineRunner::run_shared(
+    std::span<const emg::Recording> recordings, ThreadPool* pool) const {
   BatchReport report;
-  report.channels.resize(recordings.size());
+  report.link_mode = LinkMode::kSharedAer;
+  const std::size_t n = recordings.size();
+  report.channels.resize(n);
+
+  // Stage 1 (parallel): fused block encode per channel.
+  std::vector<core::EventStream> tx(n);
+  for_each_index(pool, n, [this, &recordings, &tx, &report](std::size_t i) {
+    core::DatcEncoderConfig enc;
+    enc.dtc = config_.eval.dtc;
+    enc.clock_hz = config_.eval.datc_clock_hz;
+    enc.dac_vref = config_.eval.dac_vref;
+    core::EventArena arena;
+    core::encode_datc_events(recordings[i].emg_v, enc, arena);
+    tx[i] = arena.take_stream();
+    report.channels[i].channel = static_cast<std::uint32_t>(i);
+    report.channels[i].events_tx = tx[i].size();
+  });
+
+  // Stage 2 (one radio, inherently serial): arbitrate, modulate, cross
+  // the channel, decode addresses, demux.
+  auto link_run = sim::run_aer_over_link(tx, config_.link, config_.shared,
+                                         config_.eval.dtc.dac_bits);
+  report.shared.arbiter = link_run.arbiter;
+  report.shared.demux = link_run.demux;
+  report.shared.pulses_tx = link_run.pulses_tx;
+  report.shared.pulses_erased = link_run.pulses_erased;
+  report.shared.events_rx = link_run.merged_rx.size();
+  report.shared.decode = link_run.decode;
+
+  // Stage 3 (parallel): per-channel reconstruction and scoring.
+  for_each_index(
+      pool, n, [this, &recordings, &tx, &link_run, &report](std::size_t i) {
+        auto& ch = report.channels[i];
+        const Real duration = recordings[i].emg_v.duration_s();
+        auto& events_rx = link_run.per_channel_rx[i];
+        ch.events_rx = events_rx.size();
+        const auto truth = eval_.ground_truth(recordings[i]);
+        const auto recon_rx = eval_.reconstruct_datc(events_rx, duration);
+        ch.rx_correlation_pct = correlation_against(truth, recon_rx);
+        if (config_.score_tx_side) {
+          const auto recon_tx = eval_.reconstruct_datc(tx[i], duration);
+          ch.tx_correlation_pct = correlation_against(truth, recon_tx);
+        }
+        if (config_.keep_rx_events) ch.rx_events = std::move(events_rx);
+      });
+  return report;
+}
+
+BatchReport PipelineRunner::run_batch(
+    std::span<const emg::Recording> recordings, ThreadPool* pool) const {
+  BatchReport report;
+  if (config_.link_mode == LinkMode::kSharedAer) {
+    report = run_shared(recordings, pool);
+  } else {
+    report.channels.resize(recordings.size());
+    for_each_index(pool, recordings.size(),
+                   [this, &recordings, &report](std::size_t i) {
+                     report.channels[i] = run_channel(
+                         recordings[i], static_cast<std::uint32_t>(i));
+                   });
+  }
   for (const auto& rec : recordings) {
     report.emg_seconds_processed += rec.emg_v.duration_s();
   }
+  return report;
+}
+
+BatchReport PipelineRunner::run(std::span<const emg::Recording> recordings) {
   const std::size_t n_jobs = jobs();
   if (pool_ == nullptr || pool_->size() != n_jobs) {
     pool_ = std::make_unique<ThreadPool>(n_jobs);
   }
   const auto t0 = Clock::now();
-  parallel_for(*pool_, recordings.size(), [this, &recordings,
-                                           &report](std::size_t i) {
-    report.channels[i] =
-        run_channel(recordings[i], static_cast<std::uint32_t>(i));
-  });
+  auto report = run_batch(recordings, pool_.get());
   report.wall_seconds = seconds_between(t0, Clock::now());
   return report;
 }
 
 BatchReport PipelineRunner::run_serial(
     std::span<const emg::Recording> recordings) const {
-  BatchReport report;
-  report.channels.resize(recordings.size());
-  for (const auto& rec : recordings) {
-    report.emg_seconds_processed += rec.emg_v.duration_s();
-  }
   const auto t0 = Clock::now();
-  for (std::size_t i = 0; i < recordings.size(); ++i) {
-    report.channels[i] =
-        run_channel(recordings[i], static_cast<std::uint32_t>(i));
-  }
+  auto report = run_batch(recordings, nullptr);
   report.wall_seconds = seconds_between(t0, Clock::now());
   return report;
 }

@@ -4,12 +4,21 @@
 // per channel through the block-mode hot paths (EventArena sink, fused
 // encode kernel, cached-detection receiver).
 //
-// Determinism contract: channel i draws from Rng(link.seed ^ i) and writes
-// only its own output slot, so the parallel run is bit-identical to the
-// serial run — and, because every fast path is proven bit-identical to its
-// reference (encode_datc, UwbReceiver reference decode), also to the seed
-// sim::EndToEnd pipeline with the same per-channel seeds. Tests assert
-// both properties.
+// Two link topologies:
+//  - kPerChannel: every channel gets its own private radio (the PR-1
+//    engine), seeded Rng(link.seed ^ i).
+//  - kSharedAer: all encoders contend for ONE radio. The encode stage
+//    fans into an AER arbiter (address + code frames), the merged stream
+//    crosses one channel::propagate instance, and the receiver demuxes
+//    decoded addresses back into per-channel reconstructions.
+//
+// Determinism contract: channel i draws from Rng(link.seed ^ i) (per-
+// channel mode) or the single shared radio draws from Rng(link.seed)
+// (shared mode) and every worker writes only its own output slot, so the
+// parallel run is bit-identical to the serial run — and, because every
+// fast path is proven bit-identical to its reference (encode_datc,
+// UwbReceiver reference decode), also to the seed sim::EndToEnd pipeline
+// with the same per-channel seeds. Tests assert both properties.
 
 #include <cstdint>
 #include <memory>
@@ -23,10 +32,17 @@ namespace datc::runtime {
 
 using dsp::Real;
 
+enum class LinkMode {
+  kPerChannel,  ///< one private, contention-free radio per channel
+  kSharedAer,   ///< one arbitrated AER radio shared by every channel
+};
+
 struct RunnerConfig {
   std::size_t jobs{0};        ///< worker threads; 0 = hardware concurrency
   bool score_tx_side{true};   ///< also reconstruct/score the lossless stream
   bool keep_rx_events{false}; ///< retain decoded events in the report
+  LinkMode link_mode{LinkMode::kPerChannel};
+  sim::SharedAerConfig shared{};  ///< arbiter/radio options (kSharedAer)
   sim::EvalConfig eval{};
   sim::LinkConfig link{};     ///< link.seed is the base seed (xor channel id)
 };
@@ -44,8 +60,20 @@ struct ChannelReport {
   core::EventStream rx_events;   ///< populated when keep_rx_events
 };
 
+/// Link-wide outcome of a kSharedAer run (one radio for all channels).
+struct SharedLinkReport {
+  uwb::AerStats arbiter{};   ///< merge-side arbitration stats
+  uwb::AerStats demux{};     ///< split-side stats (invalid addresses)
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  std::size_t events_rx{0};  ///< decoded frames before the demux
+  uwb::DecodeStats decode{};
+};
+
 struct BatchReport {
   std::vector<ChannelReport> channels;
+  LinkMode link_mode{LinkMode::kPerChannel};
+  SharedLinkReport shared;          ///< meaningful when kSharedAer
   Real wall_seconds{0.0};           ///< processing time (synthesis excluded)
   Real emg_seconds_processed{0.0};  ///< sum of channel durations
 
@@ -63,14 +91,15 @@ class PipelineRunner {
   ~PipelineRunner();
 
   /// Runs every recording as one channel (channel id = index), sharded
-  /// across the pool. Output is bit-identical to run_serial().
+  /// across the pool. Output is bit-identical to run_serial(). Honours
+  /// config().link_mode: private radios or one shared AER link.
   [[nodiscard]] BatchReport run(std::span<const emg::Recording> recordings);
 
-  /// Reference serial execution of the same per-channel pipeline.
+  /// Reference serial execution of the same pipeline (either mode).
   [[nodiscard]] BatchReport run_serial(
       std::span<const emg::Recording> recordings) const;
 
-  /// One channel of the fast pipeline (exposed for tests and benches).
+  /// One channel of the fast per-channel pipeline (tests and benches).
   [[nodiscard]] ChannelReport run_channel(const emg::Recording& rec,
                                           std::uint32_t channel_id) const;
 
@@ -82,6 +111,11 @@ class PipelineRunner {
   RunnerConfig config_;
   sim::Evaluator eval_;
   std::unique_ptr<ThreadPool> pool_;
+
+  [[nodiscard]] BatchReport run_batch(
+      std::span<const emg::Recording> recordings, ThreadPool* pool) const;
+  [[nodiscard]] BatchReport run_shared(
+      std::span<const emg::Recording> recordings, ThreadPool* pool) const;
 };
 
 }  // namespace datc::runtime

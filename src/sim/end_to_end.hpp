@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/evaluation.hpp"
+#include "uwb/aer.hpp"
 #include "uwb/channel.hpp"
 #include "uwb/receiver.hpp"
 
@@ -48,6 +49,43 @@ struct DatcLinkRun {
                                              const LinkConfig& link,
                                              unsigned code_bits,
                                              bool cache_detection = false);
+
+/// Shared-medium AER link: N encoders contend for ONE radio.
+struct SharedAerConfig {
+  uwb::AerConfig aer{};       ///< arbiter parameters (address width, slot)
+  /// Arbitration only — bypass modulate/propagate/decode. This is the
+  /// ideal-radio reference the noiseless equality tests compare against.
+  bool ideal_radio{false};
+  bool cache_detection{true};
+};
+
+/// One pass of the arbitrated link:
+/// per-channel TX streams -> AER merge -> modulate (marker + address +
+/// code slots) -> channel -> address-aware decode -> demux per channel.
+struct SharedAerRun {
+  core::EventStream merged_tx;  ///< arbitrated stream offered to the radio
+  core::EventStream merged_rx;  ///< decoded stream (== merged_tx when ideal)
+  std::vector<core::EventStream> per_channel_rx;
+  uwb::AerStats arbiter{};      ///< merge-side arbitration stats
+  uwb::AerStats demux{};        ///< split-side stats (invalid addresses)
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  uwb::DecodeStats decode{};
+};
+
+[[nodiscard]] SharedAerRun run_aer_over_link(
+    const std::vector<core::EventStream>& tx_channels, const LinkConfig& link,
+    const SharedAerConfig& shared, unsigned code_bits);
+
+/// Radio-only variant for an already-arbitrated stream: modulate ->
+/// channel -> decode -> demux, leaving `arbiter` stats zeroed (the caller
+/// owns the merge). Sweeps whose grid axes touch only the radio hoist the
+/// merge out of the loop with this overload.
+[[nodiscard]] SharedAerRun run_aer_over_link(const core::EventStream& merged_tx,
+                                             unsigned num_channels,
+                                             const LinkConfig& link,
+                                             const SharedAerConfig& shared,
+                                             unsigned code_bits);
 
 class EndToEnd {
  public:

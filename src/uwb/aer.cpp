@@ -6,7 +6,11 @@ namespace datc::uwb {
 
 core::EventStream aer_merge(const std::vector<core::EventStream>& channels,
                             const AerConfig& config, AerStats* stats) {
-  dsp::require(channels.size() <= (1u << config.address_bits),
+  // core::Event::channel is 16 bits wide; a larger address space would
+  // truncate addresses on tagging and alias high channels onto low ones.
+  dsp::require(config.address_bits <= 16,
+               "aer_merge: address space wider than Event::channel");
+  dsp::require(channels.size() <= (std::size_t{1} << config.address_bits),
                "aer_merge: more channels than the address space");
   dsp::require(config.min_spacing_s >= 0.0 && config.max_queue_delay_s >= 0.0,
                "aer_merge: timing parameters must be non-negative");
@@ -16,7 +20,7 @@ core::EventStream aer_merge(const std::vector<core::EventStream>& channels,
   for (std::size_t c = 0; c < channels.size(); ++c) {
     for (const auto& e : channels[c].events()) {
       core::Event tagged = e;
-      tagged.channel = static_cast<std::uint8_t>(c);
+      tagged.channel = static_cast<std::uint16_t>(c);
       all.push_back(tagged);
     }
   }
@@ -46,14 +50,21 @@ core::EventStream aer_merge(const std::vector<core::EventStream>& channels,
 }
 
 std::vector<core::EventStream> aer_split(const core::EventStream& merged,
-                                         unsigned num_channels) {
+                                         unsigned num_channels,
+                                         AerStats* stats) {
   dsp::require(num_channels >= 1, "aer_split: need >= 1 channel");
+  AerStats local;
+  local.in_events = merged.size();
   std::vector<core::EventStream> out(num_channels);
   for (const auto& e : merged.events()) {
     if (e.channel < num_channels) {
       out[e.channel].add(e.time_s, e.vth_code, e.channel);
+      ++local.sent;
+    } else {
+      ++local.invalid_address;
     }
   }
+  if (stats != nullptr) *stats = local;
   return out;
 }
 

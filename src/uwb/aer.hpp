@@ -27,17 +27,27 @@ struct AerStats {
   std::size_t sent{0};
   std::size_t dropped{0};
   Real max_delay_s{0.0};
+  /// Demux-side: events whose decoded address lies outside [0,
+  /// num_channels) — address-field bit errors on a noisy link. They are
+  /// excluded from the per-channel outputs but no longer vanish silently.
+  std::size_t invalid_address{0};
 };
 
 /// Merges per-channel event streams into one arbitrated AER stream.
 /// Events keep their vth codes; `channel` fields carry the address.
+/// Requires `address_bits <= 16` (the width of core::Event::channel) and
+/// `channels.size() <= 2^address_bits` so no address can alias.
 [[nodiscard]] core::EventStream aer_merge(
     const std::vector<core::EventStream>& channels, const AerConfig& config,
     AerStats* stats = nullptr);
 
 /// Splits an AER stream back into per-channel streams (receiver side).
+/// Events with an address >= num_channels are counted in
+/// `stats->invalid_address` (when stats is given) instead of being
+/// silently discarded.
 [[nodiscard]] std::vector<core::EventStream> aer_split(
-    const core::EventStream& merged, unsigned num_channels);
+    const core::EventStream& merged, unsigned num_channels,
+    AerStats* stats = nullptr);
 
 /// Symbols per AER event: marker + address + code bits.
 [[nodiscard]] std::size_t aer_symbols_per_event(const AerConfig& config,

@@ -4,6 +4,15 @@
 
 namespace datc::uwb {
 
+ChannelConfig noiseless_channel() {
+  ChannelConfig ch;
+  ch.distance_m = 0.3;
+  ch.ref_loss_db = 30.0;
+  ch.erasure_prob = 0.0;
+  ch.jitter_rms_s = 0.0;
+  return ch;
+}
+
 Real channel_gain(const ChannelConfig& config) {
   dsp::require(config.distance_m > 0.0 && config.ref_distance_m > 0.0,
                "channel_gain: distances must be positive");

@@ -20,6 +20,12 @@ struct ChannelConfig {
   Real rx_noise_figure_db{6.0};
 };
 
+/// A noiseless short-range configuration: no erasures, no jitter, mild
+/// path loss. With a strong pulse and a tiny false-alarm rate the radio
+/// becomes exactly transparent — the baseline the shared-AER equality
+/// tests and the link sweep's zero-distance sanity point use.
+[[nodiscard]] ChannelConfig noiseless_channel();
+
 /// Amplitude attenuation (linear, voltage) over the configured distance.
 [[nodiscard]] Real channel_gain(const ChannelConfig& config);
 

@@ -52,6 +52,25 @@ PulseTrain modulate_atc(const core::EventStream& events,
   return train;
 }
 
+namespace {
+
+/// Appends the OOK pulses of one `width`-bit field whose first slot is
+/// `first_slot` (slot 0 is the marker).
+void emit_field(PulseTrain& train, const ModulatorConfig& config, Real t0,
+                std::uint32_t value, unsigned width, unsigned first_slot,
+                std::uint32_t id) {
+  for (unsigned b = 0; b < width; ++b) {
+    const unsigned bit_index = config.msb_first ? width - 1 - b : b;
+    if (((value >> bit_index) & 1u) == 0) continue;  // OOK: silence for 0
+    const Real t =
+        t0 + static_cast<Real>(first_slot + b) * config.symbol_period_s;
+    train.add(PulseEmission{t, config.shape.amplitude_v, id,
+                            /*is_marker=*/false});
+  }
+}
+
+}  // namespace
+
 PulseTrain modulate_datc(const core::EventStream& events,
                          const ModulatorConfig& config) {
   dsp::require(config.symbol_period_s > 0.0,
@@ -65,16 +84,35 @@ PulseTrain modulate_datc(const core::EventStream& events,
   for (const auto& e : events.events()) {
     train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id,
                             /*is_marker=*/true});
-    for (unsigned b = 0; b < config.code_bits; ++b) {
-      const unsigned bit_index =
-          config.msb_first ? config.code_bits - 1 - b : b;
-      const bool bit = (e.vth_code >> bit_index) & 1u;
-      if (!bit) continue;  // OOK: no pulse for a zero bit
-      const Real t =
-          e.time_s + static_cast<Real>(b + 1) * config.symbol_period_s;
-      train.add(PulseEmission{t, config.shape.amplitude_v, id,
-                              /*is_marker=*/false});
-    }
+    emit_field(train, config, e.time_s, e.vth_code, config.code_bits,
+               /*first_slot=*/1, id);
+    ++id;
+  }
+  return train;
+}
+
+PulseTrain modulate_aer(const core::EventStream& events,
+                        const ModulatorConfig& config,
+                        unsigned address_bits) {
+  dsp::require(config.symbol_period_s > 0.0,
+               "modulate_aer: symbol period must be positive");
+  dsp::require(config.code_bits >= 1 && config.code_bits <= 8,
+               "modulate_aer: code bits must lie in [1,8]");
+  dsp::require(address_bits <= 16,
+               "modulate_aer: address bits must lie in [0,16]");
+  PulseTrain train;
+  train.reserve(events.size() * (1 + address_bits + config.code_bits));
+  std::uint32_t id = 0;
+  for (const auto& e : events.events()) {
+    dsp::require(address_bits == 16 ||
+                     e.channel < (std::uint32_t{1} << address_bits),
+                 "modulate_aer: event address outside the address space");
+    train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id,
+                            /*is_marker=*/true});
+    emit_field(train, config, e.time_s, e.channel, address_bits,
+               /*first_slot=*/1, id);
+    emit_field(train, config, e.time_s, e.vth_code, config.code_bits,
+               /*first_slot=*/1 + address_bits, id);
     ++id;
   }
   return train;
@@ -82,6 +120,12 @@ PulseTrain modulate_datc(const core::EventStream& events,
 
 Real packet_duration_s(const ModulatorConfig& config) {
   return static_cast<Real>(config.code_bits + 1) * config.symbol_period_s;
+}
+
+Real aer_frame_duration_s(const ModulatorConfig& config,
+                          unsigned address_bits) {
+  return static_cast<Real>(1 + address_bits + config.code_bits) *
+         config.symbol_period_s;
 }
 
 }  // namespace datc::uwb

@@ -57,7 +57,20 @@ struct ModulatorConfig {
 [[nodiscard]] PulseTrain modulate_datc(const core::EventStream& events,
                                        const ModulatorConfig& config);
 
+/// Shared-medium AER framing: marker, then `address_bits` OOK slots
+/// carrying the event's channel address, then the `code_bits` threshold
+/// slots — `1 + address_bits + code_bits` slots per event, matching
+/// aer_symbols_per_event. Bit order of both fields follows
+/// `config.msb_first`. With address_bits == 0 this is modulate_datc.
+[[nodiscard]] PulseTrain modulate_aer(const core::EventStream& events,
+                                      const ModulatorConfig& config,
+                                      unsigned address_bits);
+
 /// Total on-air duration of one D-ATC packet.
 [[nodiscard]] Real packet_duration_s(const ModulatorConfig& config);
+
+/// Total on-air duration of one AER frame (marker + address + code).
+[[nodiscard]] Real aer_frame_duration_s(const ModulatorConfig& config,
+                                        unsigned address_bits);
 
 }  // namespace datc::uwb

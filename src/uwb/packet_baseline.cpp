@@ -110,12 +110,21 @@ PacketRxResult transmit_and_decode(const PacketTxResult& tx,
     }
     out.bit_errors += errors;
 
+    // Sample count as the receiver derives it — from the physical frame
+    // length (SFD 8 + node 8 + seq 8 + payload + CRC 16 bits), never from
+    // the TX-side ground truth. The final frame of a record is usually
+    // shorter than samples_per_packet; a real decoder only knows its
+    // on-air length.
+    dsp::require(bits.size() >= 40 && (bits.size() - 40) % cfg.adc.bits == 0,
+                 "transmit_and_decode: malformed frame length");
+    const std::size_t n_samples = (bits.size() - 40) / cfg.adc.bits;
+
     // SFD hunt: a corrupted delimiter means the frame is never found.
     std::size_t pos = 0;
     const std::uint32_t sfd = read_bits(bits, pos, 8);
     if (sfd != cfg.sfd) {
       ++out.frames_lost_sync;
-      for (std::size_t k = 0; k < frame.samples.size(); ++k) {
+      for (std::size_t k = 0; k < n_samples; ++k) {
         out.reconstructed.push_back(held);
       }
       continue;
@@ -127,7 +136,7 @@ PacketRxResult transmit_and_decode(const PacketTxResult& tx,
         static_cast<std::uint16_t>(read_bits(bits, crc_pos, 16));
     if (crc16_ccitt(body) != rx_crc) {
       ++out.frames_crc_fail;
-      for (std::size_t k = 0; k < frame.samples.size(); ++k) {
+      for (std::size_t k = 0; k < n_samples; ++k) {
         out.reconstructed.push_back(held);
       }
       continue;
@@ -136,7 +145,7 @@ PacketRxResult transmit_and_decode(const PacketTxResult& tx,
     std::size_t body_pos = 0;
     (void)read_bits(body, body_pos, 8);  // node id
     (void)read_bits(body, body_pos, 8);  // seq
-    for (std::size_t k = 0; k < frame.samples.size(); ++k) {
+    for (std::size_t k = 0; k < n_samples; ++k) {
       const auto code = read_bits(body, body_pos, cfg.adc.bits);
       held = adc.voltage(code);
       out.reconstructed.push_back(held);

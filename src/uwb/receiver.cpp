@@ -73,24 +73,43 @@ core::EventStream UwbReceiver::decode(const PulseTrain& rx) {
   }
 
   // Stage 2: packet reassembly. Any detected pulse not claimed as a bit of
-  // an open packet is treated as a marker starting a new packet.
+  // an open packet is treated as a marker starting a new packet. A frame
+  // carries the AER address field (when configured) followed by the code
+  // field; both are OOK slots on the same grid.
   const Real ts = config_.modulator.symbol_period_s;
-  const unsigned bits = config_.modulator.code_bits;
+  const unsigned addr_bits = config_.address_bits;
+  const unsigned code_bits = config_.modulator.code_bits;
+  const unsigned bits = addr_bits + code_bits;
   const Real tol = config_.slot_tolerance * ts;
+  // A pulse inside a frame's window that misses every slot tolerance is
+  // not part of that frame (e.g. the jittered marker of the next one):
+  // it stays unclaimed and reassembly resumes there, instead of being
+  // swallowed with the frame and losing everything it started. Claimed
+  // pulses (markers and bit slots of decoded frames) are never re-used —
+  // a resumed frame must not promote an earlier frame's data bit to a
+  // marker.
+  std::vector<bool> claimed(detected.size(), false);
   std::size_t i = 0;
   while (i < detected.size()) {
+    if (claimed[i]) {
+      ++i;
+      continue;
+    }
     const Real t0 = detected[i].time_s;
+    claimed[i] = true;  // this frame's marker
     std::vector<bool> bit(bits, false);
-    std::size_t j = i + 1;
-    while (j < detected.size() &&
-           detected[j].time_s <= t0 + static_cast<Real>(bits) * ts + tol) {
+    for (std::size_t j = i + 1;
+         j < detected.size() &&
+         detected[j].time_s <= t0 + static_cast<Real>(bits) * ts + tol;
+         ++j) {
+      if (claimed[j]) continue;
       const Real dt = detected[j].time_s - t0;
       const auto slot = static_cast<long>(std::llround(dt / ts));
       if (slot >= 1 && slot <= static_cast<long>(bits) &&
           std::abs(dt - static_cast<Real>(slot) * ts) <= tol) {
         bit[static_cast<std::size_t>(slot - 1)] = true;
+        claimed[j] = true;
       }
-      ++j;
     }
     // False alarms inside empty slots.
     for (unsigned b = 0; b < bits; ++b) {
@@ -99,15 +118,20 @@ core::EventStream UwbReceiver::decode(const PulseTrain& rx) {
         ++stats_.false_alarm_bits;
       }
     }
-    std::uint8_t code = 0;
-    for (unsigned b = 0; b < bits; ++b) {
-      const unsigned bit_index =
-          config_.modulator.msb_first ? bits - 1 - b : b;
-      if (bit[b]) code = static_cast<std::uint8_t>(code | (1u << bit_index));
-    }
-    out.add(t0, code);
+    const auto field = [&](unsigned first, unsigned width) {
+      std::uint32_t v = 0;
+      for (unsigned b = 0; b < width; ++b) {
+        const unsigned bit_index =
+            config_.modulator.msb_first ? width - 1 - b : b;
+        if (bit[first + b]) v |= (1u << bit_index);
+      }
+      return v;
+    };
+    const auto address = static_cast<std::uint16_t>(field(0, addr_bits));
+    const auto code = static_cast<std::uint8_t>(field(addr_bits, code_bits));
+    out.add(t0, code, address);
     ++stats_.packets_decoded;
-    i = j;
+    ++i;  // the claimed[] scan skips to the first unclaimed pulse
   }
   return out;
 }

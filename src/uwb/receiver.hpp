@@ -43,6 +43,10 @@ struct DecodeStats {
 struct UwbReceiverConfig {
   EnergyDetectorConfig detector{};
   ModulatorConfig modulator{};  ///< packet layout (must match the TX)
+  /// Width of the AER address field between the marker and the code bits
+  /// (0 = single-channel D-ATC frames). Must match the TX framing
+  /// (modulate_aer); decoded addresses land in core::Event::channel.
+  unsigned address_bits{0};
   Real slot_tolerance{0.25};    ///< bit-slot timing tolerance, fraction of Ts
   bool decode_codes{true};      ///< false for plain ATC (marker-only) links
   /// Memoise detection_probability per distinct pulse energy. The detection

@@ -85,6 +85,31 @@ TEST(EventIo, BinaryRoundTripExact) {
   }
 }
 
+TEST(EventIo, BinaryReadsLegacyV1Files) {
+  // Hand-built DATCEVT1 buffer: u64 count, then f64 time / u8 code /
+  // u8 channel per event (the pre-AER 8-bit address). The v2 reader must
+  // keep decoding these byte-exactly.
+  const double times[2] = {0.125, 2.5};
+  const std::uint8_t codes[2] = {11, 3};
+  const std::uint8_t chans[2] = {0, 200};
+  std::string data = "DATCEVT1";
+  const std::uint64_t count = 2;
+  data.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (int i = 0; i < 2; ++i) {
+    data.append(reinterpret_cast<const char*>(&times[i]), sizeof(double));
+    data.append(reinterpret_cast<const char*>(&codes[i]), 1);
+    data.append(reinterpret_cast<const char*>(&chans[i]), 1);
+  }
+  std::stringstream ss(data, std::ios::in | std::ios::binary);
+  const auto back = core::read_events_binary(ss);
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(back[i].time_s, times[i]);
+    EXPECT_EQ(back[i].vth_code, codes[i]);
+    EXPECT_EQ(back[i].channel, chans[i]);
+  }
+}
+
 TEST(EventIo, BinaryRejectsBadMagic) {
   std::stringstream ss("NOTMAGIC........", std::ios::in | std::ios::binary);
   EXPECT_THROW((void)core::read_events_binary(ss), std::invalid_argument);

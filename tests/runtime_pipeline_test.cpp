@@ -142,6 +142,106 @@ TEST(PipelineRunner, BatchApiIsJobCountInvariant) {
   EXPECT_EQ(serial[0].events_rx, single.events_rx);
 }
 
+TEST(PipelineRunner, SharedAerNoiselessMatchesIdealRadio) {
+  // Acceptance gate for the shared-medium mode: with a noiseless channel
+  // and zero queue-delay drops, the real radio (modulate -> propagate ->
+  // decode -> demux) must reproduce the arbitration-only ideal reference
+  // exactly, per channel, for >= 8 contending encoders.
+  const auto recs = make_channels(8, 2.0);
+  runtime::RunnerConfig cfg;
+  cfg.jobs = 4;
+  cfg.keep_rx_events = true;
+  cfg.link_mode = runtime::LinkMode::kSharedAer;
+  cfg.link.seed = 11;
+  cfg.link.channel = uwb::noiseless_channel();
+  cfg.link.modulator.shape.amplitude_v = 0.5;
+  cfg.link.detector.false_alarm_prob = 1e-9;
+  cfg.shared.aer.address_bits = 3;
+  cfg.shared.aer.min_spacing_s = 2e-6;
+
+  runtime::PipelineRunner real_radio(cfg);
+  const auto over_air = real_radio.run(recs);
+
+  auto ideal_cfg = cfg;
+  ideal_cfg.shared.ideal_radio = true;
+  runtime::PipelineRunner ideal_radio(ideal_cfg);
+  const auto ideal = ideal_radio.run(recs);
+
+  EXPECT_EQ(over_air.shared.arbiter.dropped, 0u);
+  EXPECT_EQ(over_air.shared.pulses_erased, 0u);
+  EXPECT_EQ(over_air.shared.demux.invalid_address, 0u);
+  EXPECT_EQ(over_air.shared.events_rx, over_air.shared.arbiter.sent);
+  ASSERT_EQ(over_air.channels.size(), 8u);
+  for (std::size_t c = 0; c < over_air.channels.size(); ++c) {
+    const auto& a = over_air.channels[c].rx_events;
+    const auto& b = ideal.channels[c].rx_events;
+    ASSERT_EQ(a.size(), b.size()) << c;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].time_s, b[k].time_s) << c;
+      EXPECT_EQ(a[k].vth_code, b[k].vth_code) << c;
+      EXPECT_EQ(a[k].channel, b[k].channel) << c;
+    }
+    EXPECT_EQ(over_air.channels[c].rx_correlation_pct,
+              ideal.channels[c].rx_correlation_pct)
+        << c;
+  }
+}
+
+TEST(PipelineRunner, SharedModeEmptyBatchIsANoOp) {
+  // Both link modes must accept an empty batch cleanly; the shared path
+  // used to reach aer_split with zero channels and throw.
+  runtime::RunnerConfig cfg;
+  cfg.link_mode = runtime::LinkMode::kSharedAer;
+  runtime::PipelineRunner runner(cfg);
+  const std::vector<emg::Recording> none;
+  const auto report = runner.run(none);
+  EXPECT_TRUE(report.channels.empty());
+  EXPECT_EQ(report.shared.arbiter.in_events, 0u);
+  EXPECT_EQ(report.shared.events_rx, 0u);
+}
+
+TEST(PipelineRunner, SharedModeParallelMatchesSerial) {
+  // The shared link itself is one serial radio, but the encode and
+  // reconstruction stages fan out across the pool — the batch must stay
+  // bit-identical to the serial run, noise and all.
+  const auto recs = make_channels(5, 1.5);
+  runtime::RunnerConfig cfg;
+  cfg.jobs = 3;
+  cfg.keep_rx_events = true;
+  cfg.link_mode = runtime::LinkMode::kSharedAer;
+  cfg.link.seed = 29;
+  cfg.link.channel.distance_m = 0.7;
+  cfg.link.channel.ref_loss_db = 30.0;
+  cfg.shared.aer.address_bits = 3;
+  cfg.shared.aer.min_spacing_s = 2e-6;
+  runtime::PipelineRunner runner(cfg);
+
+  const auto serial = runner.run_serial(recs);
+  const auto parallel = runner.run(recs);
+
+  EXPECT_EQ(serial.shared.arbiter.sent, parallel.shared.arbiter.sent);
+  EXPECT_EQ(serial.shared.pulses_tx, parallel.shared.pulses_tx);
+  EXPECT_EQ(serial.shared.pulses_erased, parallel.shared.pulses_erased);
+  EXPECT_EQ(serial.shared.events_rx, parallel.shared.events_rx);
+  EXPECT_EQ(serial.shared.demux.invalid_address,
+            parallel.shared.demux.invalid_address);
+  ASSERT_EQ(serial.channels.size(), parallel.channels.size());
+  for (std::size_t c = 0; c < serial.channels.size(); ++c) {
+    const auto& s = serial.channels[c];
+    const auto& p = parallel.channels[c];
+    EXPECT_EQ(s.events_tx, p.events_tx) << c;
+    EXPECT_EQ(s.events_rx, p.events_rx) << c;
+    EXPECT_EQ(s.rx_correlation_pct, p.rx_correlation_pct) << c;
+    EXPECT_EQ(s.tx_correlation_pct, p.tx_correlation_pct) << c;
+    ASSERT_EQ(s.rx_events.size(), p.rx_events.size()) << c;
+    for (std::size_t k = 0; k < s.rx_events.size(); ++k) {
+      EXPECT_EQ(s.rx_events[k].time_s, p.rx_events[k].time_s);
+      EXPECT_EQ(s.rx_events[k].vth_code, p.rx_events[k].vth_code);
+      EXPECT_EQ(s.rx_events[k].channel, p.rx_events[k].channel);
+    }
+  }
+}
+
 TEST(PipelineRunner, CachedDetectionMatchesReferenceDecode) {
   // Build a pulse train, run it through both receiver configurations with
   // the same Rng seed; decoded streams must match event-for-event.

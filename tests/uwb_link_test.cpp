@@ -211,12 +211,182 @@ TEST(Aer, DropsBeyondLatencyBudget) {
   EXPECT_EQ(stats.sent + stats.dropped, 100u);
 }
 
+TEST(Receiver, OffSlotMarkerResumesReassembly) {
+  // Regression: a pulse inside an open frame's window that misses every
+  // slot tolerance (e.g. the jittered marker of the next packet) used to
+  // be consumed with the frame, so that packet — and everything it
+  // started — was lost. The receiver must resume reassembly at the first
+  // unclaimed pulse.
+  uwb::ModulatorConfig mod;  // ts = 100 ns, 4 code bits, tol 25 ns
+  const Real ts = mod.symbol_period_s;
+  const Real amp = 0.5;  // far above the detector floor: Pd = 1
+  const Real t0 = 1e-3;
+  uwb::PulseTrain train;
+  // Packet A: bare marker (code 0).
+  train.add({t0, amp, 0, true});
+  // Packet B: marker jittered to 1.5 slots after A — inside A's window,
+  // off every slot. Code 15 -> all four bit slots pulsed.
+  const Real tb = t0 + 1.5 * ts;
+  train.add({tb, amp, 1, true});
+  for (unsigned b = 1; b <= 4; ++b) {
+    train.add({tb + static_cast<Real>(b) * ts, amp, 1, false});
+  }
+  // Packet C: well clear of both, code 5 = 0b0101 -> slots 2 and 4.
+  const Real tc = t0 + 3e-6;
+  train.add({tc, amp, 2, true});
+  train.add({tc + 2.0 * ts, amp, 2, false});
+  train.add({tc + 4.0 * ts, amp, 2, false});
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.modulator = mod;
+  rxc.detector.false_alarm_prob = 1e-9;
+  uwb::UwbReceiver rx(rxc, strong_link(), dsp::Rng(21));
+  const auto decoded = rx.decode(train);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_DOUBLE_EQ(decoded[0].time_s, t0);
+  EXPECT_EQ(decoded[0].vth_code, 0u);
+  EXPECT_DOUBLE_EQ(decoded[1].time_s, tb);
+  EXPECT_EQ(decoded[1].vth_code, 15u);
+  EXPECT_DOUBLE_EQ(decoded[2].time_s, tc);
+  EXPECT_EQ(decoded[2].vth_code, 5u);
+  EXPECT_EQ(rx.stats().packets_decoded, 3u);
+}
+
+TEST(Receiver, ClaimedBitsAreNotPromotedToMarkers) {
+  // Companion regression to the resume fix: a pulse claimed as a data bit
+  // of one frame must not be revisited as a marker after reassembly
+  // resumes at an earlier unclaimed pulse, or every jittered marker would
+  // also fabricate a spurious trailing packet.
+  uwb::ModulatorConfig mod;  // ts = 100 ns, 4 code bits, tol 25 ns
+  const Real ts = mod.symbol_period_s;
+  const Real amp = 0.5;
+  const Real t0 = 1e-3;
+  uwb::PulseTrain train;
+  train.add({t0, amp, 0, true});              // marker A
+  train.add({t0 + 1.5 * ts, amp, 1, true});   // off-slot marker B
+  train.add({t0 + 2.0 * ts, amp, 0, false});  // A's bit slot 2
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.modulator = mod;
+  rxc.detector.false_alarm_prob = 1e-9;
+  uwb::UwbReceiver rx(rxc, strong_link(), dsp::Rng(22));
+  const auto decoded = rx.decode(train);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded[0].time_s, t0);
+  EXPECT_EQ(decoded[0].vth_code, 4u);  // slot 2 of 4, MSB-first
+  EXPECT_DOUBLE_EQ(decoded[1].time_s, t0 + 1.5 * ts);
+  // B's only in-window candidate was already claimed by A: code 0, and no
+  // spurious third packet from the claimed pulse.
+  EXPECT_EQ(decoded[1].vth_code, 0u);
+  EXPECT_EQ(rx.stats().packets_decoded, 2u);
+}
+
 TEST(Aer, AddressSpaceValidation) {
   std::vector<core::EventStream> chans(9);
   uwb::AerConfig cfg;
   cfg.address_bits = 3;  // max 8 channels
   EXPECT_THROW((void)uwb::aer_merge(chans, cfg), std::invalid_argument);
   EXPECT_EQ(uwb::aer_symbols_per_event(cfg, 4), 8u);  // 1 + 3 + 4
+  uwb::ModulatorConfig mod;  // 100 ns slots, 4 code bits
+  EXPECT_DOUBLE_EQ(uwb::aer_frame_duration_s(mod, 3),
+                   8.0 * mod.symbol_period_s);
+}
+
+TEST(Aer, RoundTripOverNoiselessRadioMatchesIdealReference) {
+  // merge -> modulate (marker+address+code) -> noiseless channel ->
+  // address-aware decode -> split must be bit/time-exact against the
+  // radio-free reference (merge -> split): the shared radio is exactly
+  // transparent when nothing in the channel can hurt it.
+  const unsigned kChannels = 8;
+  std::vector<core::EventStream> chans(kChannels);
+  for (unsigned c = 0; c < kChannels; ++c) {
+    for (std::size_t i = 0; i < 40; ++i) {
+      chans[c].add(1e-3 * static_cast<Real>(i + 1) +
+                       37e-6 * static_cast<Real>(c),
+                   static_cast<std::uint8_t>((i + c) % 16));
+    }
+  }
+  uwb::AerConfig aer;
+  aer.address_bits = 3;
+  aer.min_spacing_s = 2e-6;
+  uwb::AerStats merge_stats;
+  const auto merged = uwb::aer_merge(chans, aer, &merge_stats);
+  EXPECT_EQ(merge_stats.dropped, 0u);
+  const auto ideal = uwb::aer_split(merged, kChannels);
+
+  uwb::ModulatorConfig mod;
+  mod.shape.amplitude_v = 0.5;
+  const auto train = uwb::modulate_aer(merged, mod, aer.address_bits);
+  dsp::Rng rng(13);
+  const auto prop = uwb::propagate(train, uwb::noiseless_channel(), rng);
+  ASSERT_EQ(prop.erased, 0u);
+
+  uwb::UwbReceiverConfig rxc;
+  rxc.modulator = mod;
+  rxc.address_bits = aer.address_bits;
+  rxc.detector.false_alarm_prob = 1e-9;
+  uwb::UwbReceiver rx(rxc, uwb::noiseless_channel(), rng.fork());
+  auto decoded = rx.decode(prop.received);
+  decoded.sort_by_time();
+  uwb::AerStats split_stats;
+  const auto split = uwb::aer_split(decoded, kChannels, &split_stats);
+  EXPECT_EQ(split_stats.invalid_address, 0u);
+
+  ASSERT_EQ(split.size(), ideal.size());
+  for (unsigned c = 0; c < kChannels; ++c) {
+    ASSERT_EQ(split[c].size(), ideal[c].size()) << c;
+    for (std::size_t k = 0; k < split[c].size(); ++k) {
+      EXPECT_EQ(split[c][k].time_s, ideal[c][k].time_s) << c;
+      EXPECT_EQ(split[c][k].vth_code, ideal[c][k].vth_code) << c;
+      EXPECT_EQ(split[c][k].channel, c) << c;
+    }
+  }
+}
+
+TEST(Aer, StatsStayConsistentUnderForcedDrops) {
+  // A burst far beyond the arbiter's latency budget forces queue-delay
+  // drops; the in/sent/dropped accounting must stay exact through the
+  // merge and the split.
+  std::vector<core::EventStream> chans(3);
+  for (unsigned c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      chans[c].add(0.010, static_cast<std::uint8_t>(c));
+    }
+  }
+  uwb::AerConfig cfg;
+  cfg.min_spacing_s = 1e-3;
+  cfg.max_queue_delay_s = 5e-3;
+  uwb::AerStats stats;
+  const auto merged = uwb::aer_merge(chans, cfg, &stats);
+  EXPECT_EQ(stats.in_events, 150u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_EQ(stats.sent + stats.dropped, stats.in_events);
+  EXPECT_EQ(merged.size(), stats.sent);
+  EXPECT_LE(stats.max_delay_s, cfg.max_queue_delay_s);
+
+  uwb::AerStats split_stats;
+  const auto split = uwb::aer_split(merged, 3, &split_stats);
+  std::size_t total = 0;
+  for (const auto& s : split) total += s.size();
+  EXPECT_EQ(total, stats.sent);
+  EXPECT_EQ(split_stats.sent, stats.sent);
+  EXPECT_EQ(split_stats.invalid_address, 0u);
+}
+
+TEST(Aer, SplitReportsOutOfRangeAddresses) {
+  // Address-field bit errors on a noisy link can demux to a channel that
+  // does not exist; those events must be counted, not silently dropped.
+  core::EventStream merged;
+  merged.add(0.001, 3, 1);
+  merged.add(0.002, 4, 7);  // only 2 channels exist
+  merged.add(0.003, 5, 0);
+  uwb::AerStats stats;
+  const auto split = uwb::aer_split(merged, 2, &stats);
+  EXPECT_EQ(stats.invalid_address, 1u);
+  EXPECT_EQ(stats.sent, 2u);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].size(), 1u);
+  EXPECT_EQ(split[1].size(), 1u);
 }
 
 TEST(EventStream, HelpersBehave) {

@@ -3,6 +3,7 @@
 
 #include "uwb/packet_baseline.hpp"
 
+#include <cmath>
 #include <gtest/gtest.h>
 
 #include "emg/dataset.hpp"
@@ -111,6 +112,50 @@ TEST(PacketBaseline, ErasuresKillFramesGracefully) {
   EXPECT_LT(score.rx.frames_ok, score.rx.frames_sent);
   // Sample-and-hold across lost frames still tracks the envelope.
   EXPECT_GT(score.correlation_pct, 80.0);
+}
+
+TEST(PacketBaseline, PartialLastFrameSurvivesFrameLoss) {
+  // A record whose length is not a multiple of samples_per_packet ends in
+  // a short frame. The decoder must derive every frame's sample count
+  // from the received bit length — never from the TX-side frame struct —
+  // including on the lost-sync / CRC-fail replay paths.
+  uwb::PacketBaselineConfig cfg;
+  const std::size_t n_samples = 2 * cfg.samples_per_packet + 5;
+  std::vector<Real> wave(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    wave[i] = 0.4 * std::sin(0.1 * static_cast<Real>(i));
+  }
+  const dsp::TimeSeries signal(std::move(wave), cfg.tx_sample_rate_hz);
+  const auto tx = uwb::packetize(signal, cfg);
+  ASSERT_EQ(tx.frames.size(), 3u);
+  ASSERT_EQ(tx.frames.back().samples.size(), 5u);
+
+  uwb::PulseShapeConfig shape;
+  shape.amplitude_v = 0.5;
+  uwb::EnergyDetectorConfig det;
+  det.false_alarm_prob = 1e-12;
+
+  // Clean link: the short frame decodes and contributes exactly its own
+  // sample count.
+  {
+    dsp::Rng rng(21);
+    const auto rx =
+        uwb::transmit_and_decode(tx, cfg, det, strong_channel(), shape, rng);
+    EXPECT_EQ(rx.frames_ok, 3u);
+    EXPECT_EQ(rx.reconstructed.size(), n_samples);
+  }
+  // Dead link: every frame loses sync, yet the held replay still lines up
+  // sample-for-sample with the record (partial last frame included).
+  {
+    uwb::ChannelConfig dead = strong_channel();
+    dead.distance_m = 50.0;
+    dead.path_loss_exponent = 3.0;
+    dsp::Rng rng(22);
+    const auto rx = uwb::transmit_and_decode(tx, cfg, det, dead, shape, rng);
+    EXPECT_EQ(rx.frames_ok, 0u);
+    EXPECT_EQ(rx.frames_lost_sync + rx.frames_crc_fail, 3u);
+    EXPECT_EQ(rx.reconstructed.size(), n_samples);
+  }
 }
 
 TEST(PacketBaseline, CrcCatchesChannelErrors) {

@@ -7,9 +7,17 @@
 //   datc reconstruct --events events.csv --duration S [--truth sig.csv]
 //       rebuild the force envelope; prints correlation when truth given
 //   datc pipeline --channels M --jobs N [--duration S] [--seed K]
+//                 [--link private|shared]
 //       synthesise M channels and run the multi-threaded encoding engine
 //       (encode -> UWB link -> reconstruct per channel), printing per-
-//       channel scores and aggregate throughput
+//       channel scores and aggregate throughput. --link shared arbitrates
+//       every channel onto ONE AER radio instead of private links.
+//   datc link-sweep --channels M [--distances 0.5,1,2] [--pfa 1e-6,...]
+//                   [--channel-counts 2,4,8] [--duration S] [--seed K]
+//                   [--out BENCH_link.json]
+//       sweep the shared AER link over distance / false-alarm rate /
+//       channel count; prints per-point correlation, drop % and address
+//       error %, optionally writing the JSON report
 //   datc table1
 //       print the DTC synthesis report
 //
@@ -32,6 +40,7 @@
 #include "dsp/stats.hpp"
 #include "emg/dataset.hpp"
 #include "runtime/pipeline_runner.hpp"
+#include "sim/link_sweep.hpp"
 #include "synth/report.hpp"
 
 using namespace datc;
@@ -62,6 +71,29 @@ std::string arg_str(const Args& a, const std::string& key,
                     const std::string& fallback) {
   const auto it = a.find(key);
   return it == a.end() ? fallback : it->second;
+}
+
+/// Comma-separated numeric list, e.g. --distances 0.5,1,2.
+std::vector<Real> arg_num_list(const Args& a, const std::string& key,
+                               std::vector<Real> fallback) {
+  const auto it = a.find(key);
+  if (it == a.end()) return fallback;
+  std::vector<Real> out;
+  std::istringstream ss(it->second);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    dsp::require(!cell.empty(), "--" + key + ": empty list element");
+    out.push_back(std::stod(cell));
+  }
+  dsp::require(!out.empty(), "--" + key + ": empty list");
+  return out;
+}
+
+/// Smallest AER address width covering `channels` endpoints.
+unsigned address_bits_for(std::size_t channels) {
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < channels) ++bits;
+  return bits;
 }
 
 bool write_signal_csv(const std::string& path, const dsp::TimeSeries& sig) {
@@ -218,20 +250,97 @@ int cmd_pipeline(const Args& a) {
   runtime::RunnerConfig cfg;
   cfg.jobs = jobs;
   cfg.link.seed = seed;
+  // Body-area link defaults (the stock ChannelConfig is below the
+  // detector floor at any of these distances); --distance moves the RX.
+  const Real distance = arg_num(a, "distance", 0.5);
+  dsp::require(distance > 0.0, "pipeline: --distance must be positive");
+  cfg.link.channel.distance_m = distance;
+  cfg.link.channel.ref_loss_db = 30.0;
+  const auto link_mode = arg_str(a, "link", "private");
+  if (link_mode == "shared") {
+    cfg.link_mode = runtime::LinkMode::kSharedAer;
+    cfg.shared.aer.address_bits = address_bits_for(channels);
+    const Real spacing_us = arg_num(a, "spacing-us", 2.0);
+    dsp::require(spacing_us >= 0.0, "pipeline: --spacing-us must be >= 0");
+    cfg.shared.aer.min_spacing_s = spacing_us * 1e-6;
+  } else if (link_mode != "private") {
+    std::fprintf(stderr, "unknown --link '%s' (private|shared)\n",
+                 link_mode.c_str());
+    return 1;
+  }
   runtime::PipelineRunner runner(cfg);
   const auto report = runner.run(recs);
 
+  // In shared mode the radio is link-wide, so per-channel pulse counts do
+  // not exist — the column is dashed out and the totals printed below.
+  const bool shared_mode = report.link_mode == runtime::LinkMode::kSharedAer;
   std::printf("ch  gain_v  events_tx  pulses_tx  events_rx  tx_corr  rx_corr\n");
   for (const auto& ch : report.channels) {
-    std::printf("%2u  %6.3f  %9zu  %9zu  %9zu  %6.1f%%  %6.1f%%\n",
-                ch.channel, recs[ch.channel].spec.gain_v, ch.events_tx,
-                ch.pulses_tx, ch.events_rx, ch.tx_correlation_pct,
-                ch.rx_correlation_pct);
+    std::printf("%2u  %6.3f  %9zu  ", ch.channel,
+                recs[ch.channel].spec.gain_v, ch.events_tx);
+    if (shared_mode) {
+      std::printf("%9s  ", "-");
+    } else {
+      std::printf("%9zu  ", ch.pulses_tx);
+    }
+    std::printf("%9zu  %6.1f%%  %6.1f%%\n", ch.events_rx,
+                ch.tx_correlation_pct, ch.rx_correlation_pct);
+  }
+  if (report.link_mode == runtime::LinkMode::kSharedAer) {
+    const auto& s = report.shared;
+    std::printf(
+        "shared AER link: %zu events offered, %zu sent (%zu dropped in "
+        "arbitration, worst queue %.2f ms), %zu pulses on air (%zu erased), "
+        "%zu frames decoded, %zu bad addresses\n",
+        s.arbiter.in_events, s.arbiter.sent, s.arbiter.dropped,
+        s.arbiter.max_delay_s * 1e3, s.pulses_tx, s.pulses_erased,
+        s.events_rx, s.demux.invalid_address);
   }
   std::printf(
       "%zu channel(s) on %zu job(s): %.1f ms wall, %.0fx realtime\n",
       report.channels.size(), runner.jobs(), report.wall_seconds * 1e3,
       report.throughput_x_realtime());
+  return 0;
+}
+
+int cmd_link_sweep(const Args& a) {
+  const Real channels_f = arg_num(a, "channels", 8.0);
+  dsp::require(channels_f >= 1.0 && channels_f <= 4096.0,
+               "link-sweep: --channels must lie in [1, 4096]");
+  sim::LinkSweepConfig cfg;
+  cfg.channels = static_cast<std::size_t>(channels_f);
+  cfg.duration_s = arg_num(a, "duration", 5.0);
+  dsp::require(cfg.duration_s > 0.0, "link-sweep: --duration must be > 0");
+  const Real seed_f = arg_num(a, "seed", 500.0);
+  dsp::require(seed_f >= 0.0, "link-sweep: --seed must be non-negative");
+  cfg.emg_seed = static_cast<std::uint64_t>(seed_f);
+  cfg.distances_m = arg_num_list(a, "distances", cfg.distances_m);
+  cfg.false_alarm_probs = arg_num_list(a, "pfa", cfg.false_alarm_probs);
+  for (const Real v : arg_num_list(a, "channel-counts", {})) {
+    dsp::require(v >= 1.0, "link-sweep: bad --channel-counts entry");
+    cfg.channel_counts.push_back(static_cast<std::size_t>(v));
+  }
+  cfg.shared.aer.address_bits = address_bits_for(cfg.channels);
+  const Real spacing_us = arg_num(a, "spacing-us", 2.0);
+  dsp::require(spacing_us >= 0.0, "link-sweep: --spacing-us must be >= 0");
+  cfg.shared.aer.min_spacing_s = spacing_us * 1e-6;
+
+  std::printf(
+      "shared AER link sweep: %zu channel(s) x %.1f s, %u address bit(s), "
+      "%.1f us slot\n",
+      cfg.channels, cfg.duration_s, cfg.shared.aer.address_bits, spacing_us);
+  const auto result = sim::run_link_sweep(cfg);
+  std::printf("%s", sim::link_sweep_table(result).c_str());
+
+  const auto out = arg_str(a, "out", "");
+  if (!out.empty()) {
+    if (!sim::write_link_sweep_json(out, cfg, result)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu sweep point(s) to %s\n", result.points.size(),
+                out.c_str());
+  }
   return 0;
 }
 
@@ -245,7 +354,8 @@ int cmd_table1() {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: datc <generate|encode|reconstruct|pipeline|table1> "
+               "usage: datc "
+               "<generate|encode|reconstruct|pipeline|link-sweep|table1> "
                "[--flag value ...]\n");
 }
 
@@ -263,6 +373,7 @@ int main(int argc, char** argv) {
     if (cmd == "encode") return cmd_encode(args);
     if (cmd == "reconstruct") return cmd_reconstruct(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
+    if (cmd == "link-sweep") return cmd_link_sweep(args);
     if (cmd == "table1") return cmd_table1();
     usage();
     return 2;
