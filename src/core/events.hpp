@@ -36,6 +36,10 @@ class EventStream {
   /// Surrender the underlying storage (move-out for arena/stream handoff).
   [[nodiscard]] std::vector<Event> take() { return std::move(events_); }
 
+  /// Drop the events, keep the allocation (per-chunk buffer reuse in the
+  /// streaming paths).
+  void clear() { events_.clear(); }
+
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] bool empty() const { return events_.empty(); }

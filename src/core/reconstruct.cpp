@@ -86,22 +86,20 @@ DatcReconstructor::DatcReconstructor(ReconstructionConfig config,
                                      DatcDecodeMode mode)
     : config_(config), cal_(std::move(calibration)), mode_(mode) {
   dsp::require(cal_ != nullptr, "DatcReconstructor: null calibration");
-  // kCodeDuty lookup: code k testifies that the comparator duty landed in
-  // interval k of the table, so sigma = Vth(k) / Qinv(duty_mid / 2) for
-  // the rectified-Gaussian duty law P(|x| > v) = 2 Q(v / sigma).
+}
+
+Real DatcReconstructor::duty_mid_of_code(unsigned c) const {
   const unsigned levels = 1u << config_.dac_bits;
-  const Real lsb = config_.dac_vref / static_cast<Real>(levels);
   const Real step = levels > 1 ? (config_.duty_hi - config_.duty_lo) /
                                      static_cast<Real>(levels - 1)
                                : 0.0;
-  sigma_of_code_.resize(levels, 0.0);
-  for (unsigned c = 1; c < levels; ++c) {
-    const Real duty_mid =
-        std::min(config_.duty_lo + step * (static_cast<Real>(c) + 0.5),
-                 Real{0.95});
-    const Real u = dsp::normal_q_inv(duty_mid / 2.0);
-    sigma_of_code_[c] = lsb * static_cast<Real>(c) / std::max(u, Real{1e-6});
+  if (c <= config_.min_code) {
+    // Floor interval is one-sided: duty in [0, level(min_code + 1)).
+    return (config_.duty_lo + step * static_cast<Real>(config_.min_code + 1)) /
+           2.0;
   }
+  return std::min(config_.duty_lo + step * (static_cast<Real>(c) + 0.5),
+                  Real{0.95});
 }
 
 std::vector<Real> DatcReconstructor::code_trajectory(
@@ -172,19 +170,6 @@ std::vector<Real> DatcReconstructor::reconstruct(const EventStream& events,
   // P(|x| > v) = 2 Q(v / sigma).
   const unsigned levels = 1u << config_.dac_bits;
   const Real lsb = config_.dac_vref / static_cast<Real>(levels);
-  const Real step = levels > 1 ? (config_.duty_hi - config_.duty_lo) /
-                                     static_cast<Real>(levels - 1)
-                               : 0.0;
-  auto duty_mid_of_code = [&](unsigned c) {
-    if (c <= config_.min_code) {
-      // Floor interval is one-sided: duty in [0, level(min_code + 1)).
-      return (config_.duty_lo +
-              step * static_cast<Real>(config_.min_code + 1)) /
-             2.0;
-    }
-    return std::min(config_.duty_lo + step * (static_cast<Real>(c) + 0.5),
-                    Real{0.95});
-  };
 
   // Build the sigma estimate as a step function sampled at event times.
   const std::size_t n = rate.size();
@@ -192,7 +177,15 @@ std::vector<Real> DatcReconstructor::reconstruct(const EventStream& events,
   std::array<unsigned, 3> hist{config_.min_code, config_.min_code,
                                config_.min_code};  // newest first
   const Real wsum = 1.0 + 0.65 + 0.35;
-  Real held_sigma = sigma_of_code_[config_.min_code];
+  // Pre-first-event hold: the receiver assumes the reset code with an
+  // all-min_code history (v_eff = lsb * min_code) and the same one-sided
+  // floor duty the in-loop inversion uses — the silent leading segment is
+  // then continuous with the first min_code event instead of biased by the
+  // two-sided midpoint.
+  Real held_sigma =
+      lsb * static_cast<Real>(config_.min_code) /
+      std::max(dsp::normal_q_inv(duty_mid_of_code(config_.min_code) / 2.0),
+               Real{1e-6});
   std::size_t next = 0;
   const auto& ev = events.events();
   for (std::size_t i = 0; i < n; ++i) {

@@ -108,10 +108,17 @@ class DatcReconstructor {
   ReconstructionConfig config_;
   CalibrationPtr cal_;
   DatcDecodeMode mode_;
-  std::vector<Real> sigma_of_code_;  ///< kCodeDuty lookup, per DAC code
 
   [[nodiscard]] std::vector<Real> code_trajectory(const EventStream& events,
                                                   Real duration_s) const;
+
+  /// Midpoint of the Eqn-2 duty interval that code `c` testifies to. The
+  /// floor interval (c <= min_code) is one-sided — the signal may sit far
+  /// below the lowest threshold — so its representative duty is half the
+  /// interval's upper edge, not the two-sided midpoint. Used both for the
+  /// per-event inversion and for seeding the pre-first-event hold so the
+  /// silent leading segment is unbiased.
+  [[nodiscard]] Real duty_mid_of_code(unsigned c) const;
 };
 
 }  // namespace datc::core

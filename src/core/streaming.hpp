@@ -51,13 +51,17 @@ void require_non_null_sink(const Sink& sink, const char* what) {
 }  // namespace detail
 
 /// Streaming D-ATC transmitter, parameterised on the event sink.
+/// `channel` is the AER address stamped on every emitted event (0 for
+/// single-channel links) — multi-channel sessions give each encoder its
+/// electrode id so the arbiter and the demux can route its events.
 template <class Sink>
 class StreamingDatcEncoderT {
  public:
   StreamingDatcEncoderT(const DatcEncoderConfig& config, Real analog_fs_hz,
-                        Sink sink)
+                        Sink sink, std::uint16_t channel = 0)
       : config_(config),
         analog_fs_hz_(analog_fs_hz),
+        channel_(channel),
         sink_(std::move(sink)),
         dtc_(config.dtc),
         dac_(afe::DacConfig{config.dtc.dac_bits, config.dac_vref}),
@@ -120,7 +124,7 @@ class StreamingDatcEncoderT {
         std::numeric_limits<std::size_t>::max(), upper, analog_fs_hz_,
         sample_at, [this](Real t, std::uint8_t code) {
           ++events_;
-          sink_(Event{t, code, 0});
+          sink_(Event{t, code, channel_});
         });
     samples_seen_ = s0 + bn;
     prev_sample_ = xb[bn - 1];
@@ -132,6 +136,14 @@ class StreamingDatcEncoderT {
   [[nodiscard]] std::size_t events_emitted() const { return events_; }
   /// Current DAC code (diagnostics).
   [[nodiscard]] unsigned set_vth() const { return dtc_.set_vth(); }
+  /// AER address stamped on emitted events.
+  [[nodiscard]] std::uint16_t channel() const { return channel_; }
+  /// Event-time watermark: every event not yet emitted will carry a
+  /// timestamp >= this bound (the next unexecuted clock instant). Session
+  /// layers use it to close downstream windows with bounded latency.
+  [[nodiscard]] Real event_time_watermark() const {
+    return static_cast<Real>(cycles_) / config_.clock_hz;
+  }
 
   [[nodiscard]] Sink& sink() { return sink_; }
 
@@ -148,6 +160,7 @@ class StreamingDatcEncoderT {
  private:
   DatcEncoderConfig config_;
   Real analog_fs_hz_;
+  std::uint16_t channel_{0};
   Sink sink_;
   Dtc dtc_;
   afe::Dac dac_;
@@ -179,7 +192,7 @@ class StreamingDatcEncoderT {
       const DtcStep s = dtc_.step(d_in);
       if (s.event) {
         ++events_;
-        sink_(Event{t_k, static_cast<std::uint8_t>(code), 0});
+        sink_(Event{t_k, static_cast<std::uint8_t>(code), channel_});
       }
       ++cycles_;
     }
@@ -193,8 +206,11 @@ template <class Sink>
 class StreamingAtcEncoderT {
  public:
   StreamingAtcEncoderT(const AtcEncoderConfig& config, Real analog_fs_hz,
-                       Sink sink)
-      : config_(config), analog_fs_hz_(analog_fs_hz), sink_(std::move(sink)) {
+                       Sink sink, std::uint16_t channel = 0)
+      : config_(config),
+        analog_fs_hz_(analog_fs_hz),
+        channel_(channel),
+        sink_(std::move(sink)) {
     dsp::require(config_.threshold_v > 0.0,
                  "StreamingAtcEncoder: threshold must be positive");
     dsp::require(config_.hysteresis_v >= 0.0 &&
@@ -220,7 +236,7 @@ class StreamingAtcEncoderT {
       const Real t =
           (static_cast<Real>(samples_seen_ - 1) + frac) / analog_fs_hz_;
       ++events_;
-      sink_(Event{t, 0, 0});
+      sink_(Event{t, 0, channel_});
       armed_ = false;
     }
     if (!armed_ && cur < arm_level) armed_ = true;
@@ -235,6 +251,15 @@ class StreamingAtcEncoderT {
   }
 
   [[nodiscard]] std::size_t events_emitted() const { return events_; }
+  /// AER address stamped on emitted events.
+  [[nodiscard]] std::uint16_t channel() const { return channel_; }
+  /// Event-time watermark: future events interpolate between samples not
+  /// yet seen, so they land at or after the newest sample's instant.
+  [[nodiscard]] Real event_time_watermark() const {
+    return samples_seen_ == 0
+               ? 0.0
+               : static_cast<Real>(samples_seen_ - 1) / analog_fs_hz_;
+  }
   [[nodiscard]] Sink& sink() { return sink_; }
 
   void reset() {
@@ -248,6 +273,7 @@ class StreamingAtcEncoderT {
  private:
   AtcEncoderConfig config_;
   Real analog_fs_hz_;
+  std::uint16_t channel_{0};
   Sink sink_;
   std::size_t samples_seen_{0};
   std::size_t events_{0};

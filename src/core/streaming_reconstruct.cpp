@@ -1,0 +1,148 @@
+#include "core/streaming_reconstruct.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace datc::core {
+
+namespace {
+/// ARV of a zero-mean Gaussian with RMS sigma (same constant as the batch
+/// reconstructor).
+constexpr Real kArvOfSigma = 0.7978845608028654;  // sqrt(2/pi)
+}  // namespace
+
+StreamingDatcReconstructor::StreamingDatcReconstructor(
+    const ReconstructionConfig& config, CalibrationPtr calibration)
+    : config_(config),
+      cal_(std::move(calibration)),
+      lsb_(config.dac_vref / static_cast<Real>(1u << config.dac_bits)),
+      watermark_(-std::numeric_limits<Real>::infinity()) {
+  dsp::require(cal_ != nullptr, "StreamingDatcReconstructor: null calibration");
+  dsp::require(config_.window_s > 0.0 && config_.output_fs_hz > 0.0,
+               "StreamingDatcReconstructor: parameters must be positive");
+  w_ = std::max<std::size_t>(
+      static_cast<std::size_t>(
+          std::llround(config_.window_s * config_.output_fs_hz)),
+      1);
+  h_ = w_ / 2;
+  // Live prefix span is at most 2h+2 entries (P[emit - h] .. P[vth_count]).
+  prefix_.assign(w_ + 4, 0.0);
+  prefix_[0] = 0.0;  // P[0]
+  // Until the first event arrives the receiver assumes the reset code (1),
+  // exactly as DatcReconstructor::vth_trajectory.
+  held_vth_ = lsb_ * 1.0;
+}
+
+Real StreamingDatcReconstructor::latency_s() const {
+  return config_.window_s / 2.0 + 1.0 / config_.output_fs_hz;
+}
+
+std::size_t StreamingDatcReconstructor::buffered_bytes() const {
+  return ev_.size() * sizeof(Event) + prefix_.capacity() * sizeof(Real) +
+         out_buf_.capacity() * sizeof(Real);
+}
+
+void StreamingDatcReconstructor::push_events(std::span<const Event> events) {
+  dsp::require(!finished_,
+               "StreamingDatcReconstructor: push_events after finish");
+  for (const Event& e : events) {
+    dsp::require(!saw_event_ || e.time_s >= last_time_,
+                 "StreamingDatcReconstructor: events must be time sorted");
+    saw_event_ = true;
+    last_time_ = e.time_s;
+    ev_.push_back(e);
+    ++ev_pushed_;
+  }
+}
+
+void StreamingDatcReconstructor::advance_to(Real watermark) {
+  dsp::require(!finished_,
+               "StreamingDatcReconstructor: advance_to after finish");
+  watermark_ = std::max(watermark_, watermark);
+  pump();
+}
+
+void StreamingDatcReconstructor::finish(Real duration_s) {
+  dsp::require(duration_s > 0.0,
+               "StreamingDatcReconstructor: duration must be positive");
+  if (finished_) return;
+  finished_ = true;
+  duration_ = duration_s;
+  n_total_ = static_cast<std::size_t>(
+      std::llround(duration_s * config_.output_fs_hz));
+  watermark_ = std::numeric_limits<Real>::infinity();
+  pump();
+}
+
+void StreamingDatcReconstructor::drain(std::vector<Real>& out) {
+  out.insert(out.end(), out_buf_.begin(), out_buf_.end());
+  out_buf_.clear();
+}
+
+/// One vth sample: consume events up to t_j, append its prefix entry.
+bool StreamingDatcReconstructor::extend_vth() {
+  if (finished_ && vth_count_ >= n_total_) return false;
+  // Ring bound: never run more than h ahead of the emitter.
+  if (vth_count_ > emit_n_ + h_) return false;
+  const Real t = static_cast<Real>(vth_count_) / config_.output_fs_hz;
+  if (!finished_ && !(t < watermark_)) return false;  // events not final yet
+  while (vth_next_ < ev_pushed_ && ev_time(vth_next_) <= t) {
+    held_vth_ = lsb_ * static_cast<Real>(ev_[vth_next_ - ev_base_].vth_code);
+    ++vth_next_;
+  }
+  const Real p = prefix_at(vth_count_) + held_vth_;
+  ++vth_count_;
+  prefix_[vth_count_ % prefix_.size()] = p;
+  return true;
+}
+
+/// Emit output sample emit_n_ if every input it depends on is final.
+bool StreamingDatcReconstructor::emit_ready() {
+  if (finished_ && emit_n_ >= n_total_) return false;
+  const std::size_t n = emit_n_;
+  const Real t = static_cast<Real>(n) / config_.output_fs_hz;
+  const Real t_lo = t - config_.window_s / 2.0;
+  const Real t_hi = t + config_.window_s / 2.0;
+  // The rate window needs every event below t_hi; the smoother needs the
+  // vth trajectory through n + h (clamped to the record end once known).
+  const std::size_t ma_hi =
+      finished_ ? std::min(n + h_, n_total_ - 1) : n + h_;
+  if (!finished_ && !(watermark_ >= t_hi)) return false;
+  if (vth_count_ <= ma_hi) return false;
+
+  while (lo_ < ev_pushed_ && ev_time(lo_) < t_lo) ++lo_;
+  while (hi_ < ev_pushed_ && ev_time(hi_) < t_hi) ++hi_;
+  // Boundary windows are truncated by the record edges (pre-finish the
+  // watermark contract guarantees t_hi <= duration, so min() is a no-op
+  // and the expression equals the batch one).
+  const Real w_eff =
+      (finished_ ? std::min(t_hi, duration_) : t_hi) - std::max(t_lo, 0.0);
+  const Real rate =
+      static_cast<Real>(hi_ - lo_) / std::max(w_eff, Real{1e-9});
+
+  const std::size_t ma_lo = n >= h_ ? n - h_ : 0;
+  const Real vth_sm = (prefix_at(ma_hi + 1) - prefix_at(ma_lo)) /
+                      static_cast<Real>(ma_hi - ma_lo + 1);
+  const Real sigma = vth_sm / cal_->u_for_rate(rate);
+  out_buf_.push_back(sigma * kArvOfSigma);
+  ++emit_n_;
+
+  // Drop events no cursor can revisit.
+  const std::size_t done = std::min(lo_, vth_next_);
+  while (ev_base_ < done && !ev_.empty()) {
+    ev_.pop_front();
+    ++ev_base_;
+  }
+  return true;
+}
+
+void StreamingDatcReconstructor::pump() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = extend_vth();
+    progressed = emit_ready() || progressed;
+  }
+}
+
+}  // namespace datc::core

@@ -1,0 +1,101 @@
+#pragma once
+// Incremental receiver-side ARV reconstruction with bounded memory and a
+// fixed emission latency, bit-identical to DatcReconstructor's rate
+// inversion (the default decode mode) over the whole record.
+//
+// The batch reconstructor needs the entire event stream before emitting
+// anything: the sliding rate window looks half a window into the future,
+// and the centred moving average over the held-threshold trajectory does
+// the same. This class runs both with explicit state:
+//
+//   events ----> [deque, three cursors: rate lo / rate hi / vth hold]
+//   vth[j] ----> [running prefix sum in a ring of ~window entries]
+//   output[n] -> emitted once the event-time watermark passes
+//                t_n + window/2 (every quantity batch would compute for
+//                index n is then final)
+//
+// The caller advances a watermark promising that every event with an
+// earlier timestamp has been pushed; finish() supplies the record
+// duration and drains the tail (whose window truncation needs it).
+// Arithmetic is expression-for-expression the batch reconstructor's, so
+// the emitted samples are bit-identical for any chunking — asserted by
+// the streaming-parity tests.
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "core/events.hpp"
+#include "core/reconstruct.hpp"
+
+namespace datc::core {
+
+class StreamingDatcReconstructor {
+ public:
+  StreamingDatcReconstructor(const ReconstructionConfig& config,
+                             CalibrationPtr calibration);
+
+  /// Appends the next slice of decoded events (time-sorted continuation
+  /// of the stream; may be empty).
+  void push_events(std::span<const Event> events);
+
+  /// Promise: every event with time_s < watermark has been pushed, and
+  /// watermark does not exceed the final record duration. Emits every
+  /// output sample that promise finalises.
+  void advance_to(Real watermark);
+
+  /// End of stream: fixes the output length at llround(duration_s *
+  /// output_fs_hz) — exactly the batch grid — and emits the tail.
+  void finish(Real duration_s);
+
+  /// Moves the samples emitted since the last drain into `out`.
+  void drain(std::vector<Real>& out);
+
+  /// Output samples emitted so far (global count).
+  [[nodiscard]] std::size_t emitted() const { return emit_n_; }
+  /// Upper bound on emission latency behind the watermark, in seconds.
+  [[nodiscard]] Real latency_s() const;
+  /// Current working-set size — the bounded-memory claim, measurable.
+  [[nodiscard]] std::size_t buffered_bytes() const;
+
+  [[nodiscard]] const ReconstructionConfig& config() const { return config_; }
+
+ private:
+  ReconstructionConfig config_;
+  CalibrationPtr cal_;
+  Real lsb_;
+  std::size_t w_;  ///< smoothing window in output samples, >= 1
+  std::size_t h_;  ///< half window (w_ / 2)
+
+  std::deque<Event> ev_;        ///< retained events
+  std::size_t ev_base_{0};      ///< global index of ev_.front()
+  std::size_t ev_pushed_{0};    ///< global event count pushed so far
+  std::size_t lo_{0};           ///< rate window [t_lo, ...) cursor
+  std::size_t hi_{0};           ///< rate window [..., t_hi) cursor
+  std::size_t vth_next_{0};     ///< vth hold cursor
+  Real held_vth_;               ///< reset-code threshold until first event
+  Real last_time_{0.0};         ///< sort check across push calls
+  bool saw_event_{false};
+
+  std::vector<Real> prefix_;    ///< ring: prefix sums of the vth samples
+  std::size_t vth_count_{0};    ///< vth samples computed so far
+
+  std::size_t emit_n_{0};       ///< next output index to emit
+  Real watermark_;
+  bool finished_{false};
+  std::size_t n_total_{0};      ///< valid once finished_
+  Real duration_{0.0};          ///< valid once finished_
+  std::vector<Real> out_buf_;   ///< emitted, not yet drained
+
+  [[nodiscard]] Real prefix_at(std::size_t j) const {
+    return prefix_[j % prefix_.size()];
+  }
+  [[nodiscard]] Real ev_time(std::size_t global) const {
+    return ev_[global - ev_base_].time_s;
+  }
+  void pump();
+  bool extend_vth();
+  bool emit_ready();
+};
+
+}  // namespace datc::core

@@ -1,0 +1,489 @@
+#include "runtime/session.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "runtime/thread_pool.hpp"
+
+namespace datc::runtime {
+
+namespace {
+
+/// Receiver configuration shared by both session flavours — must mirror
+/// run_datc_over_link / run_aer_over_link exactly.
+uwb::UwbReceiverConfig receiver_config(const SessionConfig& config,
+                                       const uwb::ModulatorConfig& mod,
+                                       unsigned address_bits) {
+  uwb::UwbReceiverConfig rxc;
+  rxc.detector = config.link.detector;
+  rxc.modulator = mod;
+  rxc.address_bits = address_bits;
+  rxc.decode_codes = true;
+  rxc.cache_detection = config.cache_detection;
+  return rxc;
+}
+
+uwb::ModulatorConfig frame_modulator(const SessionConfig& config) {
+  uwb::ModulatorConfig mod = config.link.modulator;
+  mod.code_bits = config.encoder.dtc.dac_bits;
+  return mod;
+}
+
+/// The two link Rng streams, derived exactly as the batch link functions
+/// derive them (channel stream = the seed engine after forking off the
+/// receiver stream).
+struct LinkRngs {
+  dsp::Rng rx;
+  dsp::Rng channel;
+};
+
+LinkRngs link_rngs(std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  dsp::Rng rx = rng.fork();
+  return LinkRngs{rx, rng};
+}
+
+}  // namespace
+
+SessionReport session_report_delta(const SessionReport& after,
+                                   const SessionReport& before) {
+  SessionReport d;
+  d.channel = after.channel;
+  d.samples_in = after.samples_in - before.samples_in;
+  d.events_tx = after.events_tx - before.events_tx;
+  d.pulses_tx = after.pulses_tx - before.pulses_tx;
+  d.pulses_erased = after.pulses_erased - before.pulses_erased;
+  d.events_rx = after.events_rx - before.events_rx;
+  d.arv_emitted = after.arv_emitted - before.arv_emitted;
+  d.decode = uwb::decode_stats_delta(after.decode, before.decode);
+  return d;
+}
+
+// ------------------------------------------------------- StreamingSession
+
+StreamingSession::StreamingSession(const SessionConfig& config,
+                                   std::uint32_t channel_id)
+    : config_(config),
+      channel_id_(channel_id),
+      encoder_(config.encoder, config.analog_fs_hz,
+               core::ArenaSink{&events_chunk_},
+               static_cast<std::uint16_t>(channel_id & 0xffffu)),
+      modulator_(frame_modulator(config), /*address_bits=*/0),
+      channel_(config.link.channel,
+               link_rngs(config.link.seed ^ channel_id).channel),
+      receiver_(receiver_config(config, frame_modulator(config), 0),
+                config.link.channel,
+                link_rngs(config.link.seed ^ channel_id).rx),
+      reconstructor_(config.recon, config.calibration) {
+  dsp::require(config_.calibration != nullptr,
+               "StreamingSession: null calibration");
+}
+
+void StreamingSession::run_link_chunk(Real watermark, bool flush) {
+  // Single-channel frames carry no address field (the channel tag rides
+  // on the event struct only), so the pulse layout is modulate_datc's.
+  tx_chunk_.clear();
+  modulator_.modulate_chunk(events_chunk_.events(), tx_chunk_);
+
+  rx_chunk_.clear();
+  channel_.propagate_chunk(tx_chunk_, watermark, rx_chunk_);
+  if (flush) channel_.flush(rx_chunk_);
+
+  decoded_chunk_.clear();
+  receiver_.decode_chunk(rx_chunk_,
+                         flush ? std::numeric_limits<Real>::infinity()
+                               : channel_.release_watermark(),
+                         decoded_chunk_);
+  events_rx_ += decoded_chunk_.size();
+  if (config_.keep_rx_events) {
+    for (const auto& e : decoded_chunk_.events()) {
+      rx_events_.add(e.time_s, e.vth_code, e.channel);
+    }
+  }
+
+  reconstructor_.push_events(decoded_chunk_.events());
+  if (flush) {
+    if (samples_in_ > 0) {
+      reconstructor_.finish(static_cast<Real>(samples_in_) /
+                            config_.analog_fs_hz);
+    }
+  } else {
+    reconstructor_.advance_to(receiver_.event_time_watermark());
+  }
+  reconstructor_.drain(arv_);
+  arv_emitted_ = reconstructor_.emitted();
+  peak_bytes_ = std::max(peak_bytes_, buffered_bytes());
+}
+
+void StreamingSession::push_chunk(std::span<const Real> samples_v) {
+  dsp::require(!finished_, "StreamingSession: push_chunk after finish");
+  if (samples_v.empty()) return;
+  events_chunk_.clear();
+  encoder_.push_block(samples_v);
+  samples_in_ += samples_v.size();
+  // The reconstruction watermark must also bound the (still unknown)
+  // final duration, so cap the encoder's clock watermark at the newest
+  // sample's record time.
+  const Real t_signal =
+      static_cast<Real>(samples_in_) / config_.analog_fs_hz;
+  run_link_chunk(std::min(encoder_.event_time_watermark(), t_signal),
+                 /*flush=*/false);
+}
+
+void StreamingSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  events_chunk_.clear();
+  run_link_chunk(std::numeric_limits<Real>::infinity(), /*flush=*/true);
+}
+
+void StreamingSession::drain_arv(std::vector<Real>& out) {
+  out.insert(out.end(), arv_.begin(), arv_.end());
+  arv_.clear();
+}
+
+SessionReport StreamingSession::report() const {
+  SessionReport r;
+  r.channel = channel_id_;
+  r.samples_in = samples_in_;
+  r.events_tx = encoder_.events_emitted();
+  r.pulses_tx = modulator_.pulses_emitted();
+  r.pulses_erased = channel_.erased();
+  r.events_rx = events_rx_;
+  r.arv_emitted = arv_emitted_;
+  r.decode = receiver_.stats();
+  return r;
+}
+
+SessionReport StreamingSession::take_delta() {
+  const SessionReport now = report();
+  const SessionReport d = session_report_delta(now, last_delta_);
+  last_delta_ = now;
+  return d;
+}
+
+std::size_t StreamingSession::buffered_bytes() const {
+  return channel_.buffered() * sizeof(uwb::PulseEmission) +
+         receiver_.pending() * sizeof(uwb::PulseEmission) +
+         reconstructor_.buffered_bytes() + arv_.capacity() * sizeof(Real) +
+         tx_chunk_.pulses().capacity() * sizeof(uwb::PulseEmission) +
+         rx_chunk_.pulses().capacity() * sizeof(uwb::PulseEmission) +
+         events_chunk_.capacity() * sizeof(core::Event);
+}
+
+// ----------------------------------------------- SharedAerStreamingSession
+
+SharedAerStreamingSession::SharedAerStreamingSession(
+    const SessionConfig& config, const sim::SharedAerConfig& shared,
+    std::size_t num_channels)
+    : config_(config),
+      shared_(shared),
+      modulator_(frame_modulator(config), shared.aer.address_bits),
+      channel_(config.link.channel, link_rngs(config.link.seed).channel),
+      receiver_(receiver_config(config, frame_modulator(config),
+                                shared.aer.address_bits),
+                config.link.channel, link_rngs(config.link.seed).rx) {
+  dsp::require(config_.calibration != nullptr,
+               "SharedAerStreamingSession: null calibration");
+  dsp::require(num_channels >= 1,
+               "SharedAerStreamingSession: need >= 1 channel");
+  dsp::require(shared_.aer.address_bits <= 16,
+               "SharedAerStreamingSession: address space wider than "
+               "Event::channel");
+  dsp::require(num_channels <= (std::size_t{1} << shared_.aer.address_bits),
+               "SharedAerStreamingSession: more channels than the address "
+               "space");
+  dsp::require(shared_.aer.min_spacing_s >= 0.0 &&
+                   shared_.aer.max_queue_delay_s >= 0.0,
+               "SharedAerStreamingSession: timing parameters must be "
+               "non-negative");
+  dsp::require(!shared_.ideal_radio,
+               "SharedAerStreamingSession: ideal_radio is a batch-only "
+               "reference mode");
+  queues_.resize(num_channels);
+  rx_events_.resize(num_channels);
+  arv_.resize(num_channels);
+  events_rx_.assign(num_channels, 0);
+  arv_emitted_.assign(num_channels, 0);
+  encoders_.reserve(num_channels);
+  reconstructors_.reserve(num_channels);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    encoders_.push_back(
+        std::make_unique<core::StreamingDatcEncoderT<core::ArenaSink>>(
+            config_.encoder, config_.analog_fs_hz,
+            core::ArenaSink{&events_chunk_},
+            static_cast<std::uint16_t>(c)));
+    reconstructors_.push_back(std::make_unique<core::StreamingDatcReconstructor>(
+        config_.recon, config_.calibration));
+  }
+}
+
+/// Pops every event that is provably next in aer_merge's stable
+/// (time, channel, FIFO) order and runs the arbiter recurrence on it.
+void SharedAerStreamingSession::merge_below(Real watermark) {
+  merged_chunk_.clear();
+  while (true) {
+    std::size_t best = queues_.size();
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      if (queues_[c].empty()) continue;
+      if (best == queues_.size() ||
+          queues_[c].front().time_s < queues_[best].front().time_s) {
+        best = c;  // strict <: equal times keep the lower channel
+      }
+    }
+    if (best == queues_.size()) break;
+    const core::Event e = queues_[best].front();
+    // An event at or beyond the watermark may still be preceded by a
+    // future event of another (currently drained) channel: wait.
+    if (!(e.time_s < watermark)) break;
+    queues_[best].pop_front();
+    ++arbiter_.in_events;
+    const Real send_at = std::max(e.time_s, next_free_);
+    const Real delay = send_at - e.time_s;
+    if (delay > shared_.aer.max_queue_delay_s) {
+      ++arbiter_.dropped;
+      continue;
+    }
+    merged_chunk_.add(send_at, e.vth_code,
+                      static_cast<std::uint16_t>(best));
+    next_free_ = send_at + shared_.aer.min_spacing_s;
+    ++arbiter_.sent;
+    arbiter_.max_delay_s = std::max(arbiter_.max_delay_s, delay);
+  }
+}
+
+void SharedAerStreamingSession::run_link_chunk(Real merged_watermark,
+                                               Real recon_watermark_cap,
+                                               bool flush) {
+  tx_chunk_.clear();
+  modulator_.modulate_chunk(merged_chunk_.events(), tx_chunk_);
+
+  rx_chunk_.clear();
+  channel_.propagate_chunk(tx_chunk_, merged_watermark, rx_chunk_);
+  if (flush) channel_.flush(rx_chunk_);
+
+  decoded_chunk_.clear();
+  receiver_.decode_chunk(rx_chunk_,
+                         flush ? std::numeric_limits<Real>::infinity()
+                               : channel_.release_watermark(),
+                         decoded_chunk_);
+
+  // Demux straight into the per-channel reconstructors.
+  for (const auto& e : decoded_chunk_.events()) {
+    ++demux_.in_events;
+    if (e.channel < queues_.size()) {
+      ++demux_.sent;
+      ++events_rx_[e.channel];
+      if (config_.keep_rx_events) {
+        rx_events_[e.channel].add(e.time_s, e.vth_code, e.channel);
+      }
+      reconstructors_[e.channel]->push_events({&e, 1});
+    } else {
+      ++demux_.invalid_address;
+    }
+  }
+  // Arbitration backlog can push send times past the (still unknown)
+  // record end, but the reconstruction watermark must never exceed the
+  // final duration — cap it at the newest sample's record time.
+  const Real event_watermark =
+      std::min(receiver_.event_time_watermark(), recon_watermark_cap);
+  const Real duration = static_cast<Real>(samples_in_per_channel_) /
+                        config_.analog_fs_hz;
+  for (std::size_t c = 0; c < reconstructors_.size(); ++c) {
+    if (flush) {
+      if (samples_in_per_channel_ > 0) reconstructors_[c]->finish(duration);
+    } else {
+      reconstructors_[c]->advance_to(event_watermark);
+    }
+    reconstructors_[c]->drain(arv_[c]);
+    arv_emitted_[c] = reconstructors_[c]->emitted();
+  }
+}
+
+void SharedAerStreamingSession::push_chunk(std::span<const Real> samples_v) {
+  dsp::require(!finished_,
+               "SharedAerStreamingSession: push_chunk after finish");
+  const std::size_t n_ch = queues_.size();
+  dsp::require(samples_v.size() % n_ch == 0,
+               "SharedAerStreamingSession: chunk must hold the same sample "
+               "count for every channel (channel-major)");
+  const std::size_t k = samples_v.size() / n_ch;
+  if (k == 0) return;
+  Real watermark = std::numeric_limits<Real>::infinity();
+  for (std::size_t c = 0; c < n_ch; ++c) {
+    events_chunk_.clear();
+    encoders_[c]->push_block(samples_v.subspan(c * k, k));
+    for (const auto& e : events_chunk_.events()) queues_[c].push_back(e);
+    watermark = std::min(watermark, encoders_[c]->event_time_watermark());
+  }
+  samples_in_per_channel_ += k;
+  const Real t_signal = static_cast<Real>(samples_in_per_channel_) /
+                        config_.analog_fs_hz;
+  watermark = std::min(watermark, t_signal);
+  merge_below(watermark);
+  // Future merged events leave at max(event time, arbiter busy-until).
+  run_link_chunk(std::max(watermark, next_free_), t_signal,
+                 /*flush=*/false);
+}
+
+void SharedAerStreamingSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const Real inf = std::numeric_limits<Real>::infinity();
+  merge_below(inf);
+  run_link_chunk(inf, inf, /*flush=*/true);
+}
+
+void SharedAerStreamingSession::drain_arv(std::size_t channel,
+                                          std::vector<Real>& out) {
+  auto& src = arv_.at(channel);
+  out.insert(out.end(), src.begin(), src.end());
+  src.clear();
+}
+
+SessionReport SharedAerStreamingSession::report(std::size_t channel) const {
+  dsp::require(channel < queues_.size(),
+               "SharedAerStreamingSession: channel out of range");
+  SessionReport r;
+  r.channel = static_cast<std::uint32_t>(channel);
+  r.samples_in = samples_in_per_channel_;
+  r.events_tx = encoders_[channel]->events_emitted();
+  // The radio is link-wide in shared mode; per-channel pulse counts do
+  // not exist (mirrors the batch SharedLinkReport split).
+  r.events_rx = events_rx_[channel];
+  r.arv_emitted = arv_emitted_[channel];
+  return r;
+}
+
+// --------------------------------------------------------- SessionManager
+
+SessionManager::SessionManager(const Config& config)
+    : config_(config),
+      pool_(std::make_unique<ThreadPool>(config.jobs)) {
+  dsp::require(config_.max_pending_chunks >= 1,
+               "SessionManager: need a queue bound of at least 1");
+}
+
+SessionManager::~SessionManager() {
+  try {
+    drain();
+  } catch (...) {
+    // Destruction must not throw; errors were the caller's to collect.
+  }
+}
+
+std::size_t SessionManager::jobs() const { return pool_->size(); }
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+SessionManager::SessionId SessionManager::add(
+    std::unique_ptr<Session> session) {
+  dsp::require(session != nullptr, "SessionManager: null session");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto slot = std::make_unique<Slot>();
+  slot->session = std::move(session);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+Session& SessionManager::session(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  return *slots_[id]->session;
+}
+
+void SessionManager::submit_chunk(SessionId id,
+                                  std::span<const Real> samples_v) {
+  std::unique_lock<std::mutex> lock(mu_);
+  dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  Slot& slot = *slots_[id];
+  cv_space_.wait(lock, [&slot, this] {
+    return slot.queue.size() < config_.max_pending_chunks;
+  });
+  slot.queue.emplace_back(samples_v.begin(), samples_v.end());
+  schedule_locked(id);
+}
+
+void SessionManager::submit_finish(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  slots_[id]->finish_pending = true;
+  schedule_locked(id);
+}
+
+void SessionManager::schedule_locked(SessionId id) {
+  Slot& slot = *slots_[id];
+  if (slot.active) return;  // the running strand will pick the work up
+  if (slot.queue.empty() && !slot.finish_pending) return;
+  slot.active = true;
+  pool_->submit([this, id] { run_strand(id); });
+}
+
+void SessionManager::run_strand(SessionId id) {
+  Slot* slot_ptr = nullptr;
+  {
+    // slots_ may grow (reallocate) concurrently; the Slot itself is
+    // heap-stable once added.
+    std::lock_guard<std::mutex> lock(mu_);
+    slot_ptr = slots_[id].get();
+  }
+  Slot& slot = *slot_ptr;
+  while (true) {
+    std::vector<Real> chunk;
+    bool do_finish = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!slot.queue.empty()) {
+        chunk = std::move(slot.queue.front());
+        slot.queue.pop_front();
+      } else if (slot.finish_pending) {
+        slot.finish_pending = false;
+        do_finish = true;
+      } else {
+        slot.active = false;
+        cv_idle_.notify_all();
+        return;
+      }
+    }
+    cv_space_.notify_all();
+    try {
+      if (do_finish) {
+        slot.session->finish();
+      } else {
+        slot.session->push_chunk(chunk);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+      // Abandon this session's remaining work; keep the engine alive.
+      slot.queue.clear();
+      slot.finish_pending = false;
+      slot.active = false;
+      cv_space_.notify_all();
+      cv_idle_.notify_all();
+      return;
+    }
+  }
+}
+
+void SessionManager::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] {
+    for (const auto& slot : slots_) {
+      if (slot->active || !slot->queue.empty() || slot->finish_pending) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (first_error_ != nullptr) {
+    const std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace datc::runtime

@@ -1,0 +1,250 @@
+#pragma once
+// Streaming session engine: the full D-ATC chain — encode -> modulate ->
+// channel -> decode -> reconstruct — run incrementally on sample chunks
+// with O(chunk + window) working set, for long-lived sessions the batch
+// PipelineRunner cannot serve (it needs the whole recording, the whole
+// event stream and the whole pulse train in memory before scoring).
+//
+// Bit-identicality contract: for the same seeds, a session fed any
+// chunking of a recording emits exactly the events, decoded stream and
+// ARV samples of the batch pipeline (run_channel / run_shared). Each
+// stage guarantees this through watermarks and split Rng streams — see
+// uwb/streaming_link.hpp and core/streaming_reconstruct.hpp. Tests sweep
+// chunk sizes {1, 7, 64, 4096, whole record} against the batch engine.
+//
+// SessionManager multiplexes many concurrent sessions over the thread
+// pool: chunks of one session run strictly in submission order (a strand),
+// different sessions run in parallel, and a bounded per-session queue
+// gives the producer backpressure instead of unbounded buffering.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/event_arena.hpp"
+#include "core/streaming.hpp"
+#include "core/streaming_reconstruct.hpp"
+#include "sim/end_to_end.hpp"
+#include "uwb/streaming_link.hpp"
+
+namespace datc::runtime {
+
+class ThreadPool;
+
+using dsp::Real;
+
+/// Everything one streaming channel needs; sim::make_session_config
+/// derives it from the batch EvalConfig + LinkConfig so the streaming and
+/// batch pipelines are parameterised identically.
+struct SessionConfig {
+  core::DatcEncoderConfig encoder{};
+  Real analog_fs_hz{2500.0};
+  sim::LinkConfig link{};  ///< link.seed is the base seed (xor channel id)
+  core::ReconstructionConfig recon{};
+  core::CalibrationPtr calibration;  ///< required (shared across sessions)
+  bool cache_detection{true};  ///< bit-identical fast detection stage
+  bool keep_rx_events{false};  ///< retain decoded events (tests/debug)
+};
+
+/// Cumulative per-session counters. SessionManager consumers read either
+/// the running totals or the delta since their last poll.
+struct SessionReport {
+  std::uint32_t channel{0};
+  std::size_t samples_in{0};
+  std::size_t events_tx{0};
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  std::size_t events_rx{0};
+  std::size_t arv_emitted{0};
+  uwb::DecodeStats decode{};
+};
+
+/// Field-wise `after - before` (cumulative-counter delta).
+[[nodiscard]] SessionReport session_report_delta(const SessionReport& after,
+                                                 const SessionReport& before);
+
+/// Abstract chunk consumer the SessionManager schedules.
+class Session {
+ public:
+  virtual ~Session() = default;
+  /// Feed the next chunk of analog samples (layout is session-defined).
+  virtual void push_chunk(std::span<const Real> samples_v) = 0;
+  /// End of stream: flush every stage.
+  virtual void finish() = 0;
+};
+
+/// One channel end-to-end over its private radio (the streaming
+/// counterpart of PipelineRunner::run_channel; link seed = base ^ id).
+class StreamingSession final : public Session {
+ public:
+  StreamingSession(const SessionConfig& config, std::uint32_t channel_id);
+
+  void push_chunk(std::span<const Real> samples_v) override;
+  void finish() override;
+
+  /// Moves ARV samples emitted since the last drain into `out`.
+  void drain_arv(std::vector<Real>& out);
+
+  [[nodiscard]] SessionReport report() const;
+  /// Cumulative report delta since the previous take_delta() call.
+  [[nodiscard]] SessionReport take_delta();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const core::EventStream& rx_events() const {
+    return rx_events_;
+  }
+  /// Working-set proxy (reorder + reassembly + reconstruction buffers).
+  [[nodiscard]] std::size_t buffered_bytes() const;
+  [[nodiscard]] std::size_t peak_buffered_bytes() const { return peak_bytes_; }
+
+ private:
+  SessionConfig config_;
+  std::uint32_t channel_id_;
+  core::EventArena events_chunk_;
+  core::StreamingDatcEncoderT<core::ArenaSink> encoder_;
+  uwb::StreamingModulator modulator_;
+  uwb::StreamingChannel channel_;
+  uwb::StreamingUwbReceiver receiver_;
+  core::StreamingDatcReconstructor reconstructor_;
+  uwb::PulseTrain tx_chunk_;
+  uwb::PulseTrain rx_chunk_;
+  core::EventStream decoded_chunk_;
+  std::vector<Real> arv_;
+  core::EventStream rx_events_;
+  std::size_t samples_in_{0};
+  std::size_t events_rx_{0};
+  std::size_t arv_emitted_{0};
+  std::size_t peak_bytes_{0};
+  bool finished_{false};
+  SessionReport last_delta_{};
+
+  void run_link_chunk(Real watermark, bool flush);
+};
+
+/// N channels contending for ONE arbitrated AER radio, streamed: the
+/// per-channel encoders feed an incremental arbiter (carried next_free
+/// state, k-way time/channel merge — exactly aer_merge's stable order),
+/// one radio chain, and per-channel reconstructors after the demux.
+/// Chunks arrive in lockstep rounds: push_chunk takes the samples of ALL
+/// channels, channel-major ([ch0 k samples][ch1 k samples]...).
+class SharedAerStreamingSession final : public Session {
+ public:
+  SharedAerStreamingSession(const SessionConfig& config,
+                            const sim::SharedAerConfig& shared,
+                            std::size_t num_channels);
+
+  void push_chunk(std::span<const Real> samples_v) override;
+  void finish() override;
+
+  void drain_arv(std::size_t channel, std::vector<Real>& out);
+  [[nodiscard]] SessionReport report(std::size_t channel) const;
+  [[nodiscard]] const uwb::AerStats& arbiter_stats() const { return arbiter_; }
+  [[nodiscard]] const uwb::AerStats& demux_stats() const { return demux_; }
+  [[nodiscard]] const uwb::DecodeStats& decode_stats() const {
+    return receiver_.stats();
+  }
+  [[nodiscard]] std::size_t num_channels() const { return encoders_.size(); }
+  [[nodiscard]] const core::EventStream& rx_events(std::size_t channel) const {
+    return rx_events_[channel];
+  }
+  [[nodiscard]] std::size_t pulses_tx() const {
+    return modulator_.pulses_emitted();
+  }
+  [[nodiscard]] std::size_t pulses_erased() const { return channel_.erased(); }
+
+ private:
+  SessionConfig config_;
+  sim::SharedAerConfig shared_;
+  core::EventArena events_chunk_;
+  std::vector<std::unique_ptr<core::StreamingDatcEncoderT<core::ArenaSink>>>
+      encoders_;
+  std::vector<std::deque<core::Event>> queues_;  ///< per-channel, pre-merge
+  uwb::AerStats arbiter_{};
+  Real next_free_{-1.0};
+  uwb::StreamingModulator modulator_;
+  uwb::StreamingChannel channel_;
+  uwb::StreamingUwbReceiver receiver_;
+  std::vector<std::unique_ptr<core::StreamingDatcReconstructor>>
+      reconstructors_;
+  uwb::AerStats demux_{};
+  core::EventStream merged_chunk_;
+  uwb::PulseTrain tx_chunk_;
+  uwb::PulseTrain rx_chunk_;
+  core::EventStream decoded_chunk_;
+  std::vector<std::vector<Real>> arv_;
+  std::vector<core::EventStream> rx_events_;
+  std::vector<std::size_t> events_rx_;
+  std::vector<std::size_t> arv_emitted_;
+  std::size_t samples_in_per_channel_{0};
+  bool finished_{false};
+
+  void merge_below(Real watermark);
+  void run_link_chunk(Real merged_watermark, Real recon_watermark_cap,
+                      bool flush);
+};
+
+/// Schedules many Sessions over one thread pool. Per-session ordering is
+/// strict (chunks run in submission order, never concurrently with each
+/// other); cross-session execution is parallel. submit_chunk blocks once
+/// `max_pending_chunks` chunks of that session are queued — backpressure
+/// towards the producer instead of unbounded memory.
+class SessionManager {
+ public:
+  struct Config {
+    std::size_t jobs{0};  ///< worker threads; 0 = hardware concurrency
+    std::size_t max_pending_chunks{4};  ///< per-session queue bound
+  };
+
+  explicit SessionManager(const Config& config);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  using SessionId = std::size_t;
+
+  /// Registers a session; the manager owns it. The returned id addresses
+  /// submissions; the raw pointer stays valid for reading reports after
+  /// drain().
+  SessionId add(std::unique_ptr<Session> session);
+
+  /// Enqueues a chunk for the session (copies the samples). Blocks while
+  /// the session's queue is full.
+  void submit_chunk(SessionId id, std::span<const Real> samples_v);
+
+  /// Enqueues the end-of-stream flush after every queued chunk.
+  void submit_finish(SessionId id);
+
+  /// Blocks until every queued chunk and finish has run. Rethrows the
+  /// first session exception, if any.
+  void drain();
+
+  [[nodiscard]] Session& session(SessionId id);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t jobs() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Session> session;
+    std::deque<std::vector<Real>> queue;
+    bool finish_pending{false};
+    bool active{false};  ///< a worker is currently running this strand
+  };
+
+  Config config_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;
+  std::condition_variable cv_idle_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::exception_ptr first_error_;
+
+  void schedule_locked(SessionId id);
+  void run_strand(SessionId id);
+};
+
+}  // namespace datc::runtime

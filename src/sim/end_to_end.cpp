@@ -29,7 +29,12 @@ DatcLinkRun run_datc_over_link(const core::EventStream& tx,
   const auto train = uwb::modulate_datc(tx, mod);
   out.pulses_tx = train.size();
 
+  // Both Rng streams derive from the seed BEFORE any propagation draw:
+  // the receiver's stream must not depend on the pulse count consumed by
+  // the channel, or no chunked execution could ever reproduce this run
+  // (the streaming session derives the same two streams up front).
   dsp::Rng rng(link.seed);
+  dsp::Rng rx_rng = rng.fork();
   const auto ch = uwb::propagate(train, link.channel, rng);
   out.pulses_erased = ch.erased;
 
@@ -38,7 +43,7 @@ DatcLinkRun run_datc_over_link(const core::EventStream& tx,
   rxc.modulator = mod;
   rxc.decode_codes = true;
   rxc.cache_detection = cache_detection;
-  uwb::UwbReceiver rx(rxc, link.channel, rng.fork());
+  uwb::UwbReceiver rx(rxc, link.channel, rx_rng);
   out.events_rx = rx.decode(ch.received);
   out.events_rx.sort_by_time();
   out.decode = rx.stats();
@@ -75,7 +80,9 @@ SharedAerRun run_aer_over_link(const core::EventStream& merged_tx,
         uwb::modulate_aer(out.merged_tx, mod, shared.aer.address_bits);
     out.pulses_tx = train.size();
 
+    // RX stream forked before propagation — see run_datc_over_link.
     dsp::Rng rng(link.seed);
+    dsp::Rng rx_rng = rng.fork();
     const auto ch = uwb::propagate(train, link.channel, rng);
     out.pulses_erased = ch.erased;
 
@@ -85,7 +92,7 @@ SharedAerRun run_aer_over_link(const core::EventStream& merged_tx,
     rxc.address_bits = shared.aer.address_bits;
     rxc.decode_codes = true;
     rxc.cache_detection = shared.cache_detection;
-    uwb::UwbReceiver rx(rxc, link.channel, rng.fork());
+    uwb::UwbReceiver rx(rxc, link.channel, rx_rng);
     out.merged_rx = rx.decode(ch.received);
     out.merged_rx.sort_by_time();
     out.decode = rx.stats();
@@ -153,7 +160,9 @@ EndToEndResult EndToEnd::run_atc(const emg::Recording& rec,
   const auto train = uwb::modulate_atc(tx.events, link_.modulator);
   out.pulses_tx = train.size();
 
+  // RX stream forked before propagation — see run_datc_over_link.
   dsp::Rng rng(link_.seed);
+  dsp::Rng rx_rng = rng.fork();
   const auto ch = uwb::propagate(train, link_.channel, rng);
   out.pulses_erased = ch.erased;
 
@@ -161,7 +170,7 @@ EndToEndResult EndToEnd::run_atc(const emg::Recording& rec,
   rxc.detector = link_.detector;
   rxc.modulator = link_.modulator;
   rxc.decode_codes = false;
-  uwb::UwbReceiver rx(rxc, link_.channel, rng.fork());
+  uwb::UwbReceiver rx(rxc, link_.channel, rx_rng);
   auto events_rx = rx.decode(ch.received);
   events_rx.sort_by_time();
   out.events_rx = events_rx.size();

@@ -71,6 +71,26 @@ void emit_field(PulseTrain& train, const ModulatorConfig& config, Real t0,
 
 }  // namespace
 
+namespace detail {
+
+void emit_frame(PulseTrain& train, const ModulatorConfig& config,
+                unsigned address_bits, const core::Event& event,
+                std::uint32_t id) {
+  // With no address field the frame is a plain D-ATC packet; the event's
+  // channel tag is simply not transmitted (modulate_datc semantics).
+  dsp::require(address_bits == 0 || address_bits == 16 ||
+                   event.channel < (std::uint32_t{1} << address_bits),
+               "modulate_aer: event address outside the address space");
+  train.add(PulseEmission{event.time_s, config.shape.amplitude_v, id,
+                          /*is_marker=*/true});
+  emit_field(train, config, event.time_s, event.channel, address_bits,
+             /*first_slot=*/1, id);
+  emit_field(train, config, event.time_s, event.vth_code, config.code_bits,
+             /*first_slot=*/1 + address_bits, id);
+}
+
+}  // namespace detail
+
 PulseTrain modulate_datc(const core::EventStream& events,
                          const ModulatorConfig& config) {
   dsp::require(config.symbol_period_s > 0.0,
@@ -82,10 +102,7 @@ PulseTrain modulate_datc(const core::EventStream& events,
   train.reserve(events.size() * (1 + config.code_bits));
   std::uint32_t id = 0;
   for (const auto& e : events.events()) {
-    train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id,
-                            /*is_marker=*/true});
-    emit_field(train, config, e.time_s, e.vth_code, config.code_bits,
-               /*first_slot=*/1, id);
+    detail::emit_frame(train, config, /*address_bits=*/0, e, id);
     ++id;
   }
   return train;
@@ -104,15 +121,7 @@ PulseTrain modulate_aer(const core::EventStream& events,
   train.reserve(events.size() * (1 + address_bits + config.code_bits));
   std::uint32_t id = 0;
   for (const auto& e : events.events()) {
-    dsp::require(address_bits == 16 ||
-                     e.channel < (std::uint32_t{1} << address_bits),
-                 "modulate_aer: event address outside the address space");
-    train.add(PulseEmission{e.time_s, config.shape.amplitude_v, id,
-                            /*is_marker=*/true});
-    emit_field(train, config, e.time_s, e.channel, address_bits,
-               /*first_slot=*/1, id);
-    emit_field(train, config, e.time_s, e.vth_code, config.code_bits,
-               /*first_slot=*/1 + address_bits, id);
+    detail::emit_frame(train, config, address_bits, e, id);
     ++id;
   }
   return train;

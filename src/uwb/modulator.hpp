@@ -31,6 +31,10 @@ class PulseTrain {
   [[nodiscard]] bool empty() const { return pulses_.empty(); }
   void sort_by_time();
 
+  /// Drop the pulses, keep the allocation (per-chunk buffer reuse in the
+  /// streaming paths).
+  void clear() { pulses_.clear(); }
+
   /// Renders the train into a sampled waveform over [t0, t1) at fs_hz.
   /// Meant for short PSD-analysis windows — rendering 20 s at 20 GS/s is
   /// deliberately not supported (throws above `max_samples`).
@@ -65,6 +69,18 @@ struct ModulatorConfig {
 [[nodiscard]] PulseTrain modulate_aer(const core::EventStream& events,
                                       const ModulatorConfig& config,
                                       unsigned address_bits);
+
+namespace detail {
+
+/// Appends one event's frame — marker, then the optional AER address
+/// field, then the code field — to the train. Shared by the batch
+/// modulators and StreamingModulator so the pulse layout cannot drift
+/// between the two paths.
+void emit_frame(PulseTrain& train, const ModulatorConfig& config,
+                unsigned address_bits, const core::Event& event,
+                std::uint32_t id);
+
+}  // namespace detail
 
 /// Total on-air duration of one D-ATC packet.
 [[nodiscard]] Real packet_duration_s(const ModulatorConfig& config);

@@ -1,9 +1,11 @@
 #include "uwb/receiver.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "dsp/stats.hpp"
+#include "uwb/streaming_link.hpp"
 
 namespace datc::uwb {
 
@@ -31,109 +33,25 @@ Real detection_probability(const EnergyDetectorConfig& det,
 
 UwbReceiver::UwbReceiver(const UwbReceiverConfig& config,
                          const ChannelConfig& channel, dsp::Rng rng)
-    : config_(config), channel_(channel), rng_(rng) {
-  PulseShapeConfig unit = config_.modulator.shape;
-  unit.amplitude_v = 1.0;
-  // Sample the unit pulse finely enough for an accurate energy integral.
-  const Real fs = 64.0 / unit.tau_s;
-  unit_pulse_energy_ = pulse_energy(unit, fs);
-}
+    : core_(std::make_unique<StreamingUwbReceiver>(config, channel, rng)) {}
+
+UwbReceiver::~UwbReceiver() = default;
+UwbReceiver::UwbReceiver(UwbReceiver&&) noexcept = default;
+UwbReceiver& UwbReceiver::operator=(UwbReceiver&&) noexcept = default;
 
 core::EventStream UwbReceiver::decode(const PulseTrain& rx) {
-  stats_ = DecodeStats{};
+  const DecodeStats before = core_->stats();
   core::EventStream out;
-  const auto& pulses = rx.pulses();
-  stats_.pulses_in = pulses.size();
-
-  // Stage 1: per-pulse detection.
-  std::vector<PulseEmission> detected;
-  detected.reserve(pulses.size());
-  Real cached_energy = -1.0;
-  Real cached_pd = 0.0;
-  for (const auto& p : pulses) {
-    const Real energy = unit_pulse_energy_ * p.amplitude_v * p.amplitude_v;
-    Real pd;
-    if (config_.cache_detection) {
-      if (energy != cached_energy) {
-        cached_energy = energy;
-        cached_pd = detection_probability(config_.detector, channel_, energy);
-      }
-      pd = cached_pd;
-    } else {
-      pd = detection_probability(config_.detector, channel_, energy);
-    }
-    if (rng_.chance(pd)) detected.push_back(p);
-  }
-  stats_.pulses_detected = detected.size();
-
-  out.reserve(detected.size());
-  if (!config_.decode_codes) {
-    for (const auto& p : detected) out.add(p.time_s, 0);
-    return out;
-  }
-
-  // Stage 2: packet reassembly. Any detected pulse not claimed as a bit of
-  // an open packet is treated as a marker starting a new packet. A frame
-  // carries the AER address field (when configured) followed by the code
-  // field; both are OOK slots on the same grid.
-  const Real ts = config_.modulator.symbol_period_s;
-  const unsigned addr_bits = config_.address_bits;
-  const unsigned code_bits = config_.modulator.code_bits;
-  const unsigned bits = addr_bits + code_bits;
-  const Real tol = config_.slot_tolerance * ts;
-  // A pulse inside a frame's window that misses every slot tolerance is
-  // not part of that frame (e.g. the jittered marker of the next one):
-  // it stays unclaimed and reassembly resumes there, instead of being
-  // swallowed with the frame and losing everything it started. Claimed
-  // pulses (markers and bit slots of decoded frames) are never re-used —
-  // a resumed frame must not promote an earlier frame's data bit to a
-  // marker.
-  std::vector<bool> claimed(detected.size(), false);
-  std::size_t i = 0;
-  while (i < detected.size()) {
-    if (claimed[i]) {
-      ++i;
-      continue;
-    }
-    const Real t0 = detected[i].time_s;
-    claimed[i] = true;  // this frame's marker
-    std::vector<bool> bit(bits, false);
-    for (std::size_t j = i + 1;
-         j < detected.size() &&
-         detected[j].time_s <= t0 + static_cast<Real>(bits) * ts + tol;
-         ++j) {
-      if (claimed[j]) continue;
-      const Real dt = detected[j].time_s - t0;
-      const auto slot = static_cast<long>(std::llround(dt / ts));
-      if (slot >= 1 && slot <= static_cast<long>(bits) &&
-          std::abs(dt - static_cast<Real>(slot) * ts) <= tol) {
-        bit[static_cast<std::size_t>(slot - 1)] = true;
-        claimed[j] = true;
-      }
-    }
-    // False alarms inside empty slots.
-    for (unsigned b = 0; b < bits; ++b) {
-      if (!bit[b] && rng_.chance(config_.detector.false_alarm_prob)) {
-        bit[b] = true;
-        ++stats_.false_alarm_bits;
-      }
-    }
-    const auto field = [&](unsigned first, unsigned width) {
-      std::uint32_t v = 0;
-      for (unsigned b = 0; b < width; ++b) {
-        const unsigned bit_index =
-            config_.modulator.msb_first ? width - 1 - b : b;
-        if (bit[first + b]) v |= (1u << bit_index);
-      }
-      return v;
-    };
-    const auto address = static_cast<std::uint16_t>(field(0, addr_bits));
-    const auto code = static_cast<std::uint8_t>(field(addr_bits, code_bits));
-    out.add(t0, code, address);
-    ++stats_.packets_decoded;
-    ++i;  // the claimed[] scan skips to the first unclaimed pulse
-  }
+  out.reserve(rx.size());
+  // The train is complete: an infinite watermark closes every frame.
+  core_->decode_chunk(rx, std::numeric_limits<Real>::infinity(), out);
+  core_->reset_stream();
+  last_ = decode_stats_delta(core_->stats(), before);
   return out;
+}
+
+const DecodeStats& UwbReceiver::cumulative_stats() const {
+  return core_->stats();
 }
 
 }  // namespace datc::uwb

@@ -6,8 +6,14 @@
 // the usual Gaussian approximation. Packet recovery then re-assembles
 // D-ATC events from marker + OOK bit slots, with honest failure modes
 // (missed markers, bit errors, stray detections promoted to markers).
+//
+// The decode machinery itself lives in StreamingUwbReceiver
+// (uwb/streaming_link.hpp), which keeps open-packet state across chunked
+// calls; UwbReceiver is the whole-train wrapper over that core, so the
+// batch and streaming paths cannot drift.
 
 #include <cstdint>
+#include <memory>
 
 #include "core/events.hpp"
 #include "dsp/rng.hpp"
@@ -40,6 +46,17 @@ struct DecodeStats {
   std::size_t false_alarm_bits{0};      ///< 0-slots read as 1
 };
 
+/// Field-wise difference `after - before`: the per-call view of a
+/// cumulative counter snapshot.
+[[nodiscard]] inline DecodeStats decode_stats_delta(const DecodeStats& after,
+                                                    const DecodeStats& before) {
+  return DecodeStats{after.pulses_in - before.pulses_in,
+                     after.pulses_detected - before.pulses_detected,
+                     after.packets_decoded - before.packets_decoded,
+                     after.code_bit_ones_missed - before.code_bit_ones_missed,
+                     after.false_alarm_bits - before.false_alarm_bits};
+}
+
 struct UwbReceiverConfig {
   EnergyDetectorConfig detector{};
   ModulatorConfig modulator{};  ///< packet layout (must match the TX)
@@ -59,23 +76,31 @@ struct UwbReceiverConfig {
   bool cache_detection{false};
 };
 
+class StreamingUwbReceiver;
+
 class UwbReceiver {
  public:
   UwbReceiver(const UwbReceiverConfig& config, const ChannelConfig& channel,
               dsp::Rng rng);
+  ~UwbReceiver();
+  UwbReceiver(UwbReceiver&&) noexcept;
+  UwbReceiver& operator=(UwbReceiver&&) noexcept;
 
-  /// Detects pulses and reassembles events. For code-carrying links a
-  /// detected pulse not claimed by an open packet starts a new packet.
+  /// Detects pulses and reassembles events from one complete train. For
+  /// code-carrying links a detected pulse not claimed by an open packet
+  /// starts a new packet. Repeated calls decode independent trains with a
+  /// continuing Rng; stats() reports the last call, cumulative_stats()
+  /// the running totals across every call.
   [[nodiscard]] core::EventStream decode(const PulseTrain& rx);
 
-  [[nodiscard]] const DecodeStats& stats() const { return stats_; }
+  /// Statistics of the most recent decode() call.
+  [[nodiscard]] const DecodeStats& stats() const { return last_; }
+  /// Running totals across every decode() call since construction.
+  [[nodiscard]] const DecodeStats& cumulative_stats() const;
 
  private:
-  UwbReceiverConfig config_;
-  ChannelConfig channel_;
-  dsp::Rng rng_;
-  DecodeStats stats_;
-  Real unit_pulse_energy_;  ///< energy of the shape at 1 V peak
+  std::unique_ptr<StreamingUwbReceiver> core_;
+  DecodeStats last_;
 };
 
 }  // namespace datc::uwb

@@ -1,0 +1,234 @@
+#include "uwb/streaming_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "uwb/pulse.hpp"
+
+namespace datc::uwb {
+
+namespace {
+
+constexpr Real kNegInf = -std::numeric_limits<Real>::infinity();
+
+/// Gaussian jitter is unbounded; 12 sigma bounds it for every practical
+/// purpose (excursion probability ~1e-33 per pulse), and exactly for
+/// jitter-free channels. See the StreamingChannel class comment.
+constexpr Real kJitterSigmas = 12.0;
+
+}  // namespace
+
+// ------------------------------------------------------------- modulator
+
+StreamingModulator::StreamingModulator(const ModulatorConfig& config,
+                                       unsigned address_bits)
+    : config_(config), address_bits_(address_bits) {
+  dsp::require(config_.symbol_period_s > 0.0,
+               "StreamingModulator: symbol period must be positive");
+  dsp::require(config_.code_bits >= 1 && config_.code_bits <= 8,
+               "StreamingModulator: code bits must lie in [1,8]");
+  dsp::require(address_bits_ <= 16,
+               "StreamingModulator: address bits must lie in [0,16]");
+}
+
+void StreamingModulator::modulate_chunk(std::span<const core::Event> events,
+                                        PulseTrain& train) {
+  const std::size_t before = train.size();
+  for (const auto& e : events) {
+    detail::emit_frame(train, config_, address_bits_, e, next_id_);
+    ++next_id_;
+  }
+  pulses_ += train.size() - before;
+}
+
+// --------------------------------------------------------------- channel
+
+StreamingChannel::StreamingChannel(const ChannelConfig& config, dsp::Rng rng)
+    : config_(config),
+      rng_(rng),
+      gain_(channel_gain(config)),
+      jitter_slack_(config.jitter_rms_s * kJitterSigmas),
+      release_watermark_(kNegInf) {
+  dsp::require(config_.erasure_prob >= 0.0 && config_.erasure_prob <= 1.0,
+               "StreamingChannel: erasure probability outside [0,1]");
+}
+
+void StreamingChannel::propagate_chunk(const PulseTrain& tx, Real tx_watermark,
+                                       PulseTrain& out) {
+  // Per-pulse draws in TX (packet) order — the exact sequence the batch
+  // propagate() consumes.
+  for (const auto& p : tx.pulses()) {
+    ++pulses_in_;
+    const std::uint64_t seq = next_seq_++;
+    if (config_.erasure_prob > 0.0 && rng_.chance(config_.erasure_prob)) {
+      ++erased_;
+      continue;
+    }
+    PulseEmission rx = p;
+    rx.amplitude_v = p.amplitude_v * gain_;
+    if (config_.jitter_rms_s > 0.0) {
+      rx.time_s += config_.jitter_rms_s * rng_.gaussian();
+    }
+    buffer_.push_back(Held{rx, seq});
+  }
+  release_below(tx_watermark - jitter_slack_, out);
+}
+
+void StreamingChannel::flush(PulseTrain& out) {
+  release_below(std::numeric_limits<Real>::infinity(), out);
+}
+
+void StreamingChannel::release_below(Real threshold, PulseTrain& out) {
+  if (threshold <= release_watermark_) return;  // watermark is monotone
+  release_watermark_ = threshold;
+  // (time, seq) ordering == the batch stable sort by time over TX order.
+  std::sort(buffer_.begin(), buffer_.end(), [](const Held& a, const Held& b) {
+    return a.pulse.time_s != b.pulse.time_s ? a.pulse.time_s < b.pulse.time_s
+                                            : a.seq < b.seq;
+  });
+  std::size_t n = 0;
+  while (n < buffer_.size() && buffer_[n].pulse.time_s < threshold) {
+    out.add(buffer_[n].pulse);
+    ++n;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
+}
+
+// -------------------------------------------------------------- receiver
+
+StreamingUwbReceiver::StreamingUwbReceiver(const UwbReceiverConfig& config,
+                                           const ChannelConfig& channel,
+                                           dsp::Rng rng)
+    : config_(config),
+      channel_(channel),
+      // Two independent streams forked from the seed engine: detection
+      // draws in pulse order, false-alarm draws in frame order. Each
+      // stream's order is chunk-invariant, which is what makes decode
+      // results independent of chunk boundaries.
+      rng_detect_(rng.fork()),
+      rng_frame_(rng.fork()),
+      watermark_(kNegInf) {
+  PulseShapeConfig unit = config_.modulator.shape;
+  unit.amplitude_v = 1.0;
+  // Sample the unit pulse finely enough for an accurate energy integral.
+  const Real fs = 64.0 / unit.tau_s;
+  unit_pulse_energy_ = pulse_energy(unit, fs);
+}
+
+void StreamingUwbReceiver::decode_chunk(const PulseTrain& rx, Real watermark,
+                                        core::EventStream& out) {
+  // Stage 1: per-pulse detection, in arrival (global time) order.
+  for (const auto& p : rx.pulses()) {
+    ++stats_.pulses_in;
+    const Real energy = unit_pulse_energy_ * p.amplitude_v * p.amplitude_v;
+    Real pd;
+    if (config_.cache_detection) {
+      if (energy != cached_energy_) {
+        cached_energy_ = energy;
+        cached_pd_ = detection_probability(config_.detector, channel_, energy);
+      }
+      pd = cached_pd_;
+    } else {
+      pd = detection_probability(config_.detector, channel_, energy);
+    }
+    if (!rng_detect_.chance(pd)) continue;
+    ++stats_.pulses_detected;
+    if (config_.decode_codes) {
+      pending_.push_back(p);
+    } else {
+      out.add(p.time_s, 0);
+    }
+  }
+  watermark_ = std::max(watermark_, watermark);
+  if (config_.decode_codes) close_frames(watermark_, out);
+}
+
+void StreamingUwbReceiver::flush(core::EventStream& out) {
+  watermark_ = std::numeric_limits<Real>::infinity();
+  close_frames(watermark_, out);
+}
+
+void StreamingUwbReceiver::reset_stream() {
+  dsp::require(pending_.empty(),
+               "StreamingUwbReceiver::reset_stream: open frames pending "
+               "(flush first)");
+  watermark_ = kNegInf;
+}
+
+Real StreamingUwbReceiver::event_time_watermark() const {
+  // The next decoded event is either the oldest pending (unclaimed) pulse
+  // promoted to a marker, or a pulse not yet received.
+  return pending_.empty() ? watermark_
+                          : std::min(pending_.front().time_s, watermark_);
+}
+
+void StreamingUwbReceiver::close_frames(Real closable_before,
+                                        core::EventStream& out) {
+  const Real ts = config_.modulator.symbol_period_s;
+  const unsigned bits = config_.address_bits + config_.modulator.code_bits;
+  const Real window =
+      static_cast<Real>(bits) * ts + config_.slot_tolerance * ts;
+  // A frame closes only when no future pulse can still land in its
+  // window: markers open at the oldest unclaimed pulse, exactly as the
+  // batch claimed[] scan resumes at the first unclaimed index.
+  while (!pending_.empty() &&
+         pending_.front().time_s + window < closable_before) {
+    close_front_frame(out);
+  }
+}
+
+void StreamingUwbReceiver::close_front_frame(core::EventStream& out) {
+  const Real ts = config_.modulator.symbol_period_s;
+  const unsigned addr_bits = config_.address_bits;
+  const unsigned code_bits = config_.modulator.code_bits;
+  const unsigned bits = addr_bits + code_bits;
+  const Real tol = config_.slot_tolerance * ts;
+
+  const Real t0 = pending_.front().time_s;  // this frame's marker
+  std::vector<bool> bit(bits, false);
+  // Scan the in-window prefix (pending_ is time-sorted); pulses matching
+  // a bit slot are claimed, off-slot pulses stay for the next frame.
+  std::size_t scan = 1;  // 0 is the marker
+  std::size_t keep = 1;
+  while (scan < pending_.size() &&
+         pending_[scan].time_s <= t0 + static_cast<Real>(bits) * ts + tol) {
+    const Real dt = pending_[scan].time_s - t0;
+    const auto slot = static_cast<long>(std::llround(dt / ts));
+    if (slot >= 1 && slot <= static_cast<long>(bits) &&
+        std::abs(dt - static_cast<Real>(slot) * ts) <= tol) {
+      bit[static_cast<std::size_t>(slot - 1)] = true;
+    } else {
+      pending_[keep++] = pending_[scan];
+    }
+    ++scan;
+  }
+  // Drop the marker and the claimed pulses, keeping the unclaimed ones in
+  // order: [kept unclaimed ...][untouched tail ...].
+  pending_.erase(pending_.begin() + static_cast<long>(keep),
+                 pending_.begin() + static_cast<long>(scan));
+  pending_.erase(pending_.begin());
+
+  // False alarms inside empty slots (frame-order Rng stream).
+  for (unsigned b = 0; b < bits; ++b) {
+    if (!bit[b] && rng_frame_.chance(config_.detector.false_alarm_prob)) {
+      bit[b] = true;
+      ++stats_.false_alarm_bits;
+    }
+  }
+  const auto field = [&](unsigned first, unsigned width) {
+    std::uint32_t v = 0;
+    for (unsigned b = 0; b < width; ++b) {
+      const unsigned bit_index =
+          config_.modulator.msb_first ? width - 1 - b : b;
+      if (bit[first + b]) v |= (1u << bit_index);
+    }
+    return v;
+  };
+  const auto address = static_cast<std::uint16_t>(field(0, addr_bits));
+  const auto code = static_cast<std::uint8_t>(field(addr_bits, code_bits));
+  out.add(t0, code, address);
+  ++stats_.packets_decoded;
+}
+
+}  // namespace datc::uwb

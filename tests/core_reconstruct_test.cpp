@@ -95,6 +95,41 @@ TEST(EventRate, EdgeWindowsNormalisedByOverlap) {
   EXPECT_NEAR(rate.back(), 100.0, 15.0);
 }
 
+TEST(EventRate, WindowIsHalfOpenAtExactBoundaries) {
+  // The counting window is [t - w/2, t + w/2): an event exactly on the
+  // lower edge is counted, one exactly on the upper edge is not. fs = 10,
+  // w = 0.2 puts the edges of the t = 0.5 window at 0.4 and 0.6 exactly.
+  core::EventStream ev;
+  ev.add(0.4);
+  ev.add(0.6);
+  const auto rate = core::event_rate_estimate(ev, 1.0, 0.2, 10.0);
+  ASSERT_EQ(rate.size(), 10u);
+  // t = 0.5: only the 0.4 event lies in [0.4, 0.6).
+  EXPECT_DOUBLE_EQ(rate[5], 1.0 / 0.2);
+  // t = 0.6: window [0.5, 0.7) picks up exactly the 0.6 event.
+  EXPECT_DOUBLE_EQ(rate[6], 1.0 / 0.2);
+  // t = 0.3: window [0.2, 0.4) contains neither.
+  EXPECT_DOUBLE_EQ(rate[3], 0.0);
+}
+
+TEST(EventRate, RecordBoundaryEventsAndTruncatedWindows) {
+  // Events exactly at t = 0 and exactly at the record end, with windows
+  // truncated by both edges and normalised by the overlap.
+  core::EventStream ev;
+  ev.add(0.0);
+  ev.add(1.0);  // exactly at duration
+  const auto rate = core::event_rate_estimate(ev, 1.0, 0.2, 10.0);
+  ASSERT_EQ(rate.size(), 10u);
+  // t = 0: window [-0.1, 0.1) overlaps the record on [0, 0.1) only; the
+  // t = 0 event is inside, so the normalised rate is 1 / 0.1.
+  EXPECT_DOUBLE_EQ(rate[0], 1.0 / 0.1);
+  // t = 0.9: window [0.8, 1.0) excludes the event AT the duration (the
+  // upper edge is open), so the mid-record normalisation applies.
+  EXPECT_DOUBLE_EQ(rate[9], 0.0);
+  // t = 0.5: no events at all mid-record.
+  EXPECT_DOUBLE_EQ(rate[5], 0.0);
+}
+
 TEST(EventRate, RequiresSortedEvents) {
   core::EventStream ev;
   ev.add(0.5);
@@ -156,6 +191,43 @@ TEST(Reconstructors, DatcDecodeModesBothWork) {
         std::span<const Real>(truth.data(), n),
         std::span<const Real>(est.data(), n));
     EXPECT_GT(corr, 85.0) << "mode=" << static_cast<int>(mode);
+  }
+}
+
+TEST(Reconstructors, SilentLeadingSegmentUsesOneSidedFloorDuty) {
+  // Regression: kCodeDuty's pre-first-event hold used to be seeded from
+  // the two-sided duty midpoint while the in-loop inversion uses the
+  // one-sided floor interval for codes at/below min_code, biasing the
+  // silent leading segment. With no events at all the whole record is
+  // that segment; it must sit exactly at the one-sided floor inversion.
+  auto cal_cfg = fast_cal(2000.0);
+  // Clamp u_max low so the zero-rate disambiguation tail stays ABOVE the
+  // floor sigma and the code-duty hold is what reaches the output.
+  cal_cfg.u_max = 1.5;
+  auto cal = std::make_shared<core::RateCalibration>(cal_cfg);
+  core::ReconstructionConfig rc;
+  rc.output_fs_hz = 100.0;
+  const core::DatcReconstructor recon(rc, cal,
+                                      core::DatcDecodeMode::kCodeDuty);
+  const auto est = recon.reconstruct(core::EventStream{}, 1.0);
+  ASSERT_EQ(est.size(), 100u);
+
+  const Real lsb = rc.dac_vref / 16.0;
+  const Real step = (rc.duty_hi - rc.duty_lo) / 15.0;
+  // One-sided floor interval [0, level(min_code + 1)): representative
+  // duty is half the upper edge.
+  const Real one_sided_mid =
+      (rc.duty_lo + step * static_cast<Real>(rc.min_code + 1)) / 2.0;
+  const Real sigma_floor =
+      lsb * static_cast<Real>(rc.min_code) /
+      std::max(dsp::normal_q_inv(one_sided_mid / 2.0), Real{1e-6});
+  const Real sigma_rate_tail = lsb * static_cast<Real>(rc.min_code) / 1.5;
+  ASSERT_LT(sigma_floor, sigma_rate_tail);  // the clamp must not mask it
+  const Real expected = 0.7978845608028654 * sigma_floor;
+  // The constant hold picks up a few ULPs through the prefix-sum
+  // smoother; the two-sided-midpoint bug shifted it by ~12 %.
+  for (const Real v : est) {
+    ASSERT_NEAR(v, expected, 1e-12);
   }
 }
 
