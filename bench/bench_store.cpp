@@ -1,0 +1,308 @@
+// Persistent event store evaluation: (1) append throughput through the
+// segmented LogWriter (rotation included); (2) time-range query latency
+// vs segment count, with exactness checked against an in-memory
+// reference; (3) the record -> replay parity gate — a live streaming
+// session teed into a Recorder must replay bit-identically from disk.
+//
+// Emits BENCH_store.json next to the binary so CI smoke-gates parity,
+// query exactness and the append-throughput floor.
+
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "dsp/rng.hpp"
+#include "runtime/session.hpp"
+#include "sim/stream_parity.hpp"
+#include "store/replay.hpp"
+#include "store/retention.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using datc::dsp::Real;
+using namespace datc;
+
+std::string bench_dir(const char* name) {
+  const auto dir = fs::temp_directory_path() / "datc_bench_store" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+core::EventStream synthetic_events(std::size_t n) {
+  core::EventStream ev;
+  ev.reserve(n);
+  dsp::Rng rng(404);
+  Real t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.uniform(5e-5, 2e-3);  // ~1 kHz mean event rate
+    ev.add(t, static_cast<std::uint8_t>(rng.integer(1, 15)),
+           static_cast<std::uint16_t>(rng.integer(0, 15)));
+  }
+  return ev;
+}
+
+Real ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<Real, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct AppendResult {
+  std::size_t events{0};
+  Real wall_ms{0.0};
+  Real events_per_s{0.0};
+  std::size_t segments{0};
+};
+
+AppendResult measure_append(const core::EventStream& ev) {
+  AppendResult r;
+  const auto dir = bench_dir("append");
+  store::LogWriterConfig cfg;
+  cfg.dir = dir;
+  cfg.max_events_per_segment = 1u << 14;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+    w.close();
+    r.segments = w.segments_finalized();
+  }
+  r.wall_ms = ms_since(t0);
+  r.events = ev.size();
+  r.events_per_s = r.wall_ms > 0.0
+                       ? static_cast<Real>(ev.size()) / (r.wall_ms * 1e-3)
+                       : 0.0;
+  fs::remove_all(dir);
+  return r;
+}
+
+struct QueryPoint {
+  std::size_t segments{0};
+  std::size_t events{0};
+  Real full_ms{0.0};
+  Real narrow_ms{0.0};
+  std::size_t narrow_events{0};
+  bool exact{false};
+};
+
+QueryPoint measure_query(const core::EventStream& ev,
+                         std::uint64_t events_per_segment) {
+  QueryPoint p;
+  const auto dir = bench_dir("query");
+  store::LogWriterConfig cfg;
+  cfg.dir = dir;
+  cfg.max_events_per_segment = events_per_segment;
+  {
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+  }
+  const store::LogReader reader(dir);
+  p.segments = reader.segments().size();
+  p.events = ev.size();
+
+  const Real span = ev[ev.size() - 1].time_s - ev[0].time_s;
+  const Real full_lo = ev[0].time_s;
+  const Real full_hi = ev[ev.size() - 1].time_s + 1.0;
+  // Narrow range: ~1% of the record, straddling a segment boundary in
+  // the rotated layouts (centred on the log's midpoint).
+  const Real mid = ev[0].time_s + span / 2.0;
+  const Real narrow_lo = mid - span * 0.005;
+  const Real narrow_hi = mid + span * 0.005;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const auto full = reader.query(full_lo, full_hi);
+  p.full_ms = ms_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  const auto narrow = reader.query(narrow_lo, narrow_hi);
+  p.narrow_ms = ms_since(t0);
+  p.narrow_events = narrow.size();
+
+  // Exactness: both results must match the in-memory reference stream.
+  p.exact = full.size() == ev.size() &&
+            narrow.size() == ev.count_in(narrow_lo, narrow_hi);
+  for (std::size_t i = 0; p.exact && i < full.size(); ++i) {
+    p.exact = full[i].time_s == ev[i].time_s &&
+              full[i].vth_code == ev[i].vth_code &&
+              full[i].channel == ev[i].channel;
+  }
+  fs::remove_all(dir);
+  return p;
+}
+
+struct ReplayPoint {
+  std::size_t events{0};
+  std::size_t arv_samples{0};
+  bool arv_equal{false};
+  std::uint64_t dropped{0};
+};
+
+ReplayPoint measure_replay() {
+  ReplayPoint out;
+  const auto dir = bench_dir("replay");
+
+  emg::RecordingSpec spec;
+  spec.seed = 505;
+  spec.duration_s = 2.0;
+  spec.gain_v = 0.4;
+  spec.name = "store-bench";
+  const auto rec = emg::make_recording(spec);
+
+  const sim::EvalConfig eval;
+  sim::LinkConfig link;
+  link.seed = 2026;
+  link.channel.distance_m = 0.6;
+  link.channel.ref_loss_db = 30.0;
+  link.channel.erasure_prob = 0.05;
+  core::RateCalibrationConfig cal_cfg;
+  cal_cfg.count_fs_hz = eval.datc_clock_hz;
+  const auto cal = std::make_shared<core::RateCalibration>(cal_cfg);
+
+  const auto cfg = sim::make_session_config(eval, link, cal);
+  runtime::StreamingSession session(cfg, 0);
+  store::RecorderConfig rcfg;
+  rcfg.log.dir = dir;
+  rcfg.log.max_events_per_segment = 128;
+  std::vector<Real> live_arv;
+  {
+    store::Recorder recorder(rcfg);
+    session.set_event_tee([&recorder](std::span<const core::Event> ev) {
+      recorder.offer(ev);
+    });
+    const auto& samples = rec.emg_v.samples();
+    for (std::size_t pos = 0; pos < samples.size(); pos += 512) {
+      const std::size_t n = std::min<std::size_t>(512, samples.size() - pos);
+      session.push_chunk(std::span<const Real>(samples.data() + pos, n));
+      session.drain_arv(live_arv);
+    }
+    session.finish();
+    session.drain_arv(live_arv);
+    recorder.close();
+    out.dropped = recorder.stats().dropped;
+  }
+  store::write_manifest(
+      dir, sim::make_session_manifest(eval, 0, rec.emg_v.duration_s()));
+  store::write_envelope_f64(dir, live_arv);
+
+  const auto parity = store::check_replay_parity(dir, live_arv, cal);
+  out.arv_equal = parity.equal;
+  out.arv_samples = parity.samples;
+  out.events = session.report().events_rx;
+  fs::remove_all(dir);
+  return out;
+}
+
+void print_store_table() {
+  bench::print_header(
+      "Persistent event store: append throughput, query latency, replay",
+      "long-term monitoring persists the sparse event representation "
+      "itself - the store must replay it into the identical envelope");
+
+  const auto ev = synthetic_events(200000);
+
+  const auto append = measure_append(ev);
+  std::printf("append (rotating every %u events):\n", 1u << 14);
+  std::printf("  %zu events -> %zu segments in %.1f ms  (%.2f M events/s)\n",
+              append.events, append.segments, append.wall_ms,
+              append.events_per_s / 1e6);
+
+  std::printf("query latency vs segment count (same %zu-event log):\n",
+              ev.size());
+  std::printf("  segments  full-range ms  narrow ms  narrow events  exact\n");
+  std::vector<QueryPoint> queries;
+  for (const std::uint64_t per_segment :
+       {std::uint64_t{1} << 18, std::uint64_t{1} << 14,
+        std::uint64_t{1} << 11}) {
+    queries.push_back(measure_query(ev, per_segment));
+    const auto& p = queries.back();
+    std::printf("  %8zu  %13.2f  %9.3f  %13zu  %s\n", p.segments, p.full_ms,
+                p.narrow_ms, p.narrow_events, p.exact ? "yes" : "NO");
+  }
+
+  const auto replay = measure_replay();
+  std::printf(
+      "record -> replay parity: %zu events, %zu ARV samples, %llu dropped "
+      "-> %s\n",
+      replay.events, replay.arv_samples,
+      static_cast<unsigned long long>(replay.dropped),
+      replay.arv_equal ? "bit-identical" : "DIVERGED");
+
+  std::ofstream json("BENCH_store.json");
+  if (!json.good()) {
+    std::printf("WARNING: could not write BENCH_store.json\n");
+    return;
+  }
+  json.precision(12);
+  json << "{\n";
+  json << "  \"append\": {\"events\": " << append.events
+       << ", \"segments\": " << append.segments
+       << ", \"wall_ms\": " << append.wall_ms
+       << ", \"events_per_s\": " << append.events_per_s << "},\n";
+  json << "  \"query\": [\n";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& p = queries[i];
+    json << "    {\"segments\": " << p.segments
+         << ", \"events\": " << p.events << ", \"full_ms\": " << p.full_ms
+         << ", \"narrow_ms\": " << p.narrow_ms
+         << ", \"narrow_events\": " << p.narrow_events
+         << ", \"exact\": " << (p.exact ? "true" : "false") << "}"
+         << (i + 1 < queries.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"replay\": {\"events\": " << replay.events
+       << ", \"arv_samples\": " << replay.arv_samples
+       << ", \"dropped\": " << replay.dropped
+       << ", \"arv_equal\": " << (replay.arv_equal ? "true" : "false")
+       << "}\n}\n";
+}
+
+void bench_store_append_16k(benchmark::State& state) {
+  // LogWriter appending synthetic events with 16k-event rotation.
+  const auto ev = synthetic_events(50000);
+  const auto dir = bench_dir("micro_append");
+  for (auto _ : state) {
+    store::LogWriterConfig cfg;
+    cfg.dir = dir;
+    cfg.max_events_per_segment = 1u << 14;
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+    w.close();
+    state.PauseTiming();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ev.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(bench_store_append_16k)->Unit(benchmark::kMillisecond);
+
+void bench_store_narrow_query(benchmark::State& state) {
+  // Narrow time-range query over a 64-segment log.
+  const auto ev = synthetic_events(100000);
+  const auto dir = bench_dir("micro_query");
+  store::LogWriterConfig cfg;
+  cfg.dir = dir;
+  cfg.max_events_per_segment = ev.size() / 64;
+  {
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+  }
+  const store::LogReader reader(dir);
+  const Real span = ev[ev.size() - 1].time_s - ev[0].time_s;
+  const Real mid = ev[0].time_s + span / 2.0;
+  for (auto _ : state) {
+    const auto got = reader.query(mid - span * 0.005, mid + span * 0.005);
+    benchmark::DoNotOptimize(got.size());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(bench_store_narrow_query)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_store_table)

@@ -1,0 +1,41 @@
+#include "core/crc32.hpp"
+
+#include <array>
+
+namespace datc::core {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ = t[(state_ ^ bytes[i]) & 0xFFu] ^ (state_ >> 8);
+  }
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  Crc32 c;
+  c.update(data, size);
+  return c.value();
+}
+
+}  // namespace datc::core

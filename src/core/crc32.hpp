@@ -1,0 +1,30 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte
+// streams. Shared by the binary event format's integrity trailer
+// (core/event_io) and the persistent event store's segment headers
+// (store/segment) so the two layers agree on what "payload checksum"
+// means and a segment payload can be diffed against an exported
+// DATCEVT2 body without re-deriving anything.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace datc::core {
+
+/// Incremental CRC-32: feed bytes in any chunking, read the value at any
+/// point. Equal chunkings of equal bytes give equal values (the store's
+/// writer updates per record, the reader per query block).
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_{0xFFFFFFFFu};
+};
+
+/// One-shot convenience over a contiguous buffer.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace datc::core

@@ -20,13 +20,41 @@ void write_events_csv(std::ostream& os, const EventStream& events);
 [[nodiscard]] EventStream read_events_csv(std::istream& is);
 [[nodiscard]] EventStream read_events_csv(const std::string& path);
 
-/// Compact binary: magic "DATCEVT2", u64 count, then per event
-/// f64 time / u8 code / u16 channel (little-endian, packed). Legacy
-/// "DATCEVT1" files (u8 channel) are still readable.
+/// Packed v2 event record: f64 time / u8 code / u16 channel
+/// (little-endian). The segmented event store (src/store) persists the
+/// same layout, so a segment payload is byte-compatible with a DATCEVT2
+/// body.
+inline constexpr std::size_t kEventRecordBytes = 11;
+void encode_event_record(const Event& e,
+                         unsigned char out[kEventRecordBytes]);
+[[nodiscard]] Event decode_event_record(
+    const unsigned char in[kEventRecordBytes]);
+
+/// Compact binary: magic "DATCEVT2", u64 count, then one packed record
+/// per event, then a "CRC2" + u32 CRC-32 trailer over the record bytes.
+/// Legacy "DATCEVT1" files (u8 channel) and checksum-less v2 files (no
+/// trailer) are still readable; a present trailer is always verified.
+/// The reader detects short reads mid-record and throws a clear
+/// std::invalid_argument instead of yielding a partial stream.
+///
+/// Known tradeoff of keeping checksum-less v2 compat: a trailer-bearing
+/// file truncated at EXACTLY the 8-byte trailer boundary is
+/// indistinguishable from a legacy file and reads cleanly (any other
+/// truncation length is caught). Closing that hole needs a new magic
+/// with a mandatory trailer; the segmented store (src/store) already
+/// carries its CRC in the header and has no such blind spot.
 void write_events_binary(std::ostream& os, const EventStream& events);
 [[nodiscard]] bool write_events_binary(const std::string& path,
                                        const EventStream& events);
 [[nodiscard]] EventStream read_events_binary(std::istream& is);
 [[nodiscard]] EventStream read_events_binary(const std::string& path);
+
+/// Legacy "DATCEVT1" writer (u8 channel, no trailer) for interchange with
+/// pre-AER tooling. Refuses streams carrying channels >= 256 — v1 cannot
+/// represent them and silently truncating the address would corrupt the
+/// demux.
+void write_events_binary_v1(std::ostream& os, const EventStream& events);
+[[nodiscard]] bool write_events_binary_v1(const std::string& path,
+                                          const EventStream& events);
 
 }  // namespace datc::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 
 #include "dsp/moving_average.hpp"
 #include "dsp/stats.hpp"
@@ -18,6 +19,24 @@ std::size_t output_length(Real duration_s, Real fs) {
 }
 
 }  // namespace
+
+EnvelopeParity compare_envelopes(std::span<const Real> reference,
+                                 std::span<const Real> candidate) {
+  EnvelopeParity out;
+  out.samples = reference.size();
+  if (reference.size() != candidate.size()) {
+    out.equal = false;
+    out.max_abs_diff = std::numeric_limits<Real>::infinity();
+    return out;
+  }
+  out.equal = true;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const Real d = std::abs(reference[i] - candidate[i]);
+    out.max_abs_diff = std::max(out.max_abs_diff, d);
+    if (reference[i] != candidate[i]) out.equal = false;
+  }
+  return out;
+}
 
 std::vector<Real> event_rate_estimate(const EventStream& events,
                                       Real duration_s, Real window_s,

@@ -10,6 +10,7 @@
 // once per counting rate.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/events.hpp"
@@ -17,6 +18,18 @@
 #include "dsp/types.hpp"
 
 namespace datc::core {
+
+/// Bit-exact envelope comparison — the one definition of "parity" shared
+/// by the streaming==batch checks (sim/stream_parity) and the store's
+/// record->replay gate, so the two cannot drift.
+struct EnvelopeParity {
+  bool equal{false};
+  std::size_t samples{0};    ///< reference length
+  Real max_abs_diff{0.0};    ///< infinity on a length mismatch
+};
+
+[[nodiscard]] EnvelopeParity compare_envelopes(
+    std::span<const Real> reference, std::span<const Real> candidate);
 
 struct ReconstructionConfig {
   Real window_s{0.25};        ///< sliding event-count window

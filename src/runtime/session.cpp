@@ -100,6 +100,9 @@ void StreamingSession::run_link_chunk(Real watermark, bool flush) {
       rx_events_.add(e.time_s, e.vth_code, e.channel);
     }
   }
+  if (event_tee_ && !decoded_chunk_.empty()) {
+    event_tee_(decoded_chunk_.events());
+  }
 
   reconstructor_.push_events(decoded_chunk_.events());
   if (flush) {
@@ -267,6 +270,10 @@ void SharedAerStreamingSession::run_link_chunk(Real merged_watermark,
                          flush ? std::numeric_limits<Real>::infinity()
                                : channel_.release_watermark(),
                          decoded_chunk_);
+
+  if (event_tee_ && !decoded_chunk_.empty()) {
+    event_tee_(decoded_chunk_.events());
+  }
 
   // Demux straight into the per-channel reconstructors.
   for (const auto& e : decoded_chunk_.events()) {

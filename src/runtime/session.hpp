@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -68,6 +69,14 @@ struct SessionReport {
 [[nodiscard]] SessionReport session_report_delta(const SessionReport& after,
                                                  const SessionReport& before);
 
+/// Sink for decoded events, called once per chunk with the events the
+/// receiver released in that chunk (time-sorted, cumulative across calls).
+/// The persistent event store's Recorder::offer is the intended target —
+/// it copies and returns without blocking, so storage pressure never
+/// stalls the decode strand. The tee runs on whichever thread drives the
+/// session (a SessionManager strand worker, under its ordering guarantee).
+using EventTee = std::function<void(std::span<const core::Event>)>;
+
 /// Abstract chunk consumer the SessionManager schedules.
 class Session {
  public:
@@ -89,6 +98,10 @@ class StreamingSession final : public Session {
 
   /// Moves ARV samples emitted since the last drain into `out`.
   void drain_arv(std::vector<Real>& out);
+
+  /// Tees every decoded chunk into `tee` (e.g. a store::Recorder). Set
+  /// before the first push_chunk so the recording covers the session.
+  void set_event_tee(EventTee tee) { event_tee_ = std::move(tee); }
 
   [[nodiscard]] SessionReport report() const;
   /// Cumulative report delta since the previous take_delta() call.
@@ -115,6 +128,7 @@ class StreamingSession final : public Session {
   core::EventStream decoded_chunk_;
   std::vector<Real> arv_;
   core::EventStream rx_events_;
+  EventTee event_tee_;
   std::size_t samples_in_{0};
   std::size_t events_rx_{0};
   std::size_t arv_emitted_{0};
@@ -139,6 +153,10 @@ class SharedAerStreamingSession final : public Session {
 
   void push_chunk(std::span<const Real> samples_v) override;
   void finish() override;
+
+  /// Tees every decoded chunk (all channels, addresses on the events)
+  /// into `tee`; one recording captures the whole shared link.
+  void set_event_tee(EventTee tee) { event_tee_ = std::move(tee); }
 
   void drain_arv(std::size_t channel, std::vector<Real>& out);
   [[nodiscard]] SessionReport report(std::size_t channel) const;
@@ -175,6 +193,7 @@ class SharedAerStreamingSession final : public Session {
   uwb::PulseTrain tx_chunk_;
   uwb::PulseTrain rx_chunk_;
   core::EventStream decoded_chunk_;
+  EventTee event_tee_;
   std::vector<std::vector<Real>> arv_;
   std::vector<core::EventStream> rx_events_;
   std::vector<std::size_t> events_rx_;

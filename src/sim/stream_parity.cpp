@@ -44,18 +44,10 @@ bool events_match(const core::EventStream& a, const core::EventStream& b) {
 
 void compare_arv(const std::vector<Real>& batch,
                  const std::vector<Real>& stream, StreamParityResult& out) {
-  out.arv_samples = batch.size();
-  if (batch.size() != stream.size()) {
-    out.arv_equal = false;
-    out.max_abs_arv_diff = std::numeric_limits<Real>::infinity();
-    return;
-  }
-  out.arv_equal = true;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Real d = std::abs(batch[i] - stream[i]);
-    out.max_abs_arv_diff = std::max(out.max_abs_arv_diff, d);
-    if (batch[i] != stream[i]) out.arv_equal = false;
-  }
+  const auto parity = core::compare_envelopes(batch, stream);
+  out.arv_samples = parity.samples;
+  out.arv_equal = parity.equal;
+  out.max_abs_arv_diff = parity.max_abs_diff;
 }
 
 std::size_t effective_chunk(std::size_t chunk_size, std::size_t total) {
@@ -63,6 +55,22 @@ std::size_t effective_chunk(std::size_t chunk_size, std::size_t total) {
 }
 
 }  // namespace
+
+store::SessionManifest make_session_manifest(const EvalConfig& eval,
+                                             std::uint32_t channel,
+                                             Real duration_s) {
+  store::SessionManifest m;
+  m.analog_fs_hz = eval.analog_fs_hz;
+  m.duration_s = duration_s;
+  m.window_s = eval.window_s;
+  m.dac_vref = eval.dac_vref;
+  m.dac_bits = eval.dtc.dac_bits;
+  m.count_fs_hz = eval.datc_clock_hz;
+  m.band_lo_hz = eval.band_lo_hz;
+  m.band_hi_hz = eval.band_hi_hz;
+  m.channel = channel;
+  return m;
+}
 
 runtime::SessionConfig make_session_config(const EvalConfig& eval,
                                            const LinkConfig& link,

@@ -12,6 +12,7 @@
 
 #include "runtime/session.hpp"
 #include "sim/evaluation.hpp"
+#include "store/recorder.hpp"
 
 namespace datc::sim {
 
@@ -20,6 +21,13 @@ namespace datc::sim {
 [[nodiscard]] runtime::SessionConfig make_session_config(
     const EvalConfig& eval, const LinkConfig& link,
     core::CalibrationPtr calibration);
+
+/// The replay manifest for a session parameterised by `eval` — the ONE
+/// EvalConfig -> SessionManifest mapping (CLI `record`, bench_store and
+/// the replay tests all share it, so a new replay-relevant parameter
+/// cannot silently diverge between them).
+[[nodiscard]] store::SessionManifest make_session_manifest(
+    const EvalConfig& eval, std::uint32_t channel, Real duration_s);
 
 struct StreamParityResult {
   std::size_t chunk_size{0};  ///< samples per chunk (per channel); 0 = whole

@@ -1,0 +1,211 @@
+#include "store/log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace datc::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".datcseg";
+
+/// Parses `seg-<digits>.datcseg`; nullopt for foreign files.
+std::optional<std::uint64_t> parse_seqno(const std::string& filename) {
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  if (filename.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  std::uint64_t seqno = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seqno = seqno * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seqno;
+}
+
+/// Seqno-sorted `{seqno, path}` pairs of every segment file in `dir`.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto seqno = parse_seqno(entry.path().filename().string());
+    if (seqno) found.emplace_back(*seqno, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+std::string segment_filename(std::uint64_t seqno) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(seqno), kSegmentSuffix);
+  return buf;
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t seqno) {
+  return (fs::path(dir) / segment_filename(seqno)).string();
+}
+
+// --------------------------------------------------------------- LogWriter
+
+LogWriter::LogWriter(const LogWriterConfig& config) : config_(config) {
+  dsp::require(!config_.dir.empty(), "LogWriter: empty directory");
+  dsp::require(config_.max_events_per_segment >= 1,
+               "LogWriter: max_events_per_segment must be >= 1");
+  dsp::require(config_.max_segment_span_s > 0.0,
+               "LogWriter: max_segment_span_s must be positive");
+  fs::create_directories(config_.dir);
+  // Resume after an existing log: repair any crash-truncated tail, carry
+  // the time watermark forward so monotonicity spans restarts.
+  for (const auto& [seqno, path] : list_segments(config_.dir)) {
+    recover_segment(path);
+    SegmentReader reader(path);
+    next_seqno_ = seqno + 1;
+    if (reader.header().count > 0) {
+      last_time_s_ = std::max(last_time_s_, reader.header().t_max);
+    }
+  }
+}
+
+LogWriter::~LogWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; the tail stays recoverable.
+  }
+}
+
+void LogWriter::append(const Event& e) {
+  dsp::require(e.time_s >= last_time_s_,
+               "LogWriter: events must arrive in non-decreasing time order");
+  if (current_ != nullptr &&
+      (current_->count() >= config_.max_events_per_segment ||
+       e.time_s - current_->t_min() >= config_.max_segment_span_s)) {
+    rotate();
+  }
+  if (current_ == nullptr) {
+    // Segments are created lazily on first append, so the log never holds
+    // an empty segment file and catalog time bounds stay meaningful.
+    current_ = std::make_unique<SegmentWriter>(
+        segment_path(config_.dir, next_seqno_), next_seqno_);
+    ++next_seqno_;
+  }
+  current_->append(e);
+  last_time_s_ = e.time_s;
+  ++events_written_;
+}
+
+void LogWriter::append(std::span<const Event> events) {
+  for (const auto& e : events) append(e);
+}
+
+void LogWriter::rotate() {
+  if (current_ == nullptr) return;
+  current_->finalize();
+  current_.reset();
+  ++segments_finalized_;
+}
+
+void LogWriter::close() { rotate(); }
+
+// --------------------------------------------------------------- LogReader
+
+LogReader::LogReader(const std::string& dir) : dir_(dir) {
+  dsp::require(fs::is_directory(dir), "LogReader: not a directory: " + dir);
+  for (const auto& [seqno, path] : list_segments(dir)) {
+    SegmentReader reader(path);
+    segments_.push_back(SegmentInfo{path, reader.header()});
+  }
+  // Segments are seqno-sorted and the writer enforces a global time
+  // order, so the catalog's bounds must be monotone — a violated order
+  // means foreign or doctored files, which would silently corrupt the
+  // binary search below. Empty segments (a fully-torn, recovered tail)
+  // carry no time bounds and are excluded from the query order.
+  Real last_max = -std::numeric_limits<Real>::infinity();
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const auto& h = segments_[i].header;
+    if (h.count == 0) continue;
+    dsp::require(h.t_min <= h.t_max && last_max <= h.t_min,
+                 "LogReader: segment time bounds out of order in " + dir);
+    last_max = h.t_max;
+    order_.push_back(i);
+  }
+}
+
+std::uint64_t LogReader::total_events() const {
+  std::uint64_t total = 0;
+  for (const auto& s : segments_) total += s.header.count;
+  return total;
+}
+
+Real LogReader::t_min() const {
+  for (const auto& s : segments_) {
+    if (s.header.count > 0) return s.header.t_min;
+  }
+  return 0.0;
+}
+
+Real LogReader::t_max() const {
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (it->header.count > 0) return it->header.t_max;
+  }
+  return 0.0;
+}
+
+EventStream LogReader::read_all() const {
+  EventStream out;
+  out.reserve(static_cast<std::size_t>(total_events()));
+  for (const auto& s : segments_) {
+    if (s.header.count == 0) continue;
+    SegmentReader reader(s.path);
+    const auto part = reader.read_all();
+    for (const auto& e : part.events()) {
+      out.add(e.time_s, e.vth_code, e.channel);
+    }
+  }
+  return out;
+}
+
+EventStream LogReader::query(Real t_lo, Real t_hi,
+                             std::optional<std::uint16_t> channel) const {
+  EventStream out;
+  if (!(t_lo < t_hi)) return out;
+  // First segment that can intersect [t_lo, t_hi): t_max is monotone
+  // along the non-empty query order, so partition_point lands on the
+  // first one with t_max >= t_lo in O(log segments).
+  const auto first = std::partition_point(
+      order_.begin(), order_.end(), [&](std::size_t i) {
+        return segments_[i].header.t_max < t_lo;
+      });
+  for (auto it = first; it != order_.end(); ++it) {
+    const auto& s = segments_[*it];
+    if (!(s.header.t_min < t_hi)) break;
+    if (channel && !segment_may_have_channel(s.header, *channel)) continue;
+    SegmentReader reader(s.path);
+    reader.query(t_lo, t_hi, channel, out);
+  }
+  return out;
+}
+
+bool LogReader::verify() const {
+  for (const auto& s : segments_) {
+    SegmentReader reader(s.path);
+    if (!reader.verify()) return false;
+  }
+  return true;
+}
+
+}  // namespace datc::store

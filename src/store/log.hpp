@@ -1,0 +1,118 @@
+#pragma once
+// Append-only segmented event log: a directory of DATCSEG1 files
+// (`seg-<seqno>.datcseg`) whose concatenated payloads form one
+// time-sorted event stream.
+//
+// LogWriter appends events and rotates to a fresh segment on a size or
+// time-span bound; opening an existing directory first repairs any
+// crash-truncated tail segment (recover_segment) and resumes at the next
+// sequence number. LogReader builds an in-memory catalog of segment
+// headers (cheap: 64 bytes each) and answers time-range and per-channel
+// queries in O(log segments + log segment_size + answer) via the
+// catalog's monotone time bounds and the segments' implicit record index.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/segment.hpp"
+
+namespace datc::store {
+
+/// `seg-<8-digit seqno>.datcseg` inside the log directory.
+[[nodiscard]] std::string segment_filename(std::uint64_t seqno);
+[[nodiscard]] std::string segment_path(const std::string& dir,
+                                       std::uint64_t seqno);
+
+struct LogWriterConfig {
+  std::string dir;
+  /// Rotate after this many events in the current segment.
+  std::uint64_t max_events_per_segment{1u << 16};
+  /// Rotate when the current segment spans more than this much time.
+  Real max_segment_span_s{std::numeric_limits<Real>::infinity()};
+};
+
+class LogWriter {
+ public:
+  /// Creates `config.dir` if needed, repairs a crashed tail segment, and
+  /// positions the writer after the highest existing sequence number.
+  explicit LogWriter(const LogWriterConfig& config);
+  ~LogWriter();
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Appends one event. Time must be non-decreasing across the whole log.
+  void append(const Event& e);
+  void append(std::span<const Event> events);
+
+  /// Forces a segment boundary (no-op when the current segment is empty).
+  void rotate();
+
+  /// Finalizes the open segment. Idempotent; runs from the destructor.
+  void close();
+
+  [[nodiscard]] std::uint64_t events_written() const {
+    return events_written_;
+  }
+  [[nodiscard]] std::uint64_t segments_finalized() const {
+    return segments_finalized_;
+  }
+  [[nodiscard]] std::uint64_t next_seqno() const { return next_seqno_; }
+  [[nodiscard]] const LogWriterConfig& config() const { return config_; }
+
+ private:
+  LogWriterConfig config_;
+  std::unique_ptr<SegmentWriter> current_;
+  std::uint64_t next_seqno_{0};
+  std::uint64_t events_written_{0};
+  std::uint64_t segments_finalized_{0};
+  Real last_time_s_{-std::numeric_limits<Real>::infinity()};
+};
+
+/// One catalog row per segment, ordered by seqno (== time order).
+struct SegmentInfo {
+  std::string path;
+  SegmentHeader header;
+};
+
+class LogReader {
+ public:
+  /// Opens every segment header under `dir` (which must exist; an empty
+  /// log directory yields an empty catalog). A non-finalized tail is
+  /// readable through its valid prefix without being repaired.
+  explicit LogReader(const std::string& dir);
+
+  [[nodiscard]] const std::vector<SegmentInfo>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] Real t_min() const;  ///< earliest event time (0 if empty)
+  [[nodiscard]] Real t_max() const;  ///< latest event time (0 if empty)
+
+  /// All events, in time order.
+  [[nodiscard]] EventStream read_all() const;
+
+  /// Events with time in [t_lo, t_hi), optionally restricted to one AER
+  /// channel. Binary-searches the catalog's monotone time bounds, then
+  /// each candidate segment's record index.
+  [[nodiscard]] EventStream query(
+      Real t_lo, Real t_hi,
+      std::optional<std::uint16_t> channel = std::nullopt) const;
+
+  /// Recomputes every finalized segment's payload CRC.
+  [[nodiscard]] bool verify() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::vector<SegmentInfo> segments_;
+  std::vector<std::size_t> order_;  ///< non-empty segments, seqno order
+};
+
+}  // namespace datc::store

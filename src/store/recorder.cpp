@@ -1,0 +1,210 @@
+#include "store/recorder.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace datc::store {
+
+// ---------------------------------------------------------------- Recorder
+
+Recorder::Recorder(const RecorderConfig& config)
+    : config_(config), writer_(config.log) {
+  dsp::require(config_.max_queued_events >= 1,
+               "Recorder: need a queue bound of at least 1 event");
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+Recorder::~Recorder() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; close() exposes writer errors.
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Recorder::offer(std::span<const Event> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    // A sink that can no longer accept must still not throw into the
+    // decode strand (the EventTee contract): late offers count as
+    // dropped, keeping offered == written + dropped.
+    offered_ += events.size();
+    dropped_ += events.size();
+    return;
+  }
+  offered_ += events.size();
+  // Enqueue the prefix that fits the bound and drop (count) the rest —
+  // never the whole chunk. A chunk larger than the bound itself (one
+  // link chunk can decode arbitrarily many events) still stores its
+  // first max_queued_events worth instead of nothing, and a prefix keeps
+  // the log's time order intact.
+  const std::size_t space = config_.max_queued_events - queued_events_;
+  const std::size_t accept = std::min(space, events.size());
+  if (accept > 0) {
+    queue_.emplace_back(events.begin(),
+                        events.begin() + static_cast<long>(accept));
+    queued_events_ += accept;
+    cv_work_.notify_one();
+  }
+  dropped_ += events.size() - accept;
+}
+
+void Recorder::writer_loop() {
+  while (true) {
+    std::vector<Event> chunk;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] {
+        return stop_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty() && stop_) return;
+      if (queue_.empty() || (paused_ && !stop_)) continue;
+      chunk = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+    }
+    std::exception_ptr err;
+    try {
+      writer_.append(std::span<const Event>(chunk));
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = false;
+      queued_events_ -= chunk.size();
+      segments_finalized_ = writer_.segments_finalized();
+      if (err != nullptr) {
+        if (error_ == nullptr) error_ = err;
+        // A failed chunk counts as dropped, keeping
+        // offered == written + dropped.
+        dropped_ += chunk.size();
+      } else {
+        written_ += chunk.size();
+      }
+      cv_drained_.notify_all();
+    }
+  }
+}
+
+void Recorder::rethrow_locked(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // caller holds mu_
+  if (error_ != nullptr) {
+    const std::exception_ptr err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void Recorder::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_drained_.wait(lock, [this] {
+    return (queue_.empty() && !in_flight_) || (paused_ && !in_flight_);
+  });
+  rethrow_locked(lock);
+}
+
+void Recorder::close() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_ && !thread_.joinable()) {
+      rethrow_locked(lock);
+      return;
+    }
+    paused_ = false;
+    stop_ = true;
+    cv_work_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Finalize the tail segment BEFORE surfacing any writer-thread error:
+  // a failed chunk must not leave the log needing crash recovery.
+  writer_.close();
+  segments_finalized_ = writer_.segments_finalized();
+  rethrow_locked(lock);
+}
+
+Recorder::Stats Recorder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.offered = offered_;
+  s.written = written_;
+  s.dropped = dropped_;
+  s.segments_finalized = segments_finalized_;
+  return s;
+}
+
+void Recorder::set_paused(bool paused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = paused;
+  if (!paused) cv_work_.notify_all();
+}
+
+// ---------------------------------------------------------------- manifest
+
+namespace {
+
+constexpr char kManifestName[] = "manifest.txt";
+
+std::string manifest_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / kManifestName).string();
+}
+
+}  // namespace
+
+void write_manifest(const std::string& dir, const SessionManifest& m) {
+  std::filesystem::create_directories(dir);
+  std::ofstream f(manifest_path(dir));
+  dsp::require(f.good(), "write_manifest: cannot write in " + dir);
+  f.precision(17);
+  f << "analog_fs_hz=" << m.analog_fs_hz << '\n'
+    << "duration_s=" << m.duration_s << '\n'
+    << "window_s=" << m.window_s << '\n'
+    << "dac_vref=" << m.dac_vref << '\n'
+    << "dac_bits=" << m.dac_bits << '\n'
+    << "count_fs_hz=" << m.count_fs_hz << '\n'
+    << "band_lo_hz=" << m.band_lo_hz << '\n'
+    << "band_hi_hz=" << m.band_hi_hz << '\n'
+    << "channel=" << m.channel << '\n';
+  dsp::require(f.good(), "write_manifest: write failed in " + dir);
+}
+
+SessionManifest read_manifest(const std::string& dir) {
+  std::ifstream f(manifest_path(dir));
+  dsp::require(f.good(), "read_manifest: cannot open " + manifest_path(dir));
+  std::map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    dsp::require(eq != std::string::npos,
+                 "read_manifest: malformed line: " + line);
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  const auto num = [&kv](const char* key) {
+    const auto it = kv.find(key);
+    dsp::require(it != kv.end(),
+                 std::string("read_manifest: missing key ") + key);
+    return std::stod(it->second);
+  };
+  SessionManifest m;
+  m.analog_fs_hz = num("analog_fs_hz");
+  m.duration_s = num("duration_s");
+  m.window_s = num("window_s");
+  m.dac_vref = num("dac_vref");
+  m.dac_bits = static_cast<std::uint32_t>(num("dac_bits"));
+  m.count_fs_hz = num("count_fs_hz");
+  m.band_lo_hz = num("band_lo_hz");
+  m.band_hi_hz = num("band_hi_hz");
+  m.channel = static_cast<std::uint32_t>(num("channel"));
+  dsp::require(m.analog_fs_hz > 0.0 && m.duration_s >= 0.0 &&
+                   m.window_s > 0.0 && m.count_fs_hz > 0.0,
+               "read_manifest: non-physical parameters");
+  return m;
+}
+
+}  // namespace datc::store

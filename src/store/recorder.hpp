@@ -1,0 +1,114 @@
+#pragma once
+// Recorder: the storage sink a live session tees decoded events into.
+// A bounded in-memory queue decouples the decode strand from disk — the
+// producer side (offer) never blocks and never touches the filesystem;
+// a background thread drains the queue into a LogWriter. When the queue
+// fills, the part of the offered chunk that does not fit is dropped and
+// counted (storage pressure must not stall the radio chain), so
+// `offered == written + dropped` always holds after close().
+//
+// The manifest records everything replay needs to re-simulate the
+// receiver deterministically: sample rate, duration, reconstruction
+// window/DAC parameters and the calibration's counting rate.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/log.hpp"
+
+namespace datc::store {
+
+struct RecorderConfig {
+  LogWriterConfig log;
+  /// Queue bound in events; offers that would exceed it are dropped.
+  std::size_t max_queued_events{1u << 16};
+};
+
+class Recorder {
+ public:
+  explicit Recorder(const RecorderConfig& config);
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Thread-safe, non-blocking, never throws into the caller: enqueues a
+  /// copy of the chunk's prefix up to the queue bound and drops (counts)
+  /// whatever does not fit; after close() everything offered is dropped.
+  void offer(std::span<const Event> events);
+
+  /// Blocks until every queued chunk reached the LogWriter. Rethrows the
+  /// first writer-thread error, if any.
+  void flush();
+
+  /// flush() + finalize the log. Idempotent; runs from the destructor
+  /// (swallowing errors there — call close() to observe them).
+  void close();
+
+  struct Stats {
+    std::uint64_t offered{0};
+    std::uint64_t written{0};
+    std::uint64_t dropped{0};
+    std::uint64_t segments_finalized{0};
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Test/backpressure hook: while paused the writer thread leaves the
+  /// queue untouched, so overflow (drop) behaviour is deterministic.
+  void set_paused(bool paused);
+
+  [[nodiscard]] const std::string& dir() const {
+    return writer_.config().dir;
+  }
+
+ private:
+  RecorderConfig config_;
+  LogWriter writer_;  ///< writer-thread only after construction
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_drained_;
+  std::deque<std::vector<Event>> queue_;
+  std::size_t queued_events_{0};
+  std::uint64_t offered_{0};
+  std::uint64_t written_{0};
+  std::uint64_t dropped_{0};
+  /// Mirror of writer_.segments_finalized(), updated under mu_ — the
+  /// writer thread mutates writer_ outside the lock during append, so
+  /// stats() must never touch writer_ directly while it runs.
+  std::uint64_t segments_finalized_{0};
+  bool paused_{false};
+  bool stop_{false};
+  bool in_flight_{false};  ///< writer is appending a popped chunk
+  std::exception_ptr error_;
+  std::thread thread_;
+
+  void writer_loop();
+  void rethrow_locked(std::unique_lock<std::mutex>& lock);
+};
+
+/// Everything `datc replay` needs to rebuild the receiver: written by the
+/// recording path, read by the replay path. Plain `key=value` lines in
+/// `manifest.txt` inside the session directory.
+struct SessionManifest {
+  Real analog_fs_hz{2500.0};
+  Real duration_s{0.0};
+  Real window_s{0.25};
+  Real dac_vref{1.0};
+  std::uint32_t dac_bits{4};
+  Real count_fs_hz{2000.0};   ///< calibration counting rate (DTC clock)
+  Real band_lo_hz{20.0};
+  Real band_hi_hz{450.0};
+  std::uint32_t channel{0};
+};
+
+void write_manifest(const std::string& dir, const SessionManifest& m);
+[[nodiscard]] SessionManifest read_manifest(const std::string& dir);
+
+}  // namespace datc::store

@@ -1,0 +1,93 @@
+#include "store/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "core/rate_calibration.hpp"
+
+namespace datc::store {
+
+namespace {
+
+constexpr char kEnvelopeName[] = "envelope.f64";
+
+std::string envelope_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / kEnvelopeName).string();
+}
+
+}  // namespace
+
+void write_envelope_f64(const std::string& dir,
+                        const std::vector<Real>& arv) {
+  std::ofstream f(envelope_path(dir), std::ios::binary | std::ios::trunc);
+  dsp::require(f.good(), "write_envelope_f64: cannot write in " + dir);
+  f.write(reinterpret_cast<const char*>(arv.data()),
+          static_cast<std::streamsize>(arv.size() * sizeof(Real)));
+  dsp::require(f.good(), "write_envelope_f64: write failed in " + dir);
+}
+
+std::vector<Real> read_envelope_f64(const std::string& dir) {
+  const auto path = envelope_path(dir);
+  std::ifstream f(path, std::ios::binary);
+  dsp::require(f.good(), "read_envelope_f64: cannot open " + path);
+  const auto bytes = std::filesystem::file_size(path);
+  dsp::require(bytes % sizeof(Real) == 0,
+               "read_envelope_f64: size not a multiple of 8 in " + path);
+  std::vector<Real> arv(bytes / sizeof(Real));
+  f.read(reinterpret_cast<char*>(arv.data()),
+         static_cast<std::streamsize>(bytes));
+  dsp::require(static_cast<std::uintmax_t>(f.gcount()) == bytes,
+               "read_envelope_f64: short read in " + path);
+  return arv;
+}
+
+bool has_envelope_f64(const std::string& dir) {
+  return std::filesystem::is_regular_file(envelope_path(dir));
+}
+
+ReplayResult replay_envelope(const std::string& dir,
+                             core::CalibrationPtr calibration) {
+  ReplayResult out;
+  out.manifest = read_manifest(dir);
+  out.duration_s = out.manifest.duration_s;
+  if (calibration == nullptr) {
+    // Deterministic rebuild: the calibration is a fixed-seed Monte Carlo
+    // run parameterised entirely by the manifest.
+    core::RateCalibrationConfig cal_cfg;
+    cal_cfg.analog_fs_hz = out.manifest.analog_fs_hz;
+    cal_cfg.band_lo_hz = out.manifest.band_lo_hz;
+    cal_cfg.band_hi_hz = out.manifest.band_hi_hz;
+    cal_cfg.count_fs_hz = out.manifest.count_fs_hz;
+    calibration = std::make_shared<core::RateCalibration>(cal_cfg);
+  }
+  const LogReader log(dir);
+  const auto events = log.read_all();  // CRC-verified
+  out.events = events.size();
+
+  core::ReconstructionConfig rc;
+  rc.window_s = out.manifest.window_s;
+  rc.output_fs_hz = out.manifest.analog_fs_hz;
+  rc.dac_vref = out.manifest.dac_vref;
+  rc.dac_bits = out.manifest.dac_bits;
+  const core::DatcReconstructor recon(rc, std::move(calibration));
+  if (out.duration_s > 0.0) {
+    out.arv = recon.reconstruct(events, out.duration_s);
+  }
+  return out;
+}
+
+core::EnvelopeParity check_replay_parity(const std::string& dir,
+                                         const std::vector<Real>& live,
+                                         core::CalibrationPtr calibration) {
+  const auto replayed = replay_envelope(dir, std::move(calibration));
+  const std::vector<Real> reference =
+      live.empty() && has_envelope_f64(dir)
+          ? read_envelope_f64(dir)
+          : std::vector<Real>(live.begin(), live.end());
+  return core::compare_envelopes(reference, replayed.arv);
+}
+
+}  // namespace datc::store

@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic re-simulation from a recorded session directory: the
+// stored event log (the receiver's decoded stream) is fed back through
+// the same rate-inversion reconstruction the live session ran, yielding
+// an ARV envelope that is bit-identical to the one the live run emitted.
+// The sparse event stream — not the waveform — is the durable artifact;
+// everything downstream of the radio can be recomputed from it.
+//
+// The recording path also persists the live envelope (`envelope.f64`,
+// raw little-endian doubles) so replay parity is checkable offline
+// without re-running the radio chain.
+
+#include <string>
+#include <vector>
+
+#include "core/reconstruct.hpp"
+#include "store/recorder.hpp"
+
+namespace datc::store {
+
+/// Raw f64 envelope sidecar inside a session directory.
+void write_envelope_f64(const std::string& dir,
+                        const std::vector<Real>& arv);
+[[nodiscard]] std::vector<Real> read_envelope_f64(const std::string& dir);
+[[nodiscard]] bool has_envelope_f64(const std::string& dir);
+
+struct ReplayResult {
+  std::vector<Real> arv;
+  std::size_t events{0};
+  Real duration_s{0.0};
+  SessionManifest manifest{};
+};
+
+/// Rebuilds the ARV envelope from the stored events and manifest. Pass a
+/// calibration to share one Monte Carlo table across replays; when null,
+/// it is rebuilt deterministically from the manifest's rates/band.
+[[nodiscard]] ReplayResult replay_envelope(
+    const std::string& dir, core::CalibrationPtr calibration = nullptr);
+
+/// Replays `dir` and compares bit-for-bit against the live envelope —
+/// the given one, or the recorded `envelope.f64` sidecar when `live` is
+/// empty. Returns the same core::EnvelopeParity the streaming==batch
+/// gates use (`samples` is the reference envelope's length).
+[[nodiscard]] core::EnvelopeParity check_replay_parity(
+    const std::string& dir, const std::vector<Real>& live = {},
+    core::CalibrationPtr calibration = nullptr);
+
+}  // namespace datc::store

@@ -1,0 +1,50 @@
+#pragma once
+// Retention and compaction over a segmented event log. Long-term
+// monitoring accumulates segments forever; the retention pass bounds the
+// footprint with two policies applied relative to the newest event in
+// the log (not wall-clock — replayed/simulated sessions carry their own
+// timeline):
+//
+//   drop-by-age:    whole segments whose newest event is older than
+//                   `max_age_s` are deleted.
+//   downsample-by-decimation: segments older than `decimate_older_than_s`
+//                   are rewritten keeping every `decimation_factor`-th
+//                   event — coarse history stays queryable at a fraction
+//                   of the bytes. The applied factor is recorded in the
+//                   segment header, so re-running the pass is idempotent.
+//
+// Compaction is crash-safe: the decimated segment is written to a
+// temporary file and atomically renamed over the original.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "store/log.hpp"
+
+namespace datc::store {
+
+struct RetentionPolicy {
+  /// Segments entirely older than (newest event - max_age_s) are dropped.
+  Real max_age_s{std::numeric_limits<Real>::infinity()};
+  /// Segments entirely older than (newest event - decimate_older_than_s)
+  /// are decimated.
+  Real decimate_older_than_s{std::numeric_limits<Real>::infinity()};
+  /// Keep every Nth event when decimating (1 = keep everything).
+  std::uint32_t decimation_factor{1};
+};
+
+struct RetentionStats {
+  std::size_t segments_dropped{0};
+  std::size_t segments_decimated{0};
+  std::uint64_t events_dropped{0};   ///< by both policies combined
+  std::uint64_t events_before{0};
+  std::uint64_t events_after{0};
+};
+
+/// One pass over the log directory. Never touches a non-finalized
+/// (still-being-written or crashed) tail segment.
+RetentionStats apply_retention(const std::string& dir,
+                               const RetentionPolicy& policy);
+
+}  // namespace datc::store

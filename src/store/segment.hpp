@@ -1,0 +1,127 @@
+#pragma once
+// One segment of the persistent event log: a fixed 64-byte header plus a
+// payload of packed DATCEVT2 event records (core::kEventRecordBytes each,
+// byte-compatible with core/event_io's binary body). The header carries
+// the segment sequence number, the payload's time bounds, event count,
+// a CRC-32 of the record bytes, a 64-bit channel-presence bitmap and the
+// decimation factor the retention pass applied.
+//
+// Records are fixed-width and time-sorted, so the time index is implicit:
+// a time-range query binary-searches record offsets with O(log n) seeks
+// instead of scanning the payload (see SegmentReader::lower_bound).
+//
+// Crash safety: a segment is written with `finalized = 0` and a sentinel
+// count; finalize() rewrites the header in place once the payload is
+// complete. A reader that meets a non-finalized segment (crash mid-write)
+// reconstructs the valid whole-record, time-monotone prefix without
+// touching the file; recover_segment() additionally truncates the file to
+// that prefix and finalizes the header (the writer-side repair LogWriter
+// runs on open).
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/crc32.hpp"
+#include "core/event_io.hpp"
+#include "core/events.hpp"
+
+namespace datc::store {
+
+using core::Event;
+using core::EventStream;
+using dsp::Real;
+
+inline constexpr std::size_t kSegmentHeaderBytes = 64;
+inline constexpr char kSegmentMagic[8] = {'D', 'A', 'T', 'C',
+                                          'S', 'E', 'G', '1'};
+/// Sentinel count marking a segment still being written.
+inline constexpr std::uint64_t kOpenSegmentCount = ~std::uint64_t{0};
+
+struct SegmentHeader {
+  std::uint64_t seqno{0};
+  std::uint64_t count{0};
+  Real t_min{0.0};
+  Real t_max{0.0};
+  std::uint64_t channel_bitmap{0};  ///< bit (channel % 64) set if present
+  std::uint32_t payload_crc32{0};
+  std::uint32_t decimation{1};  ///< retention kept every Nth event (1 = all)
+  bool finalized{false};
+};
+
+/// Conservative per-channel filter: false means the segment definitely
+/// holds no event of `channel`; true means it may. Exact only when every
+/// channel id in play is < 64 — ids are hashed as `channel % 64`, so a
+/// 64-bucket Bloom-style filter with false positives beyond that. Always
+/// pair it with the per-record channel check.
+[[nodiscard]] bool segment_may_have_channel(const SegmentHeader& header,
+                                            std::uint16_t channel);
+
+/// Appends events (non-decreasing time required) to a fresh segment file.
+class SegmentWriter {
+ public:
+  SegmentWriter(const std::string& path, std::uint64_t seqno,
+                std::uint32_t decimation = 1);
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  void append(const Event& e);
+  /// Rewrites the header with the final count/bounds/CRC and closes the
+  /// file. Idempotent; the destructor finalizes an open segment.
+  void finalize();
+
+  [[nodiscard]] std::uint64_t count() const { return header_.count; }
+  [[nodiscard]] Real t_min() const { return header_.t_min; }
+  [[nodiscard]] Real t_max() const { return header_.t_max; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  SegmentHeader header_;
+  core::Crc32 crc_;
+  bool open_{true};
+};
+
+/// Random-access reader over one segment file.
+class SegmentReader {
+ public:
+  explicit SegmentReader(const std::string& path);
+
+  [[nodiscard]] const SegmentHeader& header() const { return header_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// First record index with time >= t (count() if none): binary search
+  /// over the fixed-width records, O(log n) seeks.
+  [[nodiscard]] std::uint64_t lower_bound(Real t);
+
+  [[nodiscard]] Event read_record(std::uint64_t index);
+
+  /// Appends every event with time in [t_lo, t_hi) — and, when `channel`
+  /// is set, that exact channel — to `out`.
+  void query(Real t_lo, Real t_hi, std::optional<std::uint16_t> channel,
+             EventStream& out);
+
+  /// Whole payload, verifying the CRC of finalized segments.
+  [[nodiscard]] EventStream read_all();
+
+  /// Recomputes the payload CRC; false on mismatch (finalized segments
+  /// only — a recovered-but-unrepaired tail has no stored CRC to check).
+  [[nodiscard]] bool verify();
+
+ private:
+  std::string path_;
+  std::ifstream file_;
+  SegmentHeader header_;
+};
+
+/// Writer-side crash repair: if `path` holds a non-finalized segment,
+/// truncate it to its valid whole-record time-monotone prefix, rewrite
+/// the header (count, bounds, bitmap, CRC, finalized) and return the
+/// recovered event count. Finalized segments are left untouched.
+std::uint64_t recover_segment(const std::string& path);
+
+}  // namespace datc::store

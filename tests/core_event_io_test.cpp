@@ -125,6 +125,86 @@ TEST(EventIo, BinaryRejectsTruncation) {
   EXPECT_THROW((void)core::read_events_binary(cut), std::invalid_argument);
 }
 
+TEST(EventIo, BinaryV2CarriesVerifiedCrcTrailer) {
+  const auto ev = sample_events(100);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  core::write_events_binary(ss, ev);
+  // Layout: magic(8) + count(8) + 11 bytes/event + "CRC2" + u32.
+  const std::string data = ss.str();
+  ASSERT_EQ(data.size(), 16 + 11 * ev.size() + 8);
+  EXPECT_EQ(data.substr(data.size() - 8, 4), "CRC2");
+
+  // A corrupted payload byte is caught by the trailer even though the
+  // record itself stays structurally valid.
+  std::string bad = data;
+  bad[16 + 8] ^= 0x40;  // vth_code of the first event
+  std::stringstream corrupt(bad, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)core::read_events_binary(corrupt),
+               std::invalid_argument);
+
+  // A half-written trailer is corruption, not a legacy file.
+  std::string torn = data.substr(0, data.size() - 6);
+  std::stringstream torn_ss(torn, std::ios::in | std::ios::binary);
+  EXPECT_THROW((void)core::read_events_binary(torn_ss),
+               std::invalid_argument);
+}
+
+TEST(EventIo, BinaryAcceptsChecksumlessV2Files) {
+  // Files written before the trailer existed end right after the last
+  // record; they must keep reading.
+  const auto ev = sample_events(20);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  core::write_events_binary(ss, ev);
+  std::string data = ss.str();
+  data.resize(data.size() - 8);  // strip "CRC2" + u32
+  std::stringstream legacy(data, std::ios::in | std::ios::binary);
+  const auto back = core::read_events_binary(legacy);
+  ASSERT_EQ(back.size(), ev.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].time_s, ev[i].time_s);
+  }
+}
+
+TEST(EventIo, BinaryRejectsMidRecordTruncationWithClearError) {
+  const auto ev = sample_events(10);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  core::write_events_binary(ss, ev);
+  std::string data = ss.str();
+  // Cut inside event 6's record: header says 10 events, the payload
+  // carries 6.36 — the reader must throw, never yield a partial stream.
+  data.resize(16 + 11 * 6 + 4);
+  std::stringstream cut(data, std::ios::in | std::ios::binary);
+  try {
+    (void)core::read_events_binary(cut);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("event 6"), std::string::npos);
+  }
+}
+
+TEST(EventIo, BinaryV1RoundTripExact) {
+  // The PR 2 channel widening kept v1 read compat; this pins it with a
+  // write -> read round trip through the real v1 writer.
+  core::EventStream ev;
+  ev.add(0.25, 12, 0);
+  ev.add(0.5, 3, 255);  // the widest address v1 can carry
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  core::write_events_binary_v1(ss, ev);
+  const auto back = core::read_events_binary(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].time_s, 0.25);
+  EXPECT_EQ(back[0].vth_code, 12u);
+  EXPECT_EQ(back[1].channel, 255u);
+}
+
+TEST(EventIo, BinaryV1RefusesWideChannels) {
+  core::EventStream ev;
+  ev.add(0.1, 1, 256);  // needs the v2 u16 address field
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(core::write_events_binary_v1(ss, ev), std::invalid_argument);
+}
+
 TEST(EventIo, FileRoundTrip) {
   const auto ev = sample_events(50);
   EXPECT_TRUE(core::write_events_csv("/tmp/datc_events_test.csv", ev));

@@ -1,0 +1,310 @@
+// Segmented log: rotation, O(log n) time-range queries across many
+// segments vs an unrotated reference, per-channel queries, crash
+// recovery on reopen, and the retention/compaction pass.
+
+#include "store/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dsp/rng.hpp"
+#include "store/retention.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using datc::dsp::Real;
+using namespace datc;
+
+class StoreLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("datc_log_test_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string dir() const { return dir_.string(); }
+  [[nodiscard]] std::string sub(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// Irregularly spaced multi-channel events (the D-ATC stream shape).
+core::EventStream random_events(std::size_t n, std::uint64_t seed = 11,
+                                std::uint16_t channels = 6) {
+  core::EventStream ev;
+  dsp::Rng rng(seed);
+  Real t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.uniform(1e-4, 4e-3);
+    ev.add(t, static_cast<std::uint8_t>(rng.integer(0, 15)),
+           static_cast<std::uint16_t>(rng.integer(0, channels - 1)));
+  }
+  return ev;
+}
+
+void expect_streams_equal(const core::EventStream& got,
+                          const core::EventStream& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].time_s, want[i].time_s) << "event " << i;
+    EXPECT_EQ(got[i].vth_code, want[i].vth_code) << "event " << i;
+    EXPECT_EQ(got[i].channel, want[i].channel) << "event " << i;
+  }
+}
+
+TEST_F(StoreLogTest, RotationByEventCount) {
+  const auto ev = random_events(1000);
+  store::LogWriterConfig cfg;
+  cfg.dir = sub("by_count");
+  cfg.max_events_per_segment = 256;
+  {
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+    w.close();
+    EXPECT_EQ(w.events_written(), 1000u);
+    EXPECT_EQ(w.segments_finalized(), 4u);  // 256+256+256+232
+  }
+  store::LogReader r(cfg.dir);
+  ASSERT_EQ(r.segments().size(), 4u);
+  EXPECT_EQ(r.segments()[0].header.count, 256u);
+  EXPECT_EQ(r.segments()[3].header.count, 232u);
+  EXPECT_EQ(r.total_events(), 1000u);
+  EXPECT_TRUE(r.verify());
+  expect_streams_equal(r.read_all(), ev);
+}
+
+TEST_F(StoreLogTest, RotationByTimeSpan) {
+  const auto ev = random_events(1000);  // ~2 s of events
+  store::LogWriterConfig cfg;
+  cfg.dir = sub("by_time");
+  cfg.max_segment_span_s = 0.25;
+  store::LogWriter w(cfg);
+  w.append(std::span<const core::Event>(ev.events()));
+  w.close();
+  store::LogReader r(cfg.dir);
+  EXPECT_GE(r.segments().size(), 3u);
+  for (const auto& s : r.segments()) {
+    EXPECT_LE(s.header.t_max - s.header.t_min, 0.25);
+  }
+  expect_streams_equal(r.read_all(), ev);
+}
+
+TEST_F(StoreLogTest, QueryAcrossRotatedSegmentsMatchesUnrotatedLog) {
+  const auto ev = random_events(2000, 23);
+  // Rotated: many small segments. Reference: one unrotated segment.
+  store::LogWriterConfig rotated;
+  rotated.dir = sub("rotated");
+  rotated.max_events_per_segment = 300;
+  {
+    store::LogWriter w(rotated);
+    w.append(std::span<const core::Event>(ev.events()));
+  }
+  store::LogWriterConfig whole;
+  whole.dir = sub("whole");
+  {
+    store::LogWriter w(whole);
+    w.append(std::span<const core::Event>(ev.events()));
+  }
+  store::LogReader rot(rotated.dir);
+  store::LogReader ref(whole.dir);
+  ASSERT_GE(rot.segments().size(), 3u);
+  ASSERT_EQ(ref.segments().size(), 1u);
+
+  const Real t0 = ev[0].time_s;
+  const Real t1 = ev[ev.size() - 1].time_s;
+  // Ranges probing: inside one segment, straddling segment boundaries,
+  // the whole record, empty, and out of range. Segment boundaries sit at
+  // multiples of 300 events — range around event 300's time straddles.
+  const Real boundary = ev[300].time_s;
+  const struct {
+    Real lo, hi;
+  } ranges[] = {
+      {t0, t1 + 1.0},                  // everything
+      {boundary - 0.05, boundary + 0.05},  // straddles segments 0/1
+      {ev[550].time_s, ev[1250].time_s},   // straddles several
+      {t0 + 0.2, t0 + 0.2001},         // sliver
+      {t1 + 1.0, t1 + 2.0},            // beyond the log
+      {0.5, 0.5},                      // empty interval
+  };
+  for (const auto& range : ranges) {
+    const auto got = rot.query(range.lo, range.hi);
+    const auto want = ref.query(range.lo, range.hi);
+    expect_streams_equal(got, want);
+    EXPECT_EQ(want.size(), ev.count_in(range.lo, range.hi));
+  }
+  // Per-channel queries against the reference slice.
+  for (std::uint16_t c = 0; c < 6; ++c) {
+    const auto got = rot.query(t0, t1 + 1.0, c);
+    expect_streams_equal(got, ev.channel_slice(c));
+  }
+  // Half-open semantics: an event exactly at t_hi is excluded, at t_lo
+  // included.
+  const Real exact = ev[700].time_s;
+  const auto upto = rot.query(t0, exact);
+  EXPECT_EQ(upto.size(), ev.count_in(t0, exact));
+  const auto from = rot.query(exact, t1 + 1.0);
+  EXPECT_DOUBLE_EQ(from[0].time_s, exact);
+}
+
+TEST_F(StoreLogTest, ReopenResumesAfterCrashRecovery) {
+  const auto ev = random_events(600, 31);
+  store::LogWriterConfig cfg;
+  cfg.dir = sub("crash");
+  cfg.max_events_per_segment = 200;
+  {
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+  }
+  // Tear the tail segment: clear its finalized flag and cut mid-record.
+  store::LogReader before(cfg.dir);
+  ASSERT_EQ(before.segments().size(), 3u);
+  const auto tail = before.segments().back().path;
+  {
+    std::fstream f(tail, std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint32_t flags = 0;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  }
+  fs::resize_file(tail, fs::file_size(tail) - 7);
+
+  // Reader-side: the torn tail exposes its valid prefix (199 events).
+  {
+    store::LogReader r(cfg.dir);
+    EXPECT_EQ(r.total_events(), 599u);
+  }
+  // Writer-side: reopening repairs the tail, resumes the seqno chain and
+  // keeps the time watermark, so appends continue seamlessly.
+  {
+    store::LogWriter w(cfg);
+    EXPECT_EQ(w.next_seqno(), 3u);
+    core::Event extra;
+    extra.time_s = ev[ev.size() - 1].time_s + 1.0;
+    extra.vth_code = 9;
+    extra.channel = 2;
+    w.append(extra);
+  }
+  store::LogReader r(cfg.dir);
+  ASSERT_EQ(r.segments().size(), 4u);
+  EXPECT_EQ(r.total_events(), 600u);
+  EXPECT_TRUE(r.verify());
+  const auto all = r.read_all();
+  EXPECT_TRUE(all.is_time_sorted());
+  EXPECT_EQ(all[599].vth_code, 9u);
+}
+
+TEST_F(StoreLogTest, RejectsOutOfOrderAcrossReopen) {
+  store::LogWriterConfig cfg;
+  cfg.dir = sub("order");
+  {
+    store::LogWriter w(cfg);
+    w.append(core::Event{5.0, 1, 0});
+  }
+  store::LogWriter w(cfg);
+  EXPECT_THROW(w.append(core::Event{4.0, 1, 0}), std::invalid_argument);
+  w.append(core::Event{5.0, 2, 0});  // equal time is fine
+}
+
+TEST_F(StoreLogTest, EmptyLogReadsBack) {
+  store::LogReader r(dir());
+  EXPECT_EQ(r.segments().size(), 0u);
+  EXPECT_EQ(r.total_events(), 0u);
+  EXPECT_TRUE(r.read_all().empty());
+  EXPECT_TRUE(r.query(0.0, 100.0).empty());
+  EXPECT_TRUE(r.verify());
+}
+
+TEST_F(StoreLogTest, RetentionDropsByAge) {
+  const auto ev = random_events(1000, 47);
+  store::LogWriterConfig cfg;
+  cfg.dir = sub("age");
+  cfg.max_events_per_segment = 100;  // 10 segments over ~2 s
+  {
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+  }
+  store::LogReader before(cfg.dir);
+  const Real newest = before.t_max();
+  const Real cutoff_age = newest - before.segments()[4].header.t_max;
+
+  store::RetentionPolicy policy;
+  policy.max_age_s = cutoff_age;  // segments 0..3 are strictly older
+  const auto stats = store::apply_retention(cfg.dir, policy);
+  EXPECT_EQ(stats.segments_dropped, 4u);
+  EXPECT_EQ(stats.events_before, 1000u);
+  EXPECT_EQ(stats.events_after, 600u);
+  EXPECT_EQ(stats.events_dropped, 400u);
+
+  store::LogReader after(cfg.dir);
+  EXPECT_EQ(after.segments().size(), 6u);
+  EXPECT_EQ(after.total_events(), 600u);
+  // The surviving stream is the reference suffix.
+  const auto survived = after.read_all();
+  expect_streams_equal(survived, after.query(ev[400].time_s, newest + 1.0));
+  EXPECT_DOUBLE_EQ(survived[0].time_s, ev[400].time_s);
+}
+
+TEST_F(StoreLogTest, RetentionDecimatesOldSegments) {
+  const auto ev = random_events(900, 53);
+  store::LogWriterConfig cfg;
+  cfg.dir = sub("decimate");
+  cfg.max_events_per_segment = 300;
+  {
+    store::LogWriter w(cfg);
+    w.append(std::span<const core::Event>(ev.events()));
+  }
+  store::LogReader before(cfg.dir);
+  ASSERT_EQ(before.segments().size(), 3u);
+  const Real newest = before.t_max();
+  const Real age_of_first = newest - before.segments()[0].header.t_max;
+
+  store::RetentionPolicy policy;
+  policy.decimate_older_than_s = age_of_first - 1e-9;
+  policy.decimation_factor = 4;
+  const auto stats = store::apply_retention(cfg.dir, policy);
+  EXPECT_EQ(stats.segments_dropped, 0u);
+  EXPECT_EQ(stats.segments_decimated, 1u);
+  EXPECT_EQ(stats.events_after, 600u + 75u);
+
+  store::LogReader after(cfg.dir);
+  ASSERT_EQ(after.segments().size(), 3u);
+  EXPECT_EQ(after.segments()[0].header.count, 75u);
+  EXPECT_EQ(after.segments()[0].header.decimation, 4u);
+  EXPECT_TRUE(after.verify());
+  // Every 4th event of the original first segment survives.
+  const auto first = store::SegmentReader(after.segments()[0].path).read_all();
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].time_s, ev[i * 4].time_s);
+  }
+  // Idempotent: a second pass with the same policy changes nothing.
+  const auto again = store::apply_retention(cfg.dir, policy);
+  EXPECT_EQ(again.segments_decimated, 0u);
+  EXPECT_EQ(again.events_after, again.events_before);
+
+  // Escalation: factor 8 on the already-4x segment thins only by the
+  // REMAINING step (every 2nd survivor), landing on exactly 1/8 of the
+  // original — not 1/32 — with the true density in the header.
+  store::RetentionPolicy stronger = policy;
+  stronger.decimation_factor = 8;
+  const auto escalated = store::apply_retention(cfg.dir, stronger);
+  EXPECT_EQ(escalated.segments_decimated, 1u);
+  store::LogReader final_log(cfg.dir);
+  EXPECT_EQ(final_log.segments()[0].header.count, 38u);  // ceil(75/2)
+  EXPECT_EQ(final_log.segments()[0].header.decimation, 8u);
+  const auto eighth =
+      store::SegmentReader(final_log.segments()[0].path).read_all();
+  for (std::size_t i = 0; i < eighth.size(); ++i) {
+    EXPECT_DOUBLE_EQ(eighth[i].time_s, ev[i * 8].time_s);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,247 @@
+// Segment format: header round trips, implicit time index, CRC
+// integrity, channel bitmap filtering, and crash-tail recovery.
+
+#include "store/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "dsp/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using datc::dsp::Real;
+using namespace datc;
+
+class StoreSegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("datc_seg_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+core::EventStream ramp_events(std::size_t n, Real t0 = 0.0,
+                              Real dt = 1e-3) {
+  core::EventStream ev;
+  for (std::size_t i = 0; i < n; ++i) {
+    ev.add(t0 + static_cast<Real>(i) * dt,
+           static_cast<std::uint8_t>(i % 16),
+           static_cast<std::uint16_t>(i % 5));
+  }
+  return ev;
+}
+
+void write_segment(const std::string& path, const core::EventStream& ev,
+                   std::uint64_t seqno = 0) {
+  store::SegmentWriter w(path, seqno);
+  for (const auto& e : ev.events()) w.append(e);
+  w.finalize();
+}
+
+TEST_F(StoreSegmentTest, HeaderRoundTrip) {
+  const auto ev = ramp_events(257, 1.5, 2e-3);
+  write_segment(path("a.datcseg"), ev, 42);
+
+  store::SegmentReader r(path("a.datcseg"));
+  const auto& h = r.header();
+  EXPECT_TRUE(h.finalized);
+  EXPECT_EQ(h.seqno, 42u);
+  EXPECT_EQ(h.count, 257u);
+  EXPECT_DOUBLE_EQ(h.t_min, ev[0].time_s);
+  EXPECT_DOUBLE_EQ(h.t_max, ev[256].time_s);
+  EXPECT_EQ(h.decimation, 1u);
+  // Channels 0..4 present, nothing else.
+  EXPECT_EQ(h.channel_bitmap, 0b11111u);
+  EXPECT_TRUE(r.verify());
+
+  const auto back = r.read_all();
+  ASSERT_EQ(back.size(), ev.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i].time_s, ev[i].time_s);
+    EXPECT_EQ(back[i].vth_code, ev[i].vth_code);
+    EXPECT_EQ(back[i].channel, ev[i].channel);
+  }
+}
+
+TEST_F(StoreSegmentTest, RejectsOutOfOrderAppend) {
+  store::SegmentWriter w(path("o.datcseg"), 0);
+  w.append(core::Event{1.0, 0, 0});
+  EXPECT_THROW(w.append(core::Event{0.5, 0, 0}), std::invalid_argument);
+}
+
+TEST_F(StoreSegmentTest, LowerBoundMatchesReference) {
+  const auto ev = ramp_events(1000);
+  write_segment(path("b.datcseg"), ev);
+  store::SegmentReader r(path("b.datcseg"));
+  // Probe exact times, midpoints and out-of-range values.
+  for (const Real t : {-1.0, 0.0, 0.0005, 0.1, 0.4995, 0.999, 2.0}) {
+    std::uint64_t expected = 0;
+    while (expected < ev.size() && ev[expected].time_s < t) ++expected;
+    EXPECT_EQ(r.lower_bound(t), expected) << "t=" << t;
+  }
+}
+
+TEST_F(StoreSegmentTest, QueryRangeAndChannel) {
+  const auto ev = ramp_events(500);
+  write_segment(path("c.datcseg"), ev);
+  store::SegmentReader r(path("c.datcseg"));
+
+  core::EventStream got;
+  r.query(0.1, 0.2, std::nullopt, got);
+  core::EventStream want;
+  for (const auto& e : ev.events()) {
+    if (e.time_s >= 0.1 && e.time_s < 0.2) want.add(e.time_s, e.vth_code,
+                                                    e.channel);
+  }
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].time_s, want[i].time_s);
+  }
+
+  core::EventStream ch3;
+  r.query(0.0, 1.0, std::uint16_t{3}, ch3);
+  const auto want3 = ev.channel_slice(3);
+  ASSERT_EQ(ch3.size(), want3.size());
+  for (std::size_t i = 0; i < ch3.size(); ++i) {
+    EXPECT_EQ(ch3[i].channel, 3u);
+    EXPECT_DOUBLE_EQ(ch3[i].time_s, want3[i].time_s);
+  }
+
+  // Bitmap filter: channel 7 never occurs (only 0..4 do), so the query
+  // short-circuits on the header bitmap.
+  EXPECT_FALSE(store::segment_may_have_channel(r.header(), 7));
+  core::EventStream none;
+  r.query(0.0, 1.0, std::uint16_t{7}, none);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(StoreSegmentTest, DetectsPayloadCorruption) {
+  const auto ev = ramp_events(64);
+  write_segment(path("d.datcseg"), ev);
+  {
+    // Flip one payload byte (a vth_code, so time order stays intact).
+    std::fstream f(path("d.datcseg"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(store::kSegmentHeaderBytes + 8));
+    const char bad = 0x5A;
+    f.write(&bad, 1);
+  }
+  store::SegmentReader r(path("d.datcseg"));
+  EXPECT_FALSE(r.verify());
+  EXPECT_THROW((void)r.read_all(), std::invalid_argument);
+}
+
+TEST_F(StoreSegmentTest, RecoversCrashTruncatedTail) {
+  const auto ev = ramp_events(100);
+  write_segment(path("e.datcseg"), ev, 7);
+  // Rebuild a crash image from the finalized file: clear the finalized
+  // flag (as if the header rewrite never ran) and tear the last record
+  // in half.
+  {
+    std::fstream f(path("e.datcseg"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint32_t flags = 0;  // not finalized
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  }
+  const auto full_size = fs::file_size(path("e.datcseg"));
+  fs::resize_file(path("e.datcseg"), full_size - 5);
+
+  // Read-only view reconstructs the 99-event valid prefix.
+  {
+    store::SegmentReader r(path("e.datcseg"));
+    EXPECT_FALSE(r.header().finalized);
+    EXPECT_EQ(r.header().count, 99u);
+    EXPECT_DOUBLE_EQ(r.header().t_max, ev[98].time_s);
+  }
+  // recover_segment repairs in place: truncates and finalizes.
+  EXPECT_EQ(store::recover_segment(path("e.datcseg")), 99u);
+  store::SegmentReader r(path("e.datcseg"));
+  EXPECT_TRUE(r.header().finalized);
+  EXPECT_EQ(r.header().count, 99u);
+  EXPECT_TRUE(r.verify());
+  const auto back = r.read_all();
+  ASSERT_EQ(back.size(), 99u);
+  EXPECT_DOUBLE_EQ(back[98].time_s, ev[98].time_s);
+  // Recovery of an already-finalized segment is a no-op.
+  EXPECT_EQ(store::recover_segment(path("e.datcseg")), 99u);
+}
+
+TEST_F(StoreSegmentTest, RecoveryRejectsNaNGarbageTail) {
+  // A crash can leave >= 1 whole record of garbage whose time bytes
+  // decode to NaN. Recovery must stop the valid prefix there — a NaN
+  // t_max in a finalized header would brick every LogReader open on the
+  // directory.
+  const auto ev = ramp_events(10);
+  write_segment(path("n.datcseg"), ev, 1);
+  {
+    std::fstream f(path("n.datcseg"),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint32_t flags = 0;  // back to "open" (crash image)
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+    // Append one whole garbage record with a NaN time.
+    f.seekp(0, std::ios::end);
+    const double nan_t = std::numeric_limits<double>::quiet_NaN();
+    const char pad[3] = {0x7F, 0x33, 0x01};
+    f.write(reinterpret_cast<const char*>(&nan_t), sizeof(nan_t));
+    f.write(pad, sizeof(pad));
+  }
+  EXPECT_EQ(store::recover_segment(path("n.datcseg")), 10u);
+  store::SegmentReader r(path("n.datcseg"));
+  EXPECT_TRUE(r.header().finalized);
+  EXPECT_EQ(r.header().count, 10u);
+  EXPECT_DOUBLE_EQ(r.header().t_max, ev[9].time_s);
+  EXPECT_TRUE(r.verify());
+}
+
+TEST_F(StoreSegmentTest, WriterRejectsNonFiniteTime) {
+  store::SegmentWriter w(path("inf.datcseg"), 0);
+  EXPECT_THROW(
+      w.append(core::Event{std::numeric_limits<Real>::quiet_NaN(), 0, 0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      w.append(core::Event{std::numeric_limits<Real>::infinity(), 0, 0}),
+      std::invalid_argument);
+}
+
+TEST_F(StoreSegmentTest, EmptySegmentReadsBack) {
+  {
+    store::SegmentWriter w(path("f.datcseg"), 3);
+    w.finalize();
+  }
+  store::SegmentReader r(path("f.datcseg"));
+  EXPECT_TRUE(r.header().finalized);
+  EXPECT_EQ(r.header().count, 0u);
+  EXPECT_TRUE(r.verify());
+  EXPECT_TRUE(r.read_all().empty());
+}
+
+TEST_F(StoreSegmentTest, RejectsForeignFile) {
+  {
+    std::ofstream f(path("g.datcseg"), std::ios::binary);
+    f << "this is not a segment file, padded to header size ............";
+  }
+  EXPECT_THROW(store::SegmentReader r(path("g.datcseg")),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -202,6 +202,72 @@ TEST(SessionManager, ReportsDeltasAndPropagatesErrors) {
   manager.drain();  // no pending work, no stale error
 }
 
+TEST(SessionManager, InterleavedDeltaPollsSumToCumulativeTotals) {
+  // Two consumers poll the same session at interleaved points: one
+  // through take_delta() (shared internal snapshot — the deltas partition
+  // the totals across consumers), one keeping its own snapshot via
+  // session_report_delta. Both accountings must land exactly on the
+  // cumulative report.
+  const sim::EvalConfig eval;
+  auto cfg = sim::make_session_config(eval, noisy_link(77),
+                                      test_calibration());
+  runtime::StreamingSession session(cfg, 0);
+  const auto rec = make_channel(901, 2.0, 0.35);
+  const auto& samples = rec.emg_v.samples();
+
+  const auto accumulate = [](runtime::SessionReport& into,
+                             const runtime::SessionReport& d) {
+    into.samples_in += d.samples_in;
+    into.events_tx += d.events_tx;
+    into.pulses_tx += d.pulses_tx;
+    into.pulses_erased += d.pulses_erased;
+    into.events_rx += d.events_rx;
+    into.arv_emitted += d.arv_emitted;
+    into.decode.packets_decoded += d.decode.packets_decoded;
+  };
+
+  runtime::SessionReport take_sum_a{};  // take_delta consumer A
+  runtime::SessionReport take_sum_b{};  // take_delta consumer B
+  runtime::SessionReport own_sum{};     // own-snapshot consumer
+  runtime::SessionReport own_before{};
+  constexpr std::size_t kChunk = 257;
+  std::size_t round = 0;
+  for (std::size_t pos = 0; pos < samples.size(); pos += kChunk, ++round) {
+    const std::size_t n = std::min(kChunk, samples.size() - pos);
+    session.push_chunk(std::span<const Real>(samples.data() + pos, n));
+    // Irregular interleaving: A polls on rounds 0,2,4..., B on multiples
+    // of 3, the own-snapshot consumer on multiples of 5.
+    if (round % 2 == 0) accumulate(take_sum_a, session.take_delta());
+    if (round % 3 == 0) accumulate(take_sum_b, session.take_delta());
+    if (round % 5 == 0) {
+      const auto now = session.report();
+      accumulate(own_sum, runtime::session_report_delta(now, own_before));
+      own_before = now;
+    }
+  }
+  session.finish();
+  accumulate(take_sum_a, session.take_delta());
+  {
+    const auto now = session.report();
+    accumulate(own_sum, runtime::session_report_delta(now, own_before));
+  }
+
+  const auto total = session.report();
+  EXPECT_GT(total.events_rx, 0u);
+  runtime::SessionReport take_sum{};
+  accumulate(take_sum, take_sum_a);
+  accumulate(take_sum, take_sum_b);
+  for (const auto* sum : {&take_sum, &own_sum}) {
+    EXPECT_EQ(sum->samples_in, total.samples_in);
+    EXPECT_EQ(sum->events_tx, total.events_tx);
+    EXPECT_EQ(sum->pulses_tx, total.pulses_tx);
+    EXPECT_EQ(sum->pulses_erased, total.pulses_erased);
+    EXPECT_EQ(sum->events_rx, total.events_rx);
+    EXPECT_EQ(sum->arv_emitted, total.arv_emitted);
+    EXPECT_EQ(sum->decode.packets_decoded, total.decode.packets_decoded);
+  }
+}
+
 // ------------------------------------------------- streaming link pieces
 
 TEST(StreamingReceiver, FrameSpanningChunkBoundaryMatchesBatch) {

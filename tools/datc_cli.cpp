@@ -1,40 +1,21 @@
 // datc — command-line front end to the library.
 //
-//   datc generate --seed N --gain G --duration S --out sig.csv
-//       synthesise a grip-protocol sEMG recording (CSV: time_s,emg_v)
-//   datc encode   --in sig.csv --scheme datc|atc --vth V --out events.csv
-//       run a transmitter over a recording
-//   datc reconstruct --events events.csv --duration S [--truth sig.csv]
-//       rebuild the force envelope; prints correlation when truth given
-//   datc pipeline --channels M --jobs N [--duration S] [--seed K]
-//                 [--link private|shared]
-//       synthesise M channels and run the multi-threaded encoding engine
-//       (encode -> UWB link -> reconstruct per channel), printing per-
-//       channel scores and aggregate throughput. --link shared arbitrates
-//       every channel onto ONE AER radio instead of private links.
-//   datc link-sweep --channels M [--distances 0.5,1,2] [--pfa 1e-6,...]
-//                   [--channel-counts 2,4,8] [--duration S] [--seed K]
-//                   [--out BENCH_link.json]
-//       sweep the shared AER link over distance / false-alarm rate /
-//       channel count; prints per-point correlation, drop % and address
-//       error %, optionally writing the JSON report
-//   datc stream --in sig.csv|- --chunk N [--out envelope.csv] [--seed K]
-//               [--distance D] [--channel C] [--verify 1]
-//       run the full chain incrementally on N-sample chunks read from a
-//       file or stdin ("-"), writing the envelope as it is emitted and
-//       printing the cumulative session report; --verify 1 re-runs the
-//       batch pipeline and asserts bit-identical output
-//   datc table1
-//       print the DTC synthesis report
+// `datc` (no arguments) lists the subcommands; `datc <sub> --help` prints
+// the detailed per-subcommand reference (flags, defaults, examples).
 //
-// All I/O is CSV so results pipe straight into plotting tools.
+// All I/O is CSV so results pipe straight into plotting tools; the event
+// store subcommands (record/query/replay) additionally speak the binary
+// segment format under a session directory.
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,6 +31,9 @@
 #include "runtime/session.hpp"
 #include "sim/link_sweep.hpp"
 #include "sim/stream_parity.hpp"
+#include "store/log.hpp"
+#include "store/recorder.hpp"
+#include "store/replay.hpp"
 #include "synth/report.hpp"
 
 using namespace datc;
@@ -61,12 +45,19 @@ using Args = std::map<std::string, std::string>;
 
 Args parse_args(int argc, char** argv, int first) {
   Args args;
-  for (int i = first; i + 1 < argc; i += 2) {
+  int i = first;
+  for (; i + 1 < argc; i += 2) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
       throw std::invalid_argument("expected --flag, got " + key);
     }
     args[key.substr(2)] = argv[i + 1];
+  }
+  if (i < argc) {
+    // A trailing flag without a value used to be silently discarded —
+    // and a mistyped command would then run with side effects.
+    throw std::invalid_argument(std::string("flag without a value: ") +
+                                argv[i]);
   }
   return args;
 }
@@ -137,6 +128,111 @@ dsp::TimeSeries read_signal_csv(const std::string& path) {
   dsp::require(t.size() >= 2, "need at least two samples");
   const Real fs = 1.0 / (t[1] - t[0]);
   return dsp::TimeSeries(std::move(v), fs);
+}
+
+/// Incremental time_s,value CSV source: a file or stdin ("-"). Derives
+/// the sample rate from the first two rows' time column, so a
+/// mis-declared rate cannot silently mis-parameterise the chain.
+class SignalCsvSource {
+ public:
+  explicit SignalCsvSource(const std::string& in) {
+    if (in != "-") {
+      file_.open(in);
+      dsp::require(file_.good(), "cannot open " + in);
+      is_ = &file_;
+    } else {
+      is_ = &std::cin;
+    }
+    std::string line;
+    dsp::require(static_cast<bool>(std::getline(*is_, line)),
+                 "signal CSV: empty input");  // header
+    Real t0;
+    Real t1;
+    dsp::require(next_row(&t0, &first_) && next_row(&t1, &second_),
+                 "signal CSV: need at least two samples");
+    dsp::require(t1 > t0, "signal CSV: time column must be increasing");
+    fs_hz_ = 1.0 / (t1 - t0);
+  }
+
+  [[nodiscard]] Real sample_rate_hz() const { return fs_hz_; }
+
+  /// Yields every sample value in order (the two header-probe rows
+  /// first). False at end of input.
+  [[nodiscard]] bool next(Real* v) {
+    if (pending_ < 2) {
+      *v = pending_ == 0 ? first_ : second_;
+      ++pending_;
+      return true;
+    }
+    Real t;
+    return next_row(&t, v);
+  }
+
+ private:
+  [[nodiscard]] bool next_row(Real* t, Real* v) {
+    std::string line;
+    while (std::getline(*is_, line)) {
+      if (line.empty()) continue;
+      std::istringstream row(line);
+      std::string t_cell;
+      std::string v_cell;
+      dsp::require(static_cast<bool>(std::getline(row, t_cell, ',')) &&
+                       static_cast<bool>(std::getline(row, v_cell, ',')),
+                   "bad row: " + line);
+      *t = std::stod(t_cell);
+      *v = std::stod(v_cell);
+      return true;
+    }
+    return false;
+  }
+
+  std::ifstream file_;
+  std::istream* is_{nullptr};
+  Real fs_hz_{0.0};
+  Real first_{0.0};
+  Real second_{0.0};
+  int pending_{0};
+};
+
+/// The streaming-session parameterisation shared by `stream` and
+/// `record` (seed/channel/distance flags + one calibration build).
+struct StreamSetup {
+  sim::EvalConfig eval;
+  sim::LinkConfig link;
+  core::CalibrationPtr cal;
+  std::uint32_t channel{0};
+  std::size_t chunk{256};
+};
+
+StreamSetup make_stream_setup(const Args& a, Real fs_hz,
+                              const char* cmd_name) {
+  const std::string ctx = cmd_name;
+  const Real chunk_f = arg_num(a, "chunk", 256.0);
+  dsp::require(chunk_f >= 1.0 && chunk_f <= 1e6,
+               ctx + ": --chunk must lie in [1, 1e6]");
+  const Real seed_f = arg_num(a, "seed", 7.0);
+  dsp::require(seed_f >= 0.0, ctx + ": --seed must be non-negative");
+  const Real channel_f = arg_num(a, "channel", 0.0);
+  dsp::require(channel_f >= 0.0 && channel_f <= 65535.0,
+               ctx + ": --channel must lie in [0, 65535]");
+  const Real distance = arg_num(a, "distance", 0.5);
+  dsp::require(distance > 0.0, ctx + ": --distance must be positive");
+
+  StreamSetup s;
+  s.chunk = static_cast<std::size_t>(chunk_f);
+  s.channel = static_cast<std::uint32_t>(channel_f);
+  s.eval.analog_fs_hz = fs_hz;
+  s.link.seed = static_cast<std::uint64_t>(seed_f);
+  s.link.channel.distance_m = distance;
+  s.link.channel.ref_loss_db = 30.0;  // body-area defaults
+
+  core::RateCalibrationConfig cal_cfg;
+  cal_cfg.analog_fs_hz = s.eval.analog_fs_hz;
+  cal_cfg.band_lo_hz = s.eval.band_lo_hz;
+  cal_cfg.band_hi_hz = s.eval.band_hi_hz;
+  cal_cfg.count_fs_hz = s.eval.datc_clock_hz;
+  s.cal = std::make_shared<core::RateCalibration>(cal_cfg);
+  return s;
 }
 
 int cmd_generate(const Args& a) {
@@ -354,77 +450,15 @@ int cmd_link_sweep(const Args& a) {
 }
 
 int cmd_stream(const Args& a) {
-  const Real chunk_f = arg_num(a, "chunk", 256.0);
-  dsp::require(chunk_f >= 1.0 && chunk_f <= 1e6,
-               "stream: --chunk must lie in [1, 1e6]");
-  const auto chunk = static_cast<std::size_t>(chunk_f);
-  const Real seed_f = arg_num(a, "seed", 7.0);
-  dsp::require(seed_f >= 0.0, "stream: --seed must be non-negative");
-  const Real channel_f = arg_num(a, "channel", 0.0);
-  dsp::require(channel_f >= 0.0 && channel_f <= 65535.0,
-               "stream: --channel must lie in [0, 65535]");
-  const Real distance = arg_num(a, "distance", 0.5);
-  dsp::require(distance > 0.0, "stream: --distance must be positive");
-
-  // CSV source: file or stdin.
-  const auto in = arg_str(a, "in", "-");
-  std::ifstream file;
-  std::istream* is = &std::cin;
-  if (in != "-") {
-    file.open(in);
-    dsp::require(file.good(), "cannot open " + in);
-    is = &file;
-  }
-  std::string line;
-  dsp::require(static_cast<bool>(std::getline(*is, line)),
-               "stream: empty input");  // header
-  const auto read_row = [&](Real* t, Real* v) -> bool {
-    while (std::getline(*is, line)) {
-      if (line.empty()) continue;
-      std::istringstream row(line);
-      std::string t_cell;
-      std::string v_cell;
-      dsp::require(static_cast<bool>(std::getline(row, t_cell, ',')) &&
-                       static_cast<bool>(std::getline(row, v_cell, ',')),
-                   "bad row: " + line);
-      *t = std::stod(t_cell);
-      *v = std::stod(v_cell);
-      return true;
-    }
-    return false;
-  };
-  // The sample rate comes from the time column (first two rows), not an
-  // assumption — a mis-declared rate would silently mis-parameterise the
-  // whole chain.
-  Real t0;
-  Real v0;
-  Real t1;
-  Real v1;
-  dsp::require(read_row(&t0, &v0) && read_row(&t1, &v1),
-               "stream: need at least two samples");
-  dsp::require(t1 > t0, "stream: time column must be increasing");
-  const Real fs = 1.0 / (t1 - t0);
-
-  sim::EvalConfig eval;
-  eval.analog_fs_hz = fs;
-  sim::LinkConfig link;
-  link.seed = static_cast<std::uint64_t>(seed_f);
-  link.channel.distance_m = distance;
-  link.channel.ref_loss_db = 30.0;  // body-area defaults, as in `pipeline`
-
-  // One Monte Carlo calibration (the receiver's rate-inversion table).
-  core::RateCalibrationConfig cal_cfg;
-  cal_cfg.analog_fs_hz = eval.analog_fs_hz;
-  cal_cfg.band_lo_hz = eval.band_lo_hz;
-  cal_cfg.band_hi_hz = eval.band_hi_hz;
-  cal_cfg.count_fs_hz = eval.datc_clock_hz;
-  const auto cal = std::make_shared<core::RateCalibration>(cal_cfg);
+  SignalCsvSource source(arg_str(a, "in", "-"));
+  const Real fs = source.sample_rate_hz();
+  const auto setup = make_stream_setup(a, fs, "stream");
+  const auto& eval = setup.eval;
 
   const bool verify = arg_num(a, "verify", 0.0) != 0.0;
-  auto cfg = sim::make_session_config(eval, link, cal);
+  auto cfg = sim::make_session_config(eval, setup.link, setup.cal);
   cfg.keep_rx_events = verify;
-  runtime::StreamingSession session(
-      cfg, static_cast<std::uint32_t>(channel_f));
+  runtime::StreamingSession session(cfg, setup.channel);
 
   const auto out_path = arg_str(a, "out", "envelope.csv");
   std::ofstream fout(out_path);
@@ -438,7 +472,7 @@ int cmd_stream(const Args& a) {
   std::vector<Real> all_samples;  // retained only when verifying
   std::vector<Real> all_arv;      // ditto: the envelope actually written
   std::vector<Real> chunk_buf;
-  chunk_buf.reserve(chunk);
+  chunk_buf.reserve(setup.chunk);
   std::vector<Real> arv;
   std::size_t emitted = 0;
   const auto flush_chunk = [&] {
@@ -453,16 +487,12 @@ int cmd_stream(const Args& a) {
     }
     if (verify) all_arv.insert(all_arv.end(), arv.begin(), arv.end());
   };
-  const auto push_sample = [&](Real v) {
-    chunk_buf.push_back(v);
-    if (verify) all_samples.push_back(v);
-    if (chunk_buf.size() >= chunk) flush_chunk();
-  };
-  push_sample(v0);
-  push_sample(v1);
-  Real t_row;
   Real v_row;
-  while (read_row(&t_row, &v_row)) push_sample(v_row);
+  while (source.next(&v_row)) {
+    chunk_buf.push_back(v_row);
+    if (verify) all_samples.push_back(v_row);
+    if (chunk_buf.size() >= setup.chunk) flush_chunk();
+  }
   flush_chunk();
   session.finish();
   arv.clear();
@@ -478,7 +508,7 @@ int cmd_stream(const Args& a) {
       "streamed %zu samples (%.0f Hz) in %zu-sample chunks: %zu events tx, "
       "%zu pulses on air (%zu erased), %zu events rx, %zu envelope samples "
       "-> %s\n",
-      report.samples_in, fs, chunk, report.events_tx, report.pulses_tx,
+      report.samples_in, fs, setup.chunk, report.events_tx, report.pulses_tx,
       report.pulses_erased, report.events_rx, report.arv_emitted,
       out_path.c_str());
   std::printf("fixed latency %.0f ms, peak working set %.1f KiB\n",
@@ -489,13 +519,180 @@ int cmd_stream(const Args& a) {
     // Verify the envelope THIS run emitted (not a fresh re-stream), so
     // the CLI's own feed path is covered too.
     const dsp::TimeSeries sig(std::move(all_samples), eval.analog_fs_hz);
-    const auto r = sim::check_stream_output(
-        sig, eval, link, cal, chunk, static_cast<std::uint32_t>(channel_f),
-        session.rx_events(), all_arv);
+    const auto r =
+        sim::check_stream_output(sig, eval, setup.link, setup.cal,
+                                 setup.chunk, setup.channel,
+                                 session.rx_events(), all_arv);
     std::printf("verify vs batch: events %s (%zu), ARV %s (max diff %.3g)\n",
                 r.events_equal ? "identical" : "DIFFER", r.events_batch,
                 r.arv_equal ? "identical" : "DIFFER", r.max_abs_arv_diff);
     if (!r.identical()) return 1;
+  }
+  return 0;
+}
+
+int cmd_record(const Args& a) {
+  SignalCsvSource source(arg_str(a, "in", "-"));
+  const auto dir = arg_str(a, "dir", "");
+  dsp::require(!dir.empty(), "record: --dir is required");
+  // A session directory is one recording: appending a second session
+  // would collide with the resumed time watermark (new times restart at
+  // ~0) and overwrite the manifest/envelope sidecars. Refuse up front
+  // with a usable message instead of failing inside the writer thread.
+  if (std::filesystem::exists(dir)) {
+    dsp::require(std::filesystem::is_directory(dir) &&
+                     std::filesystem::is_empty(dir),
+                 "record: --dir " + dir +
+                     " already holds data; record each session into a "
+                     "fresh directory");
+  }
+  const Real fs = source.sample_rate_hz();
+  const auto setup = make_stream_setup(a, fs, "record");
+
+  const Real seg_events_f = arg_num(a, "segment-events", 65536.0);
+  dsp::require(seg_events_f >= 1.0,
+               "record: --segment-events must be >= 1");
+  const Real seg_span = arg_num(a, "segment-span",
+                                std::numeric_limits<Real>::infinity());
+  dsp::require(seg_span > 0.0, "record: --segment-span must be positive");
+
+  const auto cfg = sim::make_session_config(setup.eval, setup.link,
+                                            setup.cal);
+  runtime::StreamingSession session(cfg, setup.channel);
+
+  store::RecorderConfig rcfg;
+  rcfg.log.dir = dir;
+  rcfg.log.max_events_per_segment =
+      static_cast<std::uint64_t>(seg_events_f);
+  rcfg.log.max_segment_span_s = seg_span;
+  store::Recorder recorder(rcfg);
+  session.set_event_tee(
+      [&recorder](std::span<const core::Event> ev) { recorder.offer(ev); });
+
+  std::vector<Real> live_arv;
+  std::vector<Real> chunk_buf;
+  chunk_buf.reserve(setup.chunk);
+  Real v_row;
+  while (source.next(&v_row)) {
+    chunk_buf.push_back(v_row);
+    if (chunk_buf.size() >= setup.chunk) {
+      session.push_chunk(chunk_buf);
+      chunk_buf.clear();
+      session.drain_arv(live_arv);
+    }
+  }
+  if (!chunk_buf.empty()) session.push_chunk(chunk_buf);
+  session.finish();
+  session.drain_arv(live_arv);
+  recorder.close();
+
+  const auto report = session.report();
+  const auto manifest = sim::make_session_manifest(
+      setup.eval, setup.channel,
+      static_cast<Real>(report.samples_in) / setup.eval.analog_fs_hz);
+  store::write_manifest(dir, manifest);
+  store::write_envelope_f64(dir, live_arv);
+
+  const auto stats = recorder.stats();
+  std::printf(
+      "recorded %zu samples (%.1f s at %.0f Hz): %zu events decoded, %llu "
+      "stored in %llu segment(s) (%llu dropped at the queue) -> %s\n",
+      report.samples_in, manifest.duration_s, fs, report.events_rx,
+      static_cast<unsigned long long>(stats.written),
+      static_cast<unsigned long long>(stats.segments_finalized),
+      static_cast<unsigned long long>(stats.dropped), dir.c_str());
+  std::printf("manifest + %zu-sample live envelope sidecar written; replay "
+              "with: datc replay --dir %s --verify 1\n",
+              live_arv.size(), dir.c_str());
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  const auto dir = arg_str(a, "dir", "");
+  dsp::require(!dir.empty(), "query: --dir is required");
+  // Validate the cheap flags before any I/O: a --format typo must not
+  // cost a full CRC pass over a large log first.
+  const auto format = arg_str(a, "format", "csv");
+  dsp::require(format == "csv" || format == "binary",
+               "query: unknown --format '" + format + "' (csv|binary)");
+  const auto out = arg_str(a, "out", "-");
+  dsp::require(format != "binary" || out != "-",
+               "query: --format binary needs --out <path>");
+  const Real t_lo = arg_num(a, "from", 0.0);
+  const Real t_hi = arg_num(a, "to",
+                            std::numeric_limits<Real>::infinity());
+  dsp::require(t_lo < t_hi, "query: need --from < --to");
+  std::optional<std::uint16_t> channel;
+  if (a.count("channel") != 0) {
+    const Real channel_f = arg_num(a, "channel", 0.0);
+    dsp::require(channel_f >= 0.0 && channel_f <= 65535.0,
+                 "query: --channel must lie in [0, 65535]");
+    channel = static_cast<std::uint16_t>(channel_f);
+  }
+  const store::LogReader log(dir);
+
+  if (arg_num(a, "verify", 0.0) != 0.0) {
+    dsp::require(log.verify(), "query: segment CRC verification FAILED");
+  }
+  const auto events = log.query(t_lo, t_hi, channel);
+
+  if (format == "csv") {
+    if (out == "-") {
+      core::write_events_csv(std::cout, events);
+    } else if (!core::write_events_csv(out, events)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+  } else {
+    if (!core::write_events_binary(out, events)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+  }
+  // Summary on stderr so stdout stays a clean event stream.
+  const std::string chan_note =
+      channel ? " channel " + std::to_string(*channel) : "";
+  std::fprintf(stderr,
+               "%zu event(s) in [%g, %g)%s from %zu segment(s), %llu "
+               "events total\n",
+               events.size(), t_lo, t_hi, chan_note.c_str(),
+               log.segments().size(),
+               static_cast<unsigned long long>(log.total_events()));
+  return 0;
+}
+
+int cmd_replay(const Args& a) {
+  const auto dir = arg_str(a, "dir", "");
+  dsp::require(!dir.empty(), "replay: --dir is required");
+  const auto result = store::replay_envelope(dir);
+  const auto out_path = arg_str(a, "out", "envelope.csv");
+  {
+    std::ofstream f(out_path);
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    f << "time_s,arv_v\n";
+    f.precision(10);
+    for (std::size_t i = 0; i < result.arv.size(); ++i) {
+      f << static_cast<Real>(i) / result.manifest.analog_fs_hz << ','
+        << result.arv[i] << '\n';
+    }
+  }
+  std::printf(
+      "replayed %zu stored event(s) over %.1f s -> %zu envelope samples "
+      "-> %s\n",
+      result.events, result.duration_s, result.arv.size(),
+      out_path.c_str());
+  if (arg_num(a, "verify", 0.0) != 0.0) {
+    dsp::require(store::has_envelope_f64(dir),
+                 "replay: no envelope.f64 sidecar to verify against");
+    const auto parity = store::check_replay_parity(dir);
+    std::printf("replay vs recorded live envelope: %s (%zu samples, max "
+                "diff %.3g)\n",
+                parity.equal ? "bit-identical" : "DIFFER", parity.samples,
+                parity.max_abs_diff);
+    if (!parity.equal) return 1;
   }
   return 0;
 }
@@ -508,11 +705,116 @@ int cmd_table1() {
   return 0;
 }
 
+// -------------------------------------------------- subcommand dispatch
+
+struct Subcommand {
+  const char* name;
+  const char* summary;  ///< one-liner for the usage listing
+  const char* help;     ///< full `datc <sub> --help` reference
+  int (*run)(const Args&);
+};
+
+int cmd_table1_adapter(const Args&) { return cmd_table1(); }
+
+constexpr Subcommand kSubcommands[] = {
+    {"generate", "synthesise a grip-protocol sEMG recording (CSV)",
+     "usage: datc generate [--seed N] [--gain G] [--duration S]\n"
+     "                     [--out sig.csv]\n"
+     "  --seed N       recording seed (default 1)\n"
+     "  --gain G       sEMG amplitude in volts (default 0.35)\n"
+     "  --duration S   record length in seconds (default 20)\n"
+     "  --out PATH     output CSV `time_s,emg_v` (default signal.csv)\n",
+     cmd_generate},
+    {"encode", "run a D-ATC/ATC transmitter over a recording",
+     "usage: datc encode [--in sig.csv] [--scheme datc|atc] [--vth V]\n"
+     "                   [--out events.csv]\n"
+     "  --in PATH      input CSV `time_s,emg_v` (default signal.csv)\n"
+     "  --scheme S     datc (self-adjusting threshold) or atc (fixed)\n"
+     "  --vth V        atc threshold in volts (default 0.3)\n"
+     "  --out PATH     output events CSV (default events.csv)\n",
+     cmd_encode},
+    {"reconstruct", "rebuild the force envelope from an event stream",
+     "usage: datc reconstruct [--events events.csv] [--duration S]\n"
+     "                        [--out envelope.csv] [--truth sig.csv]\n"
+     "  --events PATH  input events CSV (default events.csv)\n"
+     "  --duration S   record length in seconds (default 20)\n"
+     "  --out PATH     output envelope CSV (default envelope.csv)\n"
+     "  --truth PATH   ground-truth signal; prints correlation %\n",
+     cmd_reconstruct},
+    {"pipeline", "multi-channel engine: encode -> UWB link -> reconstruct",
+     "usage: datc pipeline [--channels M] [--jobs N] [--duration S]\n"
+     "                     [--seed K] [--distance D] [--link private|shared]\n"
+     "                     [--spacing-us U] [--gain-lo G] [--gain-hi G]\n"
+     "  --channels M   number of EMG channels (default 16)\n"
+     "  --jobs N       worker threads, 0 = hardware (default 0)\n"
+     "  --link MODE    private radios, or `shared` for ONE arbitrated\n"
+     "                 AER radio every channel contends for\n"
+     "  --distance D   TX-RX distance in metres (default 0.5)\n"
+     "  --spacing-us U minimum AER on-air spacing (shared mode)\n",
+     cmd_pipeline},
+    {"link-sweep", "sweep the shared AER link over a parameter grid",
+     "usage: datc link-sweep [--channels M] [--distances 0.5,1,2]\n"
+     "                       [--pfa 1e-6,...] [--channel-counts 2,4,8]\n"
+     "                       [--duration S] [--seed K] [--out FILE.json]\n"
+     "  Prints per-point correlation, drop %% and address-error %%;\n"
+     "  --out writes the JSON report (BENCH_link.json schema).\n",
+     cmd_link_sweep},
+    {"stream", "run the full chain incrementally on sample chunks",
+     "usage: datc stream [--in sig.csv|-] [--chunk N] [--out envelope.csv]\n"
+     "                   [--seed K] [--distance D] [--channel C]\n"
+     "                   [--verify 1]\n"
+     "  --in PATH      CSV signal, `-` reads stdin (default -)\n"
+     "  --chunk N      samples per chunk (default 256)\n"
+     "  --verify 1     re-run the batch pipeline and require the chunked\n"
+     "                 output to be bit-identical\n"
+     "  The envelope is written as it is emitted (fixed window/2 latency).\n",
+     cmd_stream},
+    {"record", "stream a signal AND persist decoded events to a store",
+     "usage: datc record --dir SESSION_DIR [--in sig.csv|-] [--chunk N]\n"
+     "                   [--seed K] [--distance D] [--channel C]\n"
+     "                   [--segment-events N] [--segment-span S]\n"
+     "  Runs the streaming chain like `stream`, teeing every decoded\n"
+     "  event into an append-only segmented log under SESSION_DIR,\n"
+     "  which must be new or empty — one directory per session\n"
+     "  (bounded write queue: storage never blocks decoding). Also\n"
+     "  writes manifest.txt (replay parameters) and envelope.f64 (the\n"
+     "  live ARV envelope, for replay parity checks).\n"
+     "  --segment-events N  rotate segments after N events (default 65536)\n"
+     "  --segment-span S    rotate segments after S seconds of events\n",
+     cmd_record},
+    {"query", "time-range/channel queries over a recorded event store",
+     "usage: datc query --dir SESSION_DIR [--from T] [--to T]\n"
+     "                  [--channel C] [--format csv|binary] [--out -|PATH]\n"
+     "                  [--verify 1]\n"
+     "  Returns every stored event with time in [--from, --to) — the\n"
+     "  half-open window the rate estimator uses — optionally restricted\n"
+     "  to one AER channel. O(log n): binary search over segment time\n"
+     "  bounds, then over each segment's fixed-width records.\n"
+     "  --format csv     `time_s,vth_code,channel` (stdout with --out -)\n"
+     "  --format binary  DATCEVT2 file with CRC trailer (needs --out)\n"
+     "  --verify 1       recompute every segment CRC first\n",
+     cmd_query},
+    {"replay", "re-simulate reconstruction from a recorded store",
+     "usage: datc replay --dir SESSION_DIR [--out envelope.csv]\n"
+     "                   [--verify 1]\n"
+     "  Rebuilds the receiver (calibration + reconstructor) from\n"
+     "  manifest.txt, feeds the stored event log back through it and\n"
+     "  writes the ARV envelope. --verify 1 additionally requires the\n"
+     "  replayed envelope to be bit-identical to the live run's\n"
+     "  envelope.f64 sidecar.\n",
+     cmd_replay},
+    {"table1", "print the DTC synthesis report",
+     "usage: datc table1\n"
+     "  Prints the standard-cell synthesis summary (the paper's Table 1).\n",
+     cmd_table1_adapter},
+};
+
 void usage() {
-  std::fprintf(stderr,
-               "usage: datc "
-               "<generate|encode|reconstruct|pipeline|link-sweep|stream|"
-               "table1> [--flag value ...]\n");
+  std::fprintf(stderr, "usage: datc <subcommand> [--flag value ...]\n"
+                       "       datc <subcommand> --help\n\n");
+  for (const auto& sub : kSubcommands) {
+    std::fprintf(stderr, "  %-12s %s\n", sub.name, sub.summary);
+  }
 }
 
 }  // namespace
@@ -523,17 +825,26 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  try {
-    const auto args = parse_args(argc, argv, 2);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "encode") return cmd_encode(args);
-    if (cmd == "reconstruct") return cmd_reconstruct(args);
-    if (cmd == "pipeline") return cmd_pipeline(args);
-    if (cmd == "link-sweep") return cmd_link_sweep(args);
-    if (cmd == "stream") return cmd_stream(args);
-    if (cmd == "table1") return cmd_table1();
+  const Subcommand* sub = nullptr;
+  for (const auto& s : kSubcommands) {
+    if (cmd == s.name) sub = &s;
+  }
+  if (sub == nullptr) {
     usage();
     return 2;
+  }
+  // --help anywhere on the line prints help; running a command the user
+  // was still asking about would have side effects.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::fprintf(stderr, "%s", sub->help);
+      return 0;
+    }
+  }
+  try {
+    const auto args = parse_args(argc, argv, 2);
+    return sub->run(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "datc %s: %s\n", cmd.c_str(), e.what());
     return 1;
