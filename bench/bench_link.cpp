@@ -57,8 +57,7 @@ void bench_shared_link_8ch(benchmark::State& state) {
   cfg.distances_m = {0.3};
   cfg.channel_counts = {8};
   sim::EvalConfig eval;
-  core::DatcEncoderConfig enc;
-  enc.dtc = eval.dtc;
+  const auto enc = sim::datc_encoder_config(eval);
   std::vector<core::EventStream> tx;
   for (std::size_t c = 0; c < cfg.channels; ++c) {
     emg::RecordingSpec spec;

@@ -3,13 +3,18 @@
 // good correlation, as artifacts effect is similar to pulse missing":
 //  * UWB pulse-erasure sweep (pulse missing),
 //  * artifact injection at the sensor (extra pulses),
-//  * link-distance sweep through the energy-detection receiver.
+//  * link-distance sweep through the energy-detection receiver,
+//  * progressive muscle fatigue (spectrum compression under the encoder).
+//
+// Every regime is a scenario: the base spec plus per-point key overrides
+// (the same overrides `datc sweep --axes` would apply), so the bench
+// cannot restate pipeline defaults.
 
 #include "bench_util.hpp"
 
+#include "config/factory.hpp"
 #include "dsp/emg_metrics.hpp"
-#include "emg/artifacts.hpp"
-#include "emg/fatigue.hpp"
+#include "emg/generator.hpp"
 #include "sim/end_to_end.hpp"
 
 namespace {
@@ -17,17 +22,18 @@ namespace {
 using datc::dsp::Real;
 using namespace datc;
 
-sim::LinkConfig strong_link() {
-  sim::LinkConfig link;
-  link.modulator.shape.amplitude_v = 0.5;
-  link.channel.distance_m = 0.3;
-  link.channel.ref_loss_db = 30.0;
-  return link;
+/// Strong pulse on a near body-area link — the regime where only the
+/// injected impairment (erasures, artifacts, distance) matters.
+config::ScenarioSpec strong_link_spec() {
+  auto spec = config::make_preset("paper-baseline");
+  config::set_scenario_key(spec, "link.pulse_amplitude_v", "0.5");
+  config::set_scenario_key(spec, "link.distance_m", "0.3");
+  return spec;
 }
 
 void print_robustness() {
   bench::print_header(
-      "Robustness - pulse erasure, artifacts, link distance",
+      "Robustness - pulse erasure, artifacts, link distance, fatigue",
       "artifact pulses ~ pulse missing: correlation degrades gracefully");
 
   const auto& rec = bench::showcase();
@@ -36,13 +42,14 @@ void print_robustness() {
   // 1) Erasure sweep.
   sim::Table t1({"erasure prob", "events RX/TX", "corr % (D-ATC)",
                  "corr % (ATC 0.3V)"});
-  for (const Real p : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
-    auto link = strong_link();
-    link.channel.erasure_prob = p;
-    const sim::EndToEnd e2e(eval.config(), link);
+  for (const char* p : {"0", "0.05", "0.1", "0.2", "0.3", "0.5"}) {
+    auto spec = strong_link_spec();
+    config::set_scenario_key(spec, "link.erasure_prob", p);
+    const config::PipelineFactory factory(spec);
+    const auto e2e = factory.make_end_to_end();
     const auto d = e2e.run_datc(rec);
     const auto a = e2e.run_atc(rec, 0.3);
-    t1.add_row({sim::Table::num(p, 2),
+    t1.add_row({p,
                 sim::Table::integer(d.events_rx) + "/" +
                     sim::Table::integer(d.tx_side.num_events),
                 sim::Table::num(d.rx_side.correlation_pct, 2),
@@ -50,30 +57,35 @@ void print_robustness() {
   }
   std::printf("pulse-missing sweep (UWB erasures):\n%s", t1.to_text().c_str());
 
-  // 2) Artifact injection at the sensor.
-  sim::Table t2({"artifact mix", "injected", "corr % (D-ATC)",
-                 "corr % (ATC 0.3V)"});
+  // 2) Artifact injection at the sensor — scenario-key mixes (the
+  //    artifact-burst preset is the union of the last two rows).
   struct Mix {
     const char* name;
-    emg::ArtifactConfig cfg;
+    std::vector<std::pair<const char*, const char*>> overrides;
   };
-  Mix mixes[3];
-  mixes[0].name = "clean";
-  mixes[1].name = "50 Hz hum 30 mV + wander";
-  mixes[1].cfg.powerline_amplitude = 0.03;
-  mixes[1].cfg.baseline_wander_amp = 0.03;
-  mixes[2].name = "motion bursts + spikes";
-  mixes[2].cfg.motion_burst_rate_hz = 0.5;
-  mixes[2].cfg.motion_burst_amp = 0.25;
-  mixes[2].cfg.spike_rate_hz = 2.0;
-  mixes[2].cfg.spike_amp = 0.4;
+  const Mix mixes[] = {
+      {"clean", {}},
+      {"50 Hz hum 30 mV + wander",
+       {{"source.powerline_amplitude_v", "0.03"},
+        {"source.baseline_wander_amp_v", "0.03"}}},
+      {"motion bursts + spikes",
+       {{"source.motion_burst_rate_hz", "0.5"},
+        {"source.motion_burst_amp_v", "0.25"},
+        {"source.spike_rate_hz", "2"},
+        {"source.spike_amp_v", "0.4"}}},
+  };
+  sim::Table t2({"artifact mix", "events (D-ATC)", "corr % (D-ATC)",
+                 "corr % (ATC 0.3V)"});
   for (const auto& mix : mixes) {
-    auto noisy = rec;
-    dsp::Rng rng(606);
-    const auto injected = emg::inject_artifacts(noisy.emg_v, mix.cfg, rng);
+    auto spec = strong_link_spec();
+    for (const auto& [key, value] : mix.overrides) {
+      config::set_scenario_key(spec, key, value);
+    }
+    const config::PipelineFactory factory(spec);
+    const auto noisy = factory.make_recording(0);
     const auto d = eval.datc(noisy);
     const auto a = eval.atc(noisy, 0.3);
-    t2.add_row({mix.name, sim::Table::integer(injected),
+    t2.add_row({mix.name, sim::Table::integer(d.num_events),
                 sim::Table::num(d.correlation_pct, 2),
                 sim::Table::num(a.correlation_pct, 2)});
   }
@@ -82,57 +94,50 @@ void print_robustness() {
 
   // 3) Distance sweep through the energy detector.
   sim::Table t3({"distance m", "pulses detected %", "corr % (D-ATC)"});
-  for (const Real d_m : {0.3, 1.0, 2.0, 5.0, 10.0}) {
-    auto link = strong_link();
-    link.channel.distance_m = d_m;
-    const sim::EndToEnd e2e(eval.config(), link);
-    const auto r = e2e.run_datc(rec);
+  for (const char* d_m : {"0.3", "1", "2", "5", "10"}) {
+    auto spec = strong_link_spec();
+    config::set_scenario_key(spec, "link.distance_m", d_m);
+    const config::PipelineFactory factory(spec);
+    const auto r = factory.make_end_to_end().run_datc(rec);
     const Real det = r.decode.pulses_in == 0
                          ? 0.0
                          : 100.0 * static_cast<Real>(r.decode.pulses_detected) /
                                static_cast<Real>(r.decode.pulses_in);
-    t3.add_row({sim::Table::num(d_m, 1), sim::Table::num(det, 1),
+    t3.add_row({d_m, sim::Table::num(det, 1),
                 sim::Table::num(r.rx_side.correlation_pct, 2)});
   }
   std::printf("\nlink-distance sweep (energy-detection RX):\n%s",
               t3.to_text().c_str());
 
-  // 4) Muscle fatigue: the sEMG spectrum compresses during a sustained
-  //    hold; the crossing statistics shift under the encoder.
+  // 4) Muscle fatigue: the fatigue-drift preset synthesises a grip
+  //    protocol whose MUAPs stretch as effort accumulates; the sEMG
+  //    spectrum compresses and the crossing statistics shift under the
+  //    encoder.
   {
-    dsp::Rng frng(1234);
-    // A dynamic protocol (fatigue under a constant hold makes the truth
-    // envelope constant, where Pearson is degenerate by construction).
-    dsp::Rng protocol_rng(88);
-    auto drive = emg::grip_protocol(protocol_rng, 0.7, 20.0, 2500.0);
-    emg::FatigueConfig fcfg;
-    fcfg.tau_s = 8.0;
-    fcfg.sigma_stretch = 1.5;
-    auto fresh_drive = drive;
-    auto fatigued = emg::synthesize_fatigued(
-        drive, emg::MotorUnitPoolConfig{}, fcfg, frng);
-    for (auto& v : fatigued.samples()) v *= 0.35;
-    emg::Recording frec;
-    frec.spec.name = "fatigue_hold";
-    frec.spec.gain_v = 0.35;
-    frec.emg_v = fatigued;
-    frec.force = fresh_drive;
+    const config::PipelineFactory factory(
+        config::make_preset("fatigue-drift"));
+    const auto frec = factory.make_recording(0);
     const auto d = eval.datc(frec);
     // Median frequency over the early high-effort segment vs the same
     // segment re-synthesised fresh: isolates the conduction slowing from
     // the force dynamics (rest periods would otherwise dominate the
-    // late-window spectrum).
-    dsp::Rng fresh_rng(1234);
-    auto fresh = emg::synthesize_pool(fresh_drive,
-                                      emg::MotorUnitPoolConfig{}, fresh_rng);
-    const std::size_t seg = fatigued.size() / 3;
+    // late-window spectrum). The fresh pool must start from the SAME Rng
+    // state the fatigued synthesis consumed — the state after the grip
+    // protocol's draws — or pool randomness confounds the comparison.
+    dsp::Rng fresh_rng(factory.spec().source.seed);
+    (void)emg::grip_protocol(fresh_rng, factory.spec().source.start_mvc,
+                             factory.spec().source.duration_s,
+                             factory.spec().source.sample_rate_hz);
+    auto fresh = emg::synthesize_pool(frec.force, emg::MotorUnitPoolConfig{},
+                                      fresh_rng);
+    const std::size_t seg = frec.emg_v.size() / 3;
+    const Real fs = frec.emg_v.sample_rate_hz();
     const Real mf_fatigued = dsp::median_frequency_hz(
-        std::span<const Real>(fatigued.samples().data() + seg, seg),
-        2500.0);
+        std::span<const Real>(frec.emg_v.samples().data() + seg, seg), fs);
     const Real mf_fresh = dsp::median_frequency_hz(
-        std::span<const Real>(fresh.samples().data() + seg, seg), 2500.0);
+        std::span<const Real>(fresh.samples().data() + seg, seg), fs);
     std::printf(
-        "\nmuscle fatigue (20 s grip protocol, conduction slowing): "
+        "\nmuscle fatigue (fatigue-drift preset, conduction slowing): "
         "mid-session median frequency %.0f Hz vs %.0f Hz fresh,\n  D-ATC "
         "correlation vs ARV stays %.2f %% (the spectral compression moves "
         "the crossing rate, not the tracking).\n",
@@ -147,10 +152,10 @@ void print_robustness() {
 
 void bench_e2e_run(benchmark::State& state) {
   const auto& rec = bench::showcase();
-  const auto& eval = bench::evaluator();
-  auto link = strong_link();
-  link.channel.erasure_prob = 0.1;
-  const sim::EndToEnd e2e(eval.config(), link);
+  auto spec = strong_link_spec();
+  config::set_scenario_key(spec, "link.erasure_prob", "0.1");
+  const config::PipelineFactory factory(spec);
+  const auto e2e = factory.make_end_to_end();
   for (auto _ : state) {
     benchmark::DoNotOptimize(e2e.run_datc(rec).rx_side.correlation_pct);
   }

@@ -1,0 +1,91 @@
+// Scenario-layer evaluation: (1) a smoke run of EVERY shipped preset
+// through the factory-built batch engine (shortened for CI wall clock),
+// proving each parses, validates and carries events end-to-end; (2) an
+// axis-expansion grid over the baseline (the `datc sweep` machinery).
+// One comparable report schema covers both link topologies.
+//
+// Emits BENCH_scenarios.json next to the binary so CI smoke-gates the
+// preset library and tracks the per-scenario quality trajectory.
+
+#include "bench_util.hpp"
+
+#include <fstream>
+
+#include "config/factory.hpp"
+#include "sim/scenario_grid.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+/// CI-sized copy of a preset: short record, at most 8 channels.
+config::ScenarioSpec smoke_spec(const std::string& preset) {
+  auto spec = config::make_preset(preset);
+  config::set_scenario_key(spec, "source.duration_s", "2");
+  if (spec.source.channels > 8) {
+    config::set_scenario_key(spec, "source.channels", "8");
+  }
+  return spec;
+}
+
+void print_scenarios_table() {
+  bench::print_header(
+      "Scenario layer: preset library smoke + axis-expansion grid",
+      "one declarative spec drives batch, streaming, shared-AER, replay "
+      "and the CLI - every preset must run end-to-end");
+
+  // ---- every shipped preset, shortened.
+  sim::ScenarioGridResult presets;
+  for (const auto& name : config::preset_names()) {
+    presets.points.push_back(sim::run_scenario(smoke_spec(name)));
+  }
+  std::printf("preset smoke grid (2 s records, <= 8 channels):\n%s",
+              sim::scenario_grid_table(presets).c_str());
+
+  // ---- axis expansion over the baseline (the `datc sweep` path).
+  sim::ScenarioGridConfig grid_cfg;
+  grid_cfg.base = smoke_spec("paper-baseline");
+  config::set_scenario_key(grid_cfg.base, "source.model", "noise");
+  grid_cfg.axes = sim::parse_axes("channels=1,4; distance=0.3,1.2");
+  const auto grid = sim::run_scenario_grid(grid_cfg);
+  std::printf("axis grid (channels x distance, noise model):\n%s",
+              sim::scenario_grid_table(grid).c_str());
+
+  // ---- JSON for the CI gate (one point schema, shared with `datc
+  // sweep --out` via write_scenario_point_json).
+  std::ofstream json("BENCH_scenarios.json");
+  if (!json.good()) {
+    std::printf("WARNING: could not write BENCH_scenarios.json\n");
+    return;
+  }
+  json.precision(12);
+  const auto block = [&json](const sim::ScenarioGridResult& r) {
+    for (std::size_t i = 0; i < r.points.size(); ++i) {
+      json << "    ";
+      sim::write_scenario_point_json(json, r.points[i]);
+      json << (i + 1 < r.points.size() ? "," : "") << "\n";
+    }
+  };
+  json << "{\n  \"presets\": [\n";
+  block(presets);
+  json << "  ],\n  \"grid\": [\n";
+  block(grid);
+  json << "  ]\n}\n";
+}
+
+void bench_scenario_baseline(benchmark::State& state) {
+  // Factory-built batch run of the shortened baseline (synthesis included
+  // once; the loop times the pipeline).
+  const config::PipelineFactory factory(smoke_spec("paper-baseline"));
+  const auto recs = factory.make_recordings();
+  const auto runner = factory.make_runner();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner->run_serial(recs).channels.size());
+  }
+}
+BENCHMARK(bench_scenario_baseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_scenarios_table)

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "config/factory.hpp"
 #include "dsp/rng.hpp"
 #include "runtime/session.hpp"
 #include "sim/stream_parity.hpp"
@@ -144,25 +145,21 @@ ReplayPoint measure_replay() {
   ReplayPoint out;
   const auto dir = bench_dir("replay");
 
-  emg::RecordingSpec spec;
-  spec.seed = 505;
-  spec.duration_s = 2.0;
-  spec.gain_v = 0.4;
-  spec.name = "store-bench";
-  const auto rec = emg::make_recording(spec);
+  // Same lossy-near-link regime as bench_stream, parameterised by the
+  // preset (no restated encoder/recon defaults), different seeds.
+  auto scenario = config::make_preset("paper-baseline");
+  config::set_scenario_key(scenario, "source.seed", "505");
+  config::set_scenario_key(scenario, "source.duration_s", "2");
+  config::set_scenario_key(scenario, "source.gain_lo_v", "0.4");
+  config::set_scenario_key(scenario, "source.gain_hi_v", "0.4");
+  config::set_scenario_key(scenario, "link.seed", "2026");
+  config::set_scenario_key(scenario, "link.distance_m", "0.6");
+  config::set_scenario_key(scenario, "link.erasure_prob", "0.05");
+  const config::PipelineFactory factory(std::move(scenario));
+  const auto rec = factory.make_recording(0);
+  const auto cal = factory.calibration();
 
-  const sim::EvalConfig eval;
-  sim::LinkConfig link;
-  link.seed = 2026;
-  link.channel.distance_m = 0.6;
-  link.channel.ref_loss_db = 30.0;
-  link.channel.erasure_prob = 0.05;
-  core::RateCalibrationConfig cal_cfg;
-  cal_cfg.count_fs_hz = eval.datc_clock_hz;
-  const auto cal = std::make_shared<core::RateCalibration>(cal_cfg);
-
-  const auto cfg = sim::make_session_config(eval, link, cal);
-  runtime::StreamingSession session(cfg, 0);
+  runtime::StreamingSession session(factory.session_config(), 0);
   store::RecorderConfig rcfg;
   rcfg.log.dir = dir;
   rcfg.log.max_events_per_segment = 128;
@@ -183,8 +180,7 @@ ReplayPoint measure_replay() {
     recorder.close();
     out.dropped = recorder.stats().dropped;
   }
-  store::write_manifest(
-      dir, sim::make_session_manifest(eval, 0, rec.emg_v.duration_s()));
+  store::write_manifest(dir, factory.manifest(rec.emg_v.duration_s()));
   store::write_envelope_f64(dir, live_arv);
 
   const auto parity = store::check_replay_parity(dir, live_arv, cal);

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <fstream>
 
+#include "config/factory.hpp"
 #include "runtime/session.hpp"
 #include "sim/stream_parity.hpp"
 
@@ -22,22 +23,18 @@ using namespace datc;
 
 constexpr std::size_t kParityChunks[] = {1, 7, 64, 4096, 0};  // 0 = whole
 
-core::CalibrationPtr stream_calibration() {
-  static const core::CalibrationPtr cal = [] {
-    core::RateCalibrationConfig c;
-    c.count_fs_hz = 2000.0;
-    return std::make_shared<core::RateCalibration>(c);
+/// The bench regime: the paper-baseline preset moved to a slightly lossy
+/// 0.6 m link. Encoder/recon/calibration defaults come from the preset —
+/// the bench never restates them.
+const config::PipelineFactory& stream_factory() {
+  static const config::PipelineFactory factory = [] {
+    auto spec = config::make_preset("paper-baseline");
+    config::set_scenario_key(spec, "link.seed", "2025");
+    config::set_scenario_key(spec, "link.distance_m", "0.6");
+    config::set_scenario_key(spec, "link.erasure_prob", "0.05");
+    return config::PipelineFactory(std::move(spec));
   }();
-  return cal;
-}
-
-sim::LinkConfig stream_link() {
-  sim::LinkConfig link;
-  link.seed = 2025;
-  link.channel.distance_m = 0.6;
-  link.channel.ref_loss_db = 30.0;
-  link.channel.erasure_prob = 0.05;
-  return link;
+  return factory;
 }
 
 std::vector<emg::Recording> stream_channels(std::size_t n, Real duration_s) {
@@ -64,9 +61,7 @@ struct GridPoint {
 
 GridPoint run_grid_point(const std::vector<emg::Recording>& recs,
                          std::size_t chunk) {
-  const sim::EvalConfig eval;
-  const auto cfg =
-      sim::make_session_config(eval, stream_link(), stream_calibration());
+  const auto cfg = stream_factory().session_config();
   runtime::SessionManager manager({.jobs = 0, .max_pending_chunks = 4});
   std::vector<runtime::StreamingSession*> sessions;
   std::vector<runtime::SessionManager::SessionId> ids;
@@ -112,9 +107,10 @@ void print_stream_table() {
       "continuously running event-driven front end - long-lived sessions "
       "with O(chunk) memory instead of whole-record batches");
 
-  const sim::EvalConfig eval;
-  const auto link = stream_link();
-  const auto cal = stream_calibration();
+  const auto& factory = stream_factory();
+  const auto eval = factory.eval_config();
+  const auto link = factory.link_config();
+  const auto cal = factory.calibration();
 
   // ---- parity: streaming == batch, exactly, for every chunk size.
   const auto rec = stream_channels(1, 3.0)[0];
@@ -201,9 +197,7 @@ void print_stream_table() {
 
 void bench_stream_session_4096(benchmark::State& state) {
   // One streaming session chewing 4096-sample chunks, full chain.
-  const sim::EvalConfig eval;
-  const auto cfg =
-      sim::make_session_config(eval, stream_link(), stream_calibration());
+  const auto cfg = stream_factory().session_config();
   const auto rec = stream_channels(1, 2.0)[0];
   const auto& samples = rec.emg_v.samples();
   for (auto _ : state) {

@@ -1,0 +1,177 @@
+#include "config/factory.hpp"
+
+#include "emg/artifacts.hpp"
+#include "emg/fatigue.hpp"
+#include "sim/stream_parity.hpp"
+
+namespace datc::config {
+
+PipelineFactory::PipelineFactory(ScenarioSpec spec)
+    : spec_(std::move(spec)) {
+  spec_.validate_or_throw();
+}
+
+sim::EvalConfig PipelineFactory::eval_config() const {
+  sim::EvalConfig eval;
+  eval.window_s = spec_.encoder.window_s;
+  eval.datc_clock_hz = spec_.encoder.clock_hz;
+  eval.dtc.dac_bits = spec_.encoder.dac_bits;
+  eval.dtc.frame = spec_.encoder.frame;
+  eval.dac_vref = spec_.encoder.dac_vref;
+  eval.analog_fs_hz = spec_.source.sample_rate_hz;
+  eval.band_lo_hz = spec_.encoder.band_lo_hz;
+  eval.band_hi_hz = spec_.encoder.band_hi_hz;
+  eval.datc_mode = spec_.recon.mode == ReconMode::kCodeDuty
+                       ? core::DatcDecodeMode::kCodeDuty
+                       : core::DatcDecodeMode::kRateInversion;
+  return eval;
+}
+
+sim::LinkConfig PipelineFactory::link_config() const {
+  sim::LinkConfig link;
+  link.seed = spec_.link.seed;
+  link.modulator.shape.amplitude_v = spec_.link.pulse_amplitude_v;
+  link.modulator.symbol_period_s = spec_.link.symbol_period_s;
+  link.modulator.code_bits = spec_.encoder.dac_bits;
+  link.channel.distance_m = spec_.link.distance_m;
+  link.channel.ref_loss_db = spec_.link.ref_loss_db;
+  link.channel.path_loss_exponent = spec_.link.path_loss_exponent;
+  link.channel.erasure_prob = spec_.link.erasure_prob;
+  link.channel.jitter_rms_s = spec_.link.jitter_rms_s;
+  link.detector.false_alarm_prob = spec_.link.false_alarm_prob;
+  return link;
+}
+
+sim::SharedAerConfig PipelineFactory::shared_config() const {
+  sim::SharedAerConfig shared;
+  shared.aer.address_bits = spec_.resolved_address_bits();
+  shared.aer.min_spacing_s = spec_.aer.min_spacing_s;
+  shared.aer.max_queue_delay_s = spec_.aer.max_queue_delay_s;
+  shared.cache_detection = spec_.link.cache_detection;
+  return shared;
+}
+
+runtime::RunnerConfig PipelineFactory::runner_config() const {
+  runtime::RunnerConfig cfg;
+  cfg.jobs = spec_.session.jobs;
+  cfg.link_mode = spec_.aer.topology == LinkTopology::kSharedAer
+                      ? runtime::LinkMode::kSharedAer
+                      : runtime::LinkMode::kPerChannel;
+  cfg.shared = shared_config();
+  cfg.eval = eval_config();
+  cfg.link = link_config();
+  return cfg;
+}
+
+core::CalibrationPtr PipelineFactory::calibration() const {
+  if (calibration_ == nullptr) {
+    const auto eval = eval_config();
+    calibration_ = core::shared_rate_calibration(
+        sim::calibration_config(eval, eval.datc_clock_hz));
+  }
+  return calibration_;
+}
+
+runtime::SessionConfig PipelineFactory::session_config() const {
+  // Streaming reconstruction implements the rate-inversion decoder only;
+  // refuse rather than silently decode differently from the batch path.
+  if (spec_.recon.mode != ReconMode::kRateInversion) {
+    throw ScenarioError(
+        "scenario '" + spec_.name +
+        "': streaming sessions support recon.mode = rate-inversion only");
+  }
+  auto cfg = sim::make_session_config(eval_config(), link_config(),
+                                      calibration());
+  cfg.cache_detection = spec_.link.cache_detection;
+  return cfg;
+}
+
+emg::RecordingSpec PipelineFactory::recording_spec(
+    std::size_t channel) const {
+  emg::RecordingSpec rs;
+  rs.seed = spec_.source.seed + channel;
+  rs.sample_rate_hz = spec_.source.sample_rate_hz;
+  rs.duration_s = spec_.source.duration_s;
+  rs.gain_v = spec_.gain_for_channel(channel);
+  rs.start_mvc = spec_.source.start_mvc;
+  rs.model = spec_.source.model == SourceModel::kFilteredNoise
+                 ? emg::EmgModel::kFilteredNoise
+                 : emg::EmgModel::kMotorUnitPool;
+  rs.name = spec_.name + "-ch" + std::to_string(channel);
+  return rs;
+}
+
+emg::Recording PipelineFactory::make_recording(std::size_t channel) const {
+  const auto rs = recording_spec(channel);
+  emg::Recording rec;
+  if (spec_.source.model == SourceModel::kFatigued) {
+    // Mirrors emg::make_recording's seeding (protocol then synthesis from
+    // one stream) with the fatigue-capable synthesiser.
+    dsp::Rng rng(rs.seed);
+    rec.spec = rs;
+    rec.force = emg::grip_protocol(rng, rs.start_mvc, rs.duration_s,
+                                   rs.sample_rate_hz);
+    emg::FatigueConfig fatigue;
+    fatigue.tau_s = spec_.source.fatigue_tau_s;
+    fatigue.sigma_stretch = spec_.source.fatigue_sigma_stretch;
+    fatigue.amplitude_gain = spec_.source.fatigue_amplitude_gain;
+    rec.emg_v = emg::synthesize_fatigued(rec.force,
+                                         emg::MotorUnitPoolConfig{}, fatigue,
+                                         rng);
+    for (auto& v : rec.emg_v.samples()) v *= rs.gain_v;
+  } else {
+    rec = emg::make_recording(rs);
+  }
+  if (spec_.has_artifacts()) {
+    emg::ArtifactConfig art;
+    art.powerline_amplitude = spec_.source.powerline_amplitude_v;
+    art.powerline_freq_hz = spec_.source.powerline_freq_hz;
+    art.baseline_wander_amp = spec_.source.baseline_wander_amp_v;
+    art.baseline_wander_hz = spec_.source.baseline_wander_hz;
+    art.motion_burst_rate_hz = spec_.source.motion_burst_rate_hz;
+    art.motion_burst_amp = spec_.source.motion_burst_amp_v;
+    art.spike_rate_hz = spec_.source.spike_rate_hz;
+    art.spike_amp = spec_.source.spike_amp_v;
+    dsp::Rng rng(spec_.source.artifact_seed ^
+                 static_cast<std::uint64_t>(channel));
+    emg::inject_artifacts(rec.emg_v, art, rng);
+  }
+  return rec;
+}
+
+std::vector<emg::Recording> PipelineFactory::make_recordings() const {
+  std::vector<emg::Recording> recs;
+  recs.reserve(spec_.source.channels);
+  for (std::size_t c = 0; c < spec_.source.channels; ++c) {
+    recs.push_back(make_recording(c));
+  }
+  return recs;
+}
+
+sim::EndToEnd PipelineFactory::make_end_to_end() const {
+  return sim::EndToEnd(eval_config(), link_config());
+}
+
+std::unique_ptr<runtime::PipelineRunner> PipelineFactory::make_runner()
+    const {
+  return std::make_unique<runtime::PipelineRunner>(runner_config());
+}
+
+std::unique_ptr<runtime::StreamingSession>
+PipelineFactory::make_streaming_session(std::uint32_t channel_id) const {
+  return std::make_unique<runtime::StreamingSession>(session_config(),
+                                                     channel_id);
+}
+
+std::unique_ptr<runtime::SharedAerStreamingSession>
+PipelineFactory::make_shared_session() const {
+  return std::make_unique<runtime::SharedAerStreamingSession>(
+      session_config(), shared_config(), spec_.source.channels);
+}
+
+store::SessionManifest PipelineFactory::manifest(Real duration_s) const {
+  return sim::make_session_manifest(eval_config(), spec_.session.channel,
+                                    duration_s);
+}
+
+}  // namespace datc::config

@@ -1,0 +1,70 @@
+#pragma once
+// PipelineFactory: the ONLY place a D-ATC pipeline is wired. Every
+// construction path — the batch reference sim (sim::EndToEnd), the
+// multi-channel engine (runtime::PipelineRunner), streaming sessions
+// (per-channel and shared-AER), and the store's record/replay setup —
+// is derived here from one validated ScenarioSpec, so the five paths are
+// parameterised identically by construction. The factory-built pipelines
+// are bit-identical to the pre-refactor hand-wired ones (gated by
+// config_scenario_test's factory-vs-legacy parity suite).
+
+#include <memory>
+#include <vector>
+
+#include "config/scenario.hpp"
+#include "emg/dataset.hpp"
+#include "runtime/pipeline_runner.hpp"
+#include "runtime/session.hpp"
+#include "sim/end_to_end.hpp"
+#include "sim/evaluation.hpp"
+#include "store/recorder.hpp"
+
+namespace datc::config {
+
+class PipelineFactory {
+ public:
+  /// Validates the spec (throws ScenarioError on any issue).
+  explicit PipelineFactory(ScenarioSpec spec);
+
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+
+  // ---- derived configuration structs (one mapping each, no restating)
+  [[nodiscard]] sim::EvalConfig eval_config() const;
+  [[nodiscard]] sim::LinkConfig link_config() const;
+  [[nodiscard]] sim::SharedAerConfig shared_config() const;
+  [[nodiscard]] runtime::RunnerConfig runner_config() const;
+  [[nodiscard]] runtime::SessionConfig session_config() const;
+
+  /// The D-ATC rate calibration (expensive Monte Carlo run): built on
+  /// first use, shared by every session/reconstructor from this factory.
+  [[nodiscard]] core::CalibrationPtr calibration() const;
+
+  // ---- signal source
+  [[nodiscard]] emg::RecordingSpec recording_spec(std::size_t channel) const;
+  /// Synthesises channel `channel` (fatigue model and artifact injection
+  /// applied per the spec).
+  [[nodiscard]] emg::Recording make_recording(std::size_t channel) const;
+  /// All `source.channels` recordings, in channel order.
+  [[nodiscard]] std::vector<emg::Recording> make_recordings() const;
+
+  // ---- the five construction paths
+  /// (1) Batch reference pipeline.
+  [[nodiscard]] sim::EndToEnd make_end_to_end() const;
+  /// (2) High-throughput multi-channel engine (honours aer.topology).
+  [[nodiscard]] std::unique_ptr<runtime::PipelineRunner> make_runner() const;
+  /// (3) One streaming channel over its private radio.
+  [[nodiscard]] std::unique_ptr<runtime::StreamingSession>
+  make_streaming_session(std::uint32_t channel_id) const;
+  /// (4) All channels streamed over one arbitrated AER radio.
+  [[nodiscard]] std::unique_ptr<runtime::SharedAerStreamingSession>
+  make_shared_session() const;
+  /// (5) Replay setup: the manifest `datc record` persists and
+  /// store::replay_envelope rebuilds the receiver from.
+  [[nodiscard]] store::SessionManifest manifest(Real duration_s) const;
+
+ private:
+  ScenarioSpec spec_;
+  mutable core::CalibrationPtr calibration_;  ///< lazy, shared
+};
+
+}  // namespace datc::config

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
 
 #include "dsp/biquad.hpp"
 #include "dsp/filter_design.hpp"
@@ -107,6 +111,32 @@ Real RateCalibration::u_for_rate(Real rate_hz) const {
   if (r_lo <= r_hi) return u_[lo];
   const Real frac = (r_lo - rate_hz) / (r_lo - r_hi);
   return u_[lo] + frac * (u_[hi] - u_[lo]);
+}
+
+std::shared_ptr<const RateCalibration> shared_rate_calibration(
+    const RateCalibrationConfig& config) {
+  // Every field participates in the key; two configs that differ in any
+  // way get distinct tables.
+  char key[256];
+  std::snprintf(key, sizeof key,
+                "%.17g|%.17g|%.17g|%d|%.17g|%zu|%llu|%.17g|%.17g|%zu",
+                config.analog_fs_hz, config.band_lo_hz, config.band_hi_hz,
+                config.filter_order, config.count_fs_hz, config.num_samples,
+                static_cast<unsigned long long>(config.seed), config.u_min,
+                config.u_max, config.grid_points);
+
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<const RateCalibration>> memo;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+  }
+  // Build outside the lock (a Monte Carlo run); a racing duplicate build
+  // is wasted work, not an error — first insert wins.
+  auto built = std::make_shared<const RateCalibration>(config);
+  const std::lock_guard<std::mutex> lock(mu);
+  return memo.emplace(key, std::move(built)).first->second;
 }
 
 }  // namespace datc::core

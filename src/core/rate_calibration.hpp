@@ -16,6 +16,7 @@
 // receiver model and the transmitter simulation self-consistent.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dsp/types.hpp"
@@ -68,5 +69,12 @@ class RateCalibration {
   std::vector<Real> rate_;
   std::size_t peak_index_{0};
 };
+
+/// Process-wide memo for the Monte Carlo run: a calibration is a pure,
+/// deterministic function of its config, so identical configs share one
+/// immutable table (scenario grids and repeated Evaluator construction
+/// would otherwise recompute it per point). Thread-safe.
+[[nodiscard]] std::shared_ptr<const RateCalibration> shared_rate_calibration(
+    const RateCalibrationConfig& config);
 
 }  // namespace datc::core

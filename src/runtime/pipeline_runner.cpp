@@ -54,12 +54,9 @@ ChannelReport PipelineRunner::run_channel(const emg::Recording& rec,
   const Real duration = rec.emg_v.duration_s();
 
   // Encode once through the fused block kernel into a preallocated arena.
-  core::DatcEncoderConfig enc;
-  enc.dtc = config_.eval.dtc;
-  enc.clock_hz = config_.eval.datc_clock_hz;
-  enc.dac_vref = config_.eval.dac_vref;
   core::EventArena arena;
-  core::encode_datc_events(rec.emg_v, enc, arena);
+  core::encode_datc_events(rec.emg_v, sim::datc_encoder_config(config_.eval),
+                           arena);
   const core::EventStream tx = arena.take_stream();
   out.events_tx = tx.size();
 
@@ -96,11 +93,9 @@ BatchReport PipelineRunner::run_shared(
 
   // Stage 1 (parallel): fused block encode per channel.
   std::vector<core::EventStream> tx(n);
-  for_each_index(pool, n, [this, &recordings, &tx, &report](std::size_t i) {
-    core::DatcEncoderConfig enc;
-    enc.dtc = config_.eval.dtc;
-    enc.clock_hz = config_.eval.datc_clock_hz;
-    enc.dac_vref = config_.eval.dac_vref;
+  const auto enc = sim::datc_encoder_config(config_.eval);
+  for_each_index(pool, n,
+                 [&recordings, &tx, &report, &enc](std::size_t i) {
     core::EventArena arena;
     core::encode_datc_events(recordings[i].emg_v, enc, arena);
     tx[i] = arena.take_stream();

@@ -108,11 +108,8 @@ EndToEndResult EndToEnd::run_datc_link(const emg::Recording& rec,
   out.tx_side = eval_.datc(rec);
 
   // Re-encode to get the event stream (the evaluator only returns scores).
-  core::DatcEncoderConfig enc;
-  enc.dtc = eval_.config().dtc;
-  enc.clock_hz = eval_.config().datc_clock_hz;
-  enc.dac_vref = eval_.config().dac_vref;
-  const auto tx = core::encode_datc(rec.emg_v, enc);
+  const auto tx =
+      core::encode_datc(rec.emg_v, datc_encoder_config(eval_.config()));
   const Real duration = rec.emg_v.duration_s();
 
   auto link_run =

@@ -4,24 +4,44 @@
 #include "dsp/stats.hpp"
 
 namespace datc::sim {
-namespace {
 
-core::RateCalibrationConfig calibration_config(const EvalConfig& cfg,
+core::DatcEncoderConfig datc_encoder_config(const EvalConfig& config) {
+  core::DatcEncoderConfig enc;
+  enc.dtc = config.dtc;
+  enc.clock_hz = config.datc_clock_hz;
+  enc.dac_vref = config.dac_vref;
+  return enc;
+}
+
+core::ReconstructionConfig datc_reconstruction_config(
+    const EvalConfig& config) {
+  core::ReconstructionConfig rc;
+  rc.window_s = config.window_s;
+  rc.output_fs_hz = config.analog_fs_hz;
+  rc.dac_vref = config.dac_vref;
+  rc.dac_bits = config.dtc.dac_bits;
+  rc.duty_lo = config.dtc.duty_lo;
+  rc.duty_hi = config.dtc.duty_hi;
+  rc.min_code = config.dtc.min_code;
+  return rc;
+}
+
+core::RateCalibrationConfig calibration_config(const EvalConfig& config,
                                                Real count_fs_hz) {
   core::RateCalibrationConfig c;
-  c.analog_fs_hz = cfg.analog_fs_hz;
-  c.band_lo_hz = cfg.band_lo_hz;
-  c.band_hi_hz = cfg.band_hi_hz;
+  c.analog_fs_hz = config.analog_fs_hz;
+  c.band_lo_hz = config.band_lo_hz;
+  c.band_hi_hz = config.band_hi_hz;
   c.count_fs_hz = count_fs_hz;
   return c;
 }
 
-}  // namespace
-
 Evaluator::Evaluator(const EvalConfig& config) : config_(config) {
-  atc_cal_ = std::make_shared<core::RateCalibration>(
+  // Memoised: repeated Evaluator construction (scenario grid points,
+  // per-point EndToEnd instances) shares the immutable tables.
+  atc_cal_ = core::shared_rate_calibration(
       calibration_config(config_, config_.analog_fs_hz));
-  datc_cal_ = std::make_shared<core::RateCalibration>(
+  datc_cal_ = core::shared_rate_calibration(
       calibration_config(config_, config_.datc_clock_hz));
 }
 
@@ -33,24 +53,16 @@ std::vector<Real> Evaluator::ground_truth(const emg::Recording& rec) const {
 std::vector<Real> Evaluator::reconstruct_atc(const core::EventStream& events,
                                              Real threshold_v,
                                              Real duration_s) const {
-  core::ReconstructionConfig rc;
-  rc.window_s = config_.window_s;
-  rc.output_fs_hz = config_.analog_fs_hz;
-  rc.dac_vref = config_.dac_vref;
-  rc.dac_bits = config_.dtc.dac_bits;
-  const core::AtcReconstructor recon(threshold_v, rc, atc_cal_,
-                                     config_.atc_mode);
+  const core::AtcReconstructor recon(threshold_v,
+                                     datc_reconstruction_config(config_),
+                                     atc_cal_, config_.atc_mode);
   return recon.reconstruct(events, duration_s);
 }
 
 std::vector<Real> Evaluator::reconstruct_datc(const core::EventStream& events,
                                               Real duration_s) const {
-  core::ReconstructionConfig rc;
-  rc.window_s = config_.window_s;
-  rc.output_fs_hz = config_.analog_fs_hz;
-  rc.dac_vref = config_.dac_vref;
-  rc.dac_bits = config_.dtc.dac_bits;
-  const core::DatcReconstructor recon(rc, datc_cal_, config_.datc_mode);
+  const core::DatcReconstructor recon(datc_reconstruction_config(config_),
+                                      datc_cal_, config_.datc_mode);
   return recon.reconstruct(events, duration_s);
 }
 
@@ -78,11 +90,8 @@ SchemeEvaluation Evaluator::atc(const emg::Recording& rec,
 }
 
 SchemeEvaluation Evaluator::datc(const emg::Recording& rec) const {
-  core::DatcEncoderConfig enc;
-  enc.dtc = config_.dtc;
-  enc.clock_hz = config_.datc_clock_hz;
-  enc.dac_vref = config_.dac_vref;
-  const auto result = core::encode_datc(rec.emg_v, enc);
+  const auto result =
+      core::encode_datc(rec.emg_v, datc_encoder_config(config_));
   const Real duration = rec.emg_v.duration_s();
 
   SchemeEvaluation ev;

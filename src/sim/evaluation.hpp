@@ -27,6 +27,25 @@ struct EvalConfig {
   core::DatcDecodeMode datc_mode{core::DatcDecodeMode::kRateInversion};
 };
 
+/// The ONE EvalConfig -> transmitter mapping. Every path that encodes
+/// D-ATC (Evaluator, EndToEnd, PipelineRunner, streaming sessions via
+/// make_session_config, config::PipelineFactory) derives its encoder from
+/// here, so a default cannot drift between them.
+[[nodiscard]] core::DatcEncoderConfig datc_encoder_config(
+    const EvalConfig& config);
+
+/// The ONE EvalConfig -> receiver-reconstruction mapping (same contract).
+/// The DTC interval-table span travels with it, as the reconstructor's
+/// code-duty inversion must match the transmitter's Eqn-2 table.
+[[nodiscard]] core::ReconstructionConfig datc_reconstruction_config(
+    const EvalConfig& config);
+
+/// The ONE EvalConfig -> Monte-Carlo-calibration mapping; `count_fs_hz`
+/// is the rate crossings are counted at (DTC clock for D-ATC, the analog
+/// rate for ATC).
+[[nodiscard]] core::RateCalibrationConfig calibration_config(
+    const EvalConfig& config, Real count_fs_hz);
+
 struct SchemeEvaluation {
   std::string scheme;
   std::size_t num_events{0};

@@ -12,24 +12,6 @@ namespace datc::sim {
 
 namespace {
 
-core::ReconstructionConfig recon_config(const EvalConfig& eval) {
-  // Must mirror Evaluator::reconstruct_datc field for field.
-  core::ReconstructionConfig rc;
-  rc.window_s = eval.window_s;
-  rc.output_fs_hz = eval.analog_fs_hz;
-  rc.dac_vref = eval.dac_vref;
-  rc.dac_bits = eval.dtc.dac_bits;
-  return rc;
-}
-
-core::DatcEncoderConfig encoder_config(const EvalConfig& eval) {
-  core::DatcEncoderConfig enc;
-  enc.dtc = eval.dtc;
-  enc.clock_hz = eval.datc_clock_hz;
-  enc.dac_vref = eval.dac_vref;
-  return enc;
-}
-
 /// Events equal bit-for-bit (time, code, address).
 bool events_match(const core::EventStream& a, const core::EventStream& b) {
   if (a.size() != b.size()) return false;
@@ -76,10 +58,10 @@ runtime::SessionConfig make_session_config(const EvalConfig& eval,
                                            const LinkConfig& link,
                                            core::CalibrationPtr calibration) {
   runtime::SessionConfig cfg;
-  cfg.encoder = encoder_config(eval);
+  cfg.encoder = datc_encoder_config(eval);
   cfg.analog_fs_hz = eval.analog_fs_hz;
   cfg.link = link;
-  cfg.recon = recon_config(eval);
+  cfg.recon = datc_reconstruction_config(eval);
   cfg.calibration = std::move(calibration);
   cfg.cache_detection = true;
   return cfg;
@@ -98,7 +80,7 @@ StreamParityResult check_stream_output(const dsp::TimeSeries& emg_v,
 
   // ---- batch reference: the PipelineRunner per-channel pipeline.
   core::EventArena arena;
-  core::encode_datc_events(emg_v, encoder_config(eval), arena);
+  core::encode_datc_events(emg_v, datc_encoder_config(eval), arena);
   const core::EventStream tx = arena.take_stream();
   LinkConfig link_c = link;
   link_c.seed = link.seed ^ static_cast<std::uint64_t>(channel_id);
@@ -106,7 +88,8 @@ StreamParityResult check_stream_output(const dsp::TimeSeries& emg_v,
                                      /*cache_detection=*/true);
   link_run.events_rx.sort_by_time();
   const Real duration = emg_v.duration_s();
-  const core::DatcReconstructor recon(recon_config(eval), calibration);
+  const core::DatcReconstructor recon(datc_reconstruction_config(eval),
+                                      calibration);
   const auto arv_batch = recon.reconstruct(link_run.events_rx, duration);
 
   out.events_batch = link_run.events_rx.size();
@@ -160,11 +143,12 @@ StreamParityResult check_shared_stream_parity(
   std::vector<core::EventStream> tx(n_ch);
   for (std::size_t c = 0; c < n_ch; ++c) {
     core::EventArena arena;
-    core::encode_datc_events(channels[c], encoder_config(eval), arena);
+    core::encode_datc_events(channels[c], datc_encoder_config(eval), arena);
     tx[c] = arena.take_stream();
   }
   auto link_run = run_aer_over_link(tx, link, shared, eval.dtc.dac_bits);
-  const core::DatcReconstructor recon(recon_config(eval), calibration);
+  const core::DatcReconstructor recon(datc_reconstruction_config(eval),
+                                      calibration);
   std::vector<std::vector<Real>> arv_batch(n_ch);
   for (std::size_t c = 0; c < n_ch; ++c) {
     arv_batch[c] = recon.reconstruct(link_run.per_channel_rx[c],

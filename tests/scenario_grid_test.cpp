@@ -1,0 +1,109 @@
+// Sweep-driver acceptance: axis parsing, cross-product expansion order,
+// parallel == serial determinism, and the one-report-schema contract
+// across link topologies.
+
+#include <gtest/gtest.h>
+
+#include "config/scenario.hpp"
+#include "sim/scenario_grid.hpp"
+
+namespace datc {
+namespace {
+
+config::ScenarioSpec fast_base() {
+  config::ScenarioSpec spec;
+  spec.name = "grid-test";
+  config::set_scenario_key(spec, "source.model", "noise");
+  config::set_scenario_key(spec, "source.duration_s", "1");
+  return spec;
+}
+
+TEST(ScenarioGridTest, ParsesAxes) {
+  const auto axes =
+      sim::parse_axes("channels=1,8,64; link.distance_m = 0.2, 1.0");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].key, "source.channels");
+  EXPECT_EQ(axes[0].values, (std::vector<std::string>{"1", "8", "64"}));
+  EXPECT_EQ(axes[1].key, "link.distance_m");
+  EXPECT_EQ(axes[1].values, (std::vector<std::string>{"0.2", "1.0"}));
+  EXPECT_TRUE(sim::parse_axes("").empty());
+  EXPECT_THROW(sim::parse_axes("warp=1,2"), config::ScenarioError);
+  EXPECT_THROW(sim::parse_axes("channels"), config::ScenarioError);
+  EXPECT_THROW(sim::parse_axes("channels=1,,2"), config::ScenarioError);
+}
+
+TEST(ScenarioGridTest, ExpandsCrossProductRowMajor) {
+  sim::ScenarioGridConfig cfg;
+  cfg.base = fast_base();
+  cfg.axes = sim::parse_axes("channels=1,2; distance=0.3,1.0");
+  cfg.jobs = 1;
+  const auto result = sim::run_scenario_grid(cfg);
+  ASSERT_EQ(result.points.size(), 4u);
+  EXPECT_EQ(result.points[0].overrides,
+            "source.channels=1 link.distance_m=0.3");
+  EXPECT_EQ(result.points[1].overrides,
+            "source.channels=1 link.distance_m=1.0");
+  EXPECT_EQ(result.points[2].overrides,
+            "source.channels=2 link.distance_m=0.3");
+  EXPECT_EQ(result.points[3].overrides,
+            "source.channels=2 link.distance_m=1.0");
+  EXPECT_EQ(result.points[0].channels, 1u);
+  EXPECT_EQ(result.points[3].channels, 2u);
+  for (const auto& p : result.points) {
+    EXPECT_EQ(p.scenario, "grid-test");
+    EXPECT_EQ(p.topology, "private");
+    EXPECT_GT(p.events_tx, 0u);
+  }
+}
+
+TEST(ScenarioGridTest, ParallelGridMatchesSerial) {
+  sim::ScenarioGridConfig cfg;
+  cfg.base = fast_base();
+  cfg.axes = sim::parse_axes("channels=1,2; distance=0.3,1.2");
+  cfg.jobs = 1;
+  const auto serial = sim::run_scenario_grid(cfg);
+  cfg.jobs = 4;
+  const auto parallel = sim::run_scenario_grid(cfg);
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    const auto& a = serial.points[i];
+    const auto& b = parallel.points[i];
+    EXPECT_EQ(a.overrides, b.overrides);
+    EXPECT_EQ(a.events_tx, b.events_tx);
+    EXPECT_EQ(a.events_rx, b.events_rx);
+    EXPECT_EQ(a.pulses_tx, b.pulses_tx);
+    EXPECT_EQ(a.mean_rx_correlation_pct, b.mean_rx_correlation_pct);
+    EXPECT_EQ(a.min_rx_correlation_pct, b.min_rx_correlation_pct);
+  }
+}
+
+TEST(ScenarioGridTest, SharedTopologyFillsTheSameSchema) {
+  auto base = fast_base();
+  config::set_scenario_key(base, "channels", "4");
+  config::set_scenario_key(base, "topology", "shared");
+  const auto report = sim::run_scenario(base);
+  EXPECT_EQ(report.topology, "shared");
+  EXPECT_EQ(report.channels, 4u);
+  EXPECT_GT(report.events_tx, 0u);
+  EXPECT_GT(report.events_rx, 0u);
+  EXPECT_LE(report.events_rx + report.events_dropped,
+            report.events_tx + 64u);  // spurious decodes are rare but legal
+  EXPECT_GT(report.mean_rx_correlation_pct, 0.0);
+  EXPECT_LE(report.min_rx_correlation_pct, report.mean_rx_correlation_pct);
+}
+
+TEST(ScenarioGridTest, InvalidGridPointFailsFastNamingThePoint) {
+  sim::ScenarioGridConfig cfg;
+  cfg.base = fast_base();
+  cfg.axes = sim::parse_axes("erasure_prob=0.0,1.5");
+  try {
+    (void)sim::run_scenario_grid(cfg);
+    FAIL() << "expected ScenarioError";
+  } catch (const config::ScenarioError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("link.erasure_prob=1.5"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace datc

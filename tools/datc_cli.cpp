@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "config/factory.hpp"
+#include "config/scenario.hpp"
 #include "core/atc_encoder.hpp"
 #include "core/datc_encoder.hpp"
 #include "core/event_io.hpp"
@@ -30,6 +32,7 @@
 #include "runtime/pipeline_runner.hpp"
 #include "runtime/session.hpp"
 #include "sim/link_sweep.hpp"
+#include "sim/scenario_grid.hpp"
 #include "sim/stream_parity.hpp"
 #include "store/log.hpp"
 #include "store/recorder.hpp"
@@ -194,45 +197,81 @@ class SignalCsvSource {
   int pending_{0};
 };
 
-/// The streaming-session parameterisation shared by `stream` and
-/// `record` (seed/channel/distance flags + one calibration build).
-struct StreamSetup {
-  sim::EvalConfig eval;
-  sim::LinkConfig link;
-  core::CalibrationPtr cal;
-  std::uint32_t channel{0};
-  std::size_t chunk{256};
+// ---------------------------------------------------- scenario plumbing
+//
+// Every pipeline-running subcommand resolves its parameters into a
+// config::ScenarioSpec and builds the chain through PipelineFactory —
+// the CLI never wires encoder/link/recon structs by hand. Without
+// --scenario, the historical flag defaults are applied on top of the
+// spec defaults, so legacy invocations behave identically.
+
+/// Exact decimal form of a Real for set_scenario_key round-trips.
+std::string real_str(Real v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// One `--flag VALUE` forwarded into a scenario key.
+struct FlagKey {
+  const char* flag;
+  const char* key;
+  /// Historical default applied when no --scenario is given; nullptr
+  /// leaves the spec's own default.
+  const char* legacy_default;
 };
 
-StreamSetup make_stream_setup(const Args& a, Real fs_hz,
-                              const char* cmd_name) {
-  const std::string ctx = cmd_name;
-  const Real chunk_f = arg_num(a, "chunk", 256.0);
-  dsp::require(chunk_f >= 1.0 && chunk_f <= 1e6,
-               ctx + ": --chunk must lie in [1, 1e6]");
-  const Real seed_f = arg_num(a, "seed", 7.0);
-  dsp::require(seed_f >= 0.0, ctx + ": --seed must be non-negative");
-  const Real channel_f = arg_num(a, "channel", 0.0);
-  dsp::require(channel_f >= 0.0 && channel_f <= 65535.0,
-               ctx + ": --channel must lie in [0, 65535]");
-  const Real distance = arg_num(a, "distance", 0.5);
-  dsp::require(distance > 0.0, ctx + ": --distance must be positive");
+/// Flags were historically parsed as doubles then cast (`--seed 1e6`,
+/// `--channels 16.0` were accepted), so a flag value whose double form
+/// is a non-negative integer is normalised to plain digits before it
+/// reaches the strict scenario-key parser. Everything else (fractions,
+/// enums, malformed text) passes through for the key's own parser to
+/// judge. Scenario FILES stay strict — only the flag surface is lenient.
+std::string normalize_flag_value(const std::string& v) {
+  std::size_t pos = 0;
+  double d = 0.0;
+  try {
+    d = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    return v;
+  }
+  if (pos != v.size() || !std::isfinite(d) || d < 0.0 ||
+      d != std::floor(d) || d >= 9.007199254740992e15) {
+    return v;  // not an exactly-representable non-negative integer
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", d);
+  return buf;
+}
 
-  StreamSetup s;
-  s.chunk = static_cast<std::size_t>(chunk_f);
-  s.channel = static_cast<std::uint32_t>(channel_f);
-  s.eval.analog_fs_hz = fs_hz;
-  s.link.seed = static_cast<std::uint64_t>(seed_f);
-  s.link.channel.distance_m = distance;
-  s.link.channel.ref_loss_db = 30.0;  // body-area defaults
-
-  core::RateCalibrationConfig cal_cfg;
-  cal_cfg.analog_fs_hz = s.eval.analog_fs_hz;
-  cal_cfg.band_lo_hz = s.eval.band_lo_hz;
-  cal_cfg.band_hi_hz = s.eval.band_hi_hz;
-  cal_cfg.count_fs_hz = s.eval.datc_clock_hz;
-  s.cal = std::make_shared<core::RateCalibration>(cal_cfg);
-  return s;
+/// Builds the spec for a subcommand: `--scenario FILE|PRESET` (else the
+/// defaults), explicit flags on top, then free-form `--set "k=v; k=v"`.
+config::ScenarioSpec spec_from_args(const Args& a,
+                                    std::initializer_list<FlagKey> flags,
+                                    const char* cmd_name) {
+  const bool have_scenario = a.count("scenario") != 0;
+  config::ScenarioSpec spec;
+  if (have_scenario) spec = config::load_scenario(a.at("scenario"));
+  for (const auto& fk : flags) {
+    const auto it = a.find(fk.flag);
+    if (it != a.end()) {
+      config::set_scenario_key(spec, fk.key,
+                               normalize_flag_value(it->second));
+    } else if (!have_scenario && fk.legacy_default != nullptr) {
+      config::set_scenario_key(spec, fk.key, fk.legacy_default);
+    }
+  }
+  const auto set_it = a.find("set");
+  if (set_it != a.end()) {
+    for (const auto& axis : sim::parse_axes(set_it->second)) {
+      dsp::require(axis.values.size() == 1,
+                   std::string(cmd_name) +
+                       ": --set takes one value per key (use `datc sweep` "
+                       "for value lists)");
+      config::set_scenario_key(spec, axis.key, axis.values[0]);
+    }
+  }
+  return spec;
 }
 
 int cmd_generate(const Args& a) {
@@ -314,67 +353,33 @@ int cmd_reconstruct(const Args& a) {
 }
 
 int cmd_pipeline(const Args& a) {
-  // Validate in the floating domain before casting: a negative double cast
-  // to an unsigned type is UB (and in practice would wrap to ~2^64 jobs).
-  const Real channels_f = arg_num(a, "channels", 16.0);
-  dsp::require(channels_f >= 1.0 && channels_f <= 4096.0,
-               "pipeline: --channels must lie in [1, 4096]");
-  const Real jobs_f = arg_num(a, "jobs", 0.0);
-  dsp::require(jobs_f >= 0.0 && jobs_f <= 1024.0,
-               "pipeline: --jobs must lie in [0, 1024] (0 = hardware)");
-  const Real seed_f = arg_num(a, "seed", 1.0);
-  dsp::require(seed_f >= 0.0, "pipeline: --seed must be non-negative");
-  const auto channels = static_cast<std::size_t>(channels_f);
-  const auto jobs = static_cast<std::size_t>(jobs_f);
-  const auto seed = static_cast<std::uint64_t>(seed_f);
-  const Real duration = arg_num(a, "duration", 20.0);
-  dsp::require(duration > 0.0, "pipeline: --duration must be positive");
-  const Real gain_lo = arg_num(a, "gain-lo", 0.16);
-  const Real gain_hi = arg_num(a, "gain-hi", 0.85);
-  dsp::require(gain_lo > 0.0 && gain_hi >= gain_lo,
-               "pipeline: need 0 < gain-lo <= gain-hi");
-
-  std::printf("synthesising %zu channel(s) x %.1f s ...\n", channels,
-              duration);
-  std::vector<emg::Recording> recs;
-  recs.reserve(channels);
-  for (std::size_t i = 0; i < channels; ++i) {
-    emg::RecordingSpec spec;
-    spec.seed = seed + i;
-    spec.duration_s = duration;
-    spec.gain_v =
-        channels == 1
-            ? gain_lo
-            : gain_lo * std::pow(gain_hi / gain_lo,
-                                 static_cast<Real>(i) /
-                                     static_cast<Real>(channels - 1));
-    spec.name = "ch" + std::to_string(i);
-    recs.push_back(emg::make_recording(spec));
-  }
-
-  runtime::RunnerConfig cfg;
-  cfg.jobs = jobs;
-  cfg.link.seed = seed;
-  // Body-area link defaults (the stock ChannelConfig is below the
-  // detector floor at any of these distances); --distance moves the RX.
-  const Real distance = arg_num(a, "distance", 0.5);
-  dsp::require(distance > 0.0, "pipeline: --distance must be positive");
-  cfg.link.channel.distance_m = distance;
-  cfg.link.channel.ref_loss_db = 30.0;
-  const auto link_mode = arg_str(a, "link", "private");
-  if (link_mode == "shared") {
-    cfg.link_mode = runtime::LinkMode::kSharedAer;
-    cfg.shared.aer.address_bits = address_bits_for(channels);
+  auto spec = spec_from_args(
+      a,
+      {
+          {"channels", "source.channels", "16"},
+          {"duration", "source.duration_s", "20"},
+          {"seed", "source.seed", "1"},
+          {"seed", "link.seed", "1"},  // one --seed drives both, as before
+          {"gain-lo", "source.gain_lo_v", "0.16"},
+          {"gain-hi", "source.gain_hi_v", "0.85"},
+          {"distance", "link.distance_m", "0.5"},
+          {"jobs", "session.jobs", "0"},
+          {"link", "aer.topology", "private"},
+      },
+      "pipeline");
+  if (a.count("spacing-us") != 0) {
     const Real spacing_us = arg_num(a, "spacing-us", 2.0);
     dsp::require(spacing_us >= 0.0, "pipeline: --spacing-us must be >= 0");
-    cfg.shared.aer.min_spacing_s = spacing_us * 1e-6;
-  } else if (link_mode != "private") {
-    std::fprintf(stderr, "unknown --link '%s' (private|shared)\n",
-                 link_mode.c_str());
-    return 1;
+    config::set_scenario_key(spec, "aer.min_spacing_s",
+                             real_str(spacing_us * 1e-6));
   }
-  runtime::PipelineRunner runner(cfg);
-  const auto report = runner.run(recs);
+  const config::PipelineFactory factory(spec);
+
+  std::printf("synthesising %zu channel(s) x %.1f s ...\n",
+              spec.source.channels, spec.source.duration_s);
+  const auto recs = factory.make_recordings();
+  const auto runner = factory.make_runner();
+  const auto report = runner->run(recs);
 
   // In shared mode the radio is link-wide, so per-channel pulse counts do
   // not exist — the column is dashed out and the totals printed below.
@@ -403,7 +408,7 @@ int cmd_pipeline(const Args& a) {
   }
   std::printf(
       "%zu channel(s) on %zu job(s): %.1f ms wall, %.0fx realtime\n",
-      report.channels.size(), runner.jobs(), report.wall_seconds * 1e3,
+      report.channels.size(), runner->jobs(), report.wall_seconds * 1e3,
       report.throughput_x_realtime());
   return 0;
 }
@@ -449,16 +454,31 @@ int cmd_link_sweep(const Args& a) {
   return 0;
 }
 
+/// The `stream`/`record` flag -> key forwarding (legacy defaults equal
+/// the spec defaults; the list keeps explicit flags working on top of
+/// --scenario).
+constexpr std::initializer_list<FlagKey> kStreamFlags = {
+    {"chunk", "session.chunk_samples", nullptr},
+    {"seed", "link.seed", nullptr},
+    {"channel", "session.channel", nullptr},
+    {"distance", "link.distance_m", nullptr},
+};
+
 int cmd_stream(const Args& a) {
   SignalCsvSource source(arg_str(a, "in", "-"));
   const Real fs = source.sample_rate_hz();
-  const auto setup = make_stream_setup(a, fs, "stream");
-  const auto& eval = setup.eval;
+  auto spec = spec_from_args(a, kStreamFlags, "stream");
+  // The signal's own rate wins: a scenario cannot mis-declare the rate of
+  // a CSV it does not produce.
+  config::set_scenario_key(spec, "source.sample_rate_hz", real_str(fs));
+  const config::PipelineFactory factory(spec);
+  const auto eval = factory.eval_config();
+  const std::size_t chunk_size = spec.session.chunk_samples;
 
   const bool verify = arg_num(a, "verify", 0.0) != 0.0;
-  auto cfg = sim::make_session_config(eval, setup.link, setup.cal);
+  auto cfg = factory.session_config();
   cfg.keep_rx_events = verify;
-  runtime::StreamingSession session(cfg, setup.channel);
+  runtime::StreamingSession session(cfg, spec.session.channel);
 
   const auto out_path = arg_str(a, "out", "envelope.csv");
   std::ofstream fout(out_path);
@@ -472,7 +492,7 @@ int cmd_stream(const Args& a) {
   std::vector<Real> all_samples;  // retained only when verifying
   std::vector<Real> all_arv;      // ditto: the envelope actually written
   std::vector<Real> chunk_buf;
-  chunk_buf.reserve(setup.chunk);
+  chunk_buf.reserve(chunk_size);
   std::vector<Real> arv;
   std::size_t emitted = 0;
   const auto flush_chunk = [&] {
@@ -491,7 +511,7 @@ int cmd_stream(const Args& a) {
   while (source.next(&v_row)) {
     chunk_buf.push_back(v_row);
     if (verify) all_samples.push_back(v_row);
-    if (chunk_buf.size() >= setup.chunk) flush_chunk();
+    if (chunk_buf.size() >= chunk_size) flush_chunk();
   }
   flush_chunk();
   session.finish();
@@ -508,7 +528,8 @@ int cmd_stream(const Args& a) {
       "streamed %zu samples (%.0f Hz) in %zu-sample chunks: %zu events tx, "
       "%zu pulses on air (%zu erased), %zu events rx, %zu envelope samples "
       "-> %s\n",
-      report.samples_in, fs, setup.chunk, report.events_tx, report.pulses_tx,
+      report.samples_in, fs, chunk_size, report.events_tx,
+      report.pulses_tx,
       report.pulses_erased, report.events_rx, report.arv_emitted,
       out_path.c_str());
   std::printf("fixed latency %.0f ms, peak working set %.1f KiB\n",
@@ -520,9 +541,10 @@ int cmd_stream(const Args& a) {
     // the CLI's own feed path is covered too.
     const dsp::TimeSeries sig(std::move(all_samples), eval.analog_fs_hz);
     const auto r =
-        sim::check_stream_output(sig, eval, setup.link, setup.cal,
-                                 setup.chunk, setup.channel,
-                                 session.rx_events(), all_arv);
+        sim::check_stream_output(sig, eval, factory.link_config(),
+                                 factory.calibration(), chunk_size,
+                                 spec.session.channel, session.rx_events(),
+                                 all_arv);
     std::printf("verify vs batch: events %s (%zu), ARV %s (max diff %.3g)\n",
                 r.events_equal ? "identical" : "DIFFER", r.events_batch,
                 r.arv_equal ? "identical" : "DIFFER", r.max_abs_arv_diff);
@@ -547,7 +569,10 @@ int cmd_record(const Args& a) {
                      "fresh directory");
   }
   const Real fs = source.sample_rate_hz();
-  const auto setup = make_stream_setup(a, fs, "record");
+  auto spec = spec_from_args(a, kStreamFlags, "record");
+  config::set_scenario_key(spec, "source.sample_rate_hz", real_str(fs));
+  const config::PipelineFactory factory(spec);
+  const std::size_t chunk_size = spec.session.chunk_samples;
 
   const Real seg_events_f = arg_num(a, "segment-events", 65536.0);
   dsp::require(seg_events_f >= 1.0,
@@ -556,9 +581,8 @@ int cmd_record(const Args& a) {
                                 std::numeric_limits<Real>::infinity());
   dsp::require(seg_span > 0.0, "record: --segment-span must be positive");
 
-  const auto cfg = sim::make_session_config(setup.eval, setup.link,
-                                            setup.cal);
-  runtime::StreamingSession session(cfg, setup.channel);
+  const auto session =
+      factory.make_streaming_session(spec.session.channel);
 
   store::RecorderConfig rcfg;
   rcfg.log.dir = dir;
@@ -566,30 +590,29 @@ int cmd_record(const Args& a) {
       static_cast<std::uint64_t>(seg_events_f);
   rcfg.log.max_segment_span_s = seg_span;
   store::Recorder recorder(rcfg);
-  session.set_event_tee(
+  session->set_event_tee(
       [&recorder](std::span<const core::Event> ev) { recorder.offer(ev); });
 
   std::vector<Real> live_arv;
   std::vector<Real> chunk_buf;
-  chunk_buf.reserve(setup.chunk);
+  chunk_buf.reserve(chunk_size);
   Real v_row;
   while (source.next(&v_row)) {
     chunk_buf.push_back(v_row);
-    if (chunk_buf.size() >= setup.chunk) {
-      session.push_chunk(chunk_buf);
+    if (chunk_buf.size() >= chunk_size) {
+      session->push_chunk(chunk_buf);
       chunk_buf.clear();
-      session.drain_arv(live_arv);
+      session->drain_arv(live_arv);
     }
   }
-  if (!chunk_buf.empty()) session.push_chunk(chunk_buf);
-  session.finish();
-  session.drain_arv(live_arv);
+  if (!chunk_buf.empty()) session->push_chunk(chunk_buf);
+  session->finish();
+  session->drain_arv(live_arv);
   recorder.close();
 
-  const auto report = session.report();
-  const auto manifest = sim::make_session_manifest(
-      setup.eval, setup.channel,
-      static_cast<Real>(report.samples_in) / setup.eval.analog_fs_hz);
+  const auto report = session->report();
+  const auto manifest = factory.manifest(
+      static_cast<Real>(report.samples_in) / spec.source.sample_rate_hz);
   store::write_manifest(dir, manifest);
   store::write_envelope_f64(dir, live_arv);
 
@@ -697,6 +720,119 @@ int cmd_replay(const Args& a) {
   return 0;
 }
 
+int cmd_sweep(const Args& a) {
+  Args with_default = a;
+  with_default.emplace("scenario", "paper-baseline");
+  sim::ScenarioGridConfig cfg;
+  cfg.base = spec_from_args(with_default, {}, "sweep");
+  cfg.axes = sim::parse_axes(arg_str(a, "axes", ""));
+  const Real jobs_f = arg_num(a, "jobs", 0.0);
+  dsp::require(jobs_f >= 0.0 && jobs_f <= 1024.0,
+               "sweep: --jobs must lie in [0, 1024] (0 = hardware)");
+  cfg.jobs = static_cast<std::size_t>(jobs_f);
+
+  std::size_t points = 1;
+  for (const auto& axis : cfg.axes) points *= axis.values.size();
+  std::printf("scenario grid: base '%s', %zu axis(es), %zu point(s)\n",
+              cfg.base.name.c_str(), cfg.axes.size(), points);
+  const auto result = sim::run_scenario_grid(cfg);
+  std::printf("%s", sim::scenario_grid_table(result).c_str());
+
+  const auto out = arg_str(a, "out", "");
+  if (!out.empty()) {
+    if (!sim::write_scenario_grid_json(out, result)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu grid point(s) to %s\n", result.points.size(),
+                out.c_str());
+  }
+  return 0;
+}
+
+// `datc scenario <action> ...` takes positional arguments, so it parses
+// argv itself instead of going through the --flag/value Args map.
+int cmd_scenario_raw(int argc, char** argv) {
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: datc scenario list | keys | print REF |\n"
+                 "       validate FILE... | emit NAME|all [--out FILE] "
+                 "[--dir DIR]\n");
+    return 2;
+  };
+  if (argc < 3) return usage();
+  const std::string action = argv[2];
+
+  if (action == "list") {
+    for (const auto& name : config::preset_names()) {
+      std::printf("  %-16s %s\n", name.c_str(),
+                  config::preset_summary(name).c_str());
+    }
+    return 0;
+  }
+  if (action == "keys") {
+    const config::ScenarioSpec defaults;
+    std::printf("%-30s %-16s %s\n", "key", "default", "description");
+    for (const auto& k : config::scenario_keys()) {
+      std::printf("%-30s %-16s %s\n", k.key.c_str(),
+                  k.get(defaults).c_str(), k.doc.c_str());
+    }
+    return 0;
+  }
+  if (action == "print") {
+    if (argc != 4) return usage();
+    const auto spec = config::load_scenario(argv[3]);
+    std::fputs(config::serialize_scenario(spec).c_str(), stdout);
+    return 0;
+  }
+  if (action == "validate") {
+    if (argc < 4) return usage();
+    int rc = 0;
+    for (int i = 3; i < argc; ++i) {
+      try {
+        const auto spec = config::parse_scenario_file(argv[i]);
+        std::printf("OK    %s (%s)\n", argv[i], spec.name.c_str());
+      } catch (const std::exception& e) {
+        std::printf("FAIL  %s\n%s\n", argv[i], e.what());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+  if (action == "emit") {
+    if (argc < 4) return usage();
+    const std::string name = argv[3];
+    const auto args = parse_args(argc, argv, 4);
+    const auto write_one = [](const std::string& preset,
+                              const std::string& path) {
+      std::ofstream f(path);
+      dsp::require(f.good(), "scenario emit: cannot write " + path);
+      f << config::serialize_scenario(config::make_preset(preset));
+      dsp::require(f.good(), "scenario emit: write failed for " + path);
+      std::printf("wrote %s\n", path.c_str());
+    };
+    if (name == "all") {
+      const auto dir = arg_str(args, "dir", "scenarios");
+      std::filesystem::create_directories(dir);
+      for (const auto& preset : config::preset_names()) {
+        write_one(preset, (std::filesystem::path(dir) / (preset + ".datc"))
+                              .string());
+      }
+      return 0;
+    }
+    const auto out = arg_str(args, "out", "");
+    if (out.empty()) {
+      std::fputs(
+          config::serialize_scenario(config::make_preset(name)).c_str(),
+          stdout);
+    } else {
+      write_one(name, out);
+    }
+    return 0;
+  }
+  return usage();
+}
+
 int cmd_table1() {
   std::vector<bool> stim(8000);
   for (std::size_t i = 0; i < stim.size(); ++i) stim[i] = (i / 7) % 4 == 0;
@@ -712,6 +848,8 @@ struct Subcommand {
   const char* summary;  ///< one-liner for the usage listing
   const char* help;     ///< full `datc <sub> --help` reference
   int (*run)(const Args&);
+  /// Commands with positional arguments (scenario) parse argv directly.
+  int (*run_raw)(int argc, char** argv){nullptr};
 };
 
 int cmd_table1_adapter(const Args&) { return cmd_table1(); }
@@ -742,9 +880,13 @@ constexpr Subcommand kSubcommands[] = {
      "  --truth PATH   ground-truth signal; prints correlation %\n",
      cmd_reconstruct},
     {"pipeline", "multi-channel engine: encode -> UWB link -> reconstruct",
-     "usage: datc pipeline [--channels M] [--jobs N] [--duration S]\n"
+     "usage: datc pipeline [--scenario FILE|PRESET] [--set \"k=v; k=v\"]\n"
+     "                     [--channels M] [--jobs N] [--duration S]\n"
      "                     [--seed K] [--distance D] [--link private|shared]\n"
      "                     [--spacing-us U] [--gain-lo G] [--gain-hi G]\n"
+     "  --scenario S   scenario file or built-in preset; explicit flags\n"
+     "                 and --set overrides apply on top of it\n"
+     "  --set KV       free-form key overrides, e.g. \"erasure_prob=0.1\"\n"
      "  --channels M   number of EMG channels (default 16)\n"
      "  --jobs N       worker threads, 0 = hardware (default 0)\n"
      "  --link MODE    private radios, or `shared` for ONE arbitrated\n"
@@ -760,10 +902,13 @@ constexpr Subcommand kSubcommands[] = {
      "  --out writes the JSON report (BENCH_link.json schema).\n",
      cmd_link_sweep},
     {"stream", "run the full chain incrementally on sample chunks",
-     "usage: datc stream [--in sig.csv|-] [--chunk N] [--out envelope.csv]\n"
-     "                   [--seed K] [--distance D] [--channel C]\n"
+     "usage: datc stream [--in sig.csv|-] [--scenario FILE|PRESET]\n"
+     "                   [--set \"k=v; k=v\"] [--chunk N] [--seed K]\n"
+     "                   [--distance D] [--channel C] [--out envelope.csv]\n"
      "                   [--verify 1]\n"
      "  --in PATH      CSV signal, `-` reads stdin (default -)\n"
+     "  --scenario S   scenario file or preset for the chain parameters\n"
+     "                 (the CSV's own sample rate always wins)\n"
      "  --chunk N      samples per chunk (default 256)\n"
      "  --verify 1     re-run the batch pipeline and require the chunked\n"
      "                 output to be bit-identical\n"
@@ -771,6 +916,7 @@ constexpr Subcommand kSubcommands[] = {
      cmd_stream},
     {"record", "stream a signal AND persist decoded events to a store",
      "usage: datc record --dir SESSION_DIR [--in sig.csv|-] [--chunk N]\n"
+     "                   [--scenario FILE|PRESET] [--set \"k=v; k=v\"]\n"
      "                   [--seed K] [--distance D] [--channel C]\n"
      "                   [--segment-events N] [--segment-span S]\n"
      "  Runs the streaming chain like `stream`, teeing every decoded\n"
@@ -803,6 +949,25 @@ constexpr Subcommand kSubcommands[] = {
      "  replayed envelope to be bit-identical to the live run's\n"
      "  envelope.f64 sidecar.\n",
      cmd_replay},
+    {"scenario", "inspect, validate and emit declarative scenarios",
+     "usage: datc scenario list              built-in presets\n"
+     "       datc scenario keys              full key reference + defaults\n"
+     "       datc scenario print REF         serialize a preset or file\n"
+     "       datc scenario validate FILE...  parse + validate (CI gate)\n"
+     "       datc scenario emit NAME|all [--out FILE] [--dir DIR]\n"
+     "  A scenario is `key = value` text ('#' comments). Every pipeline\n"
+     "  subcommand accepts --scenario FILE|PRESET; `datc sweep` expands\n"
+     "  axis overrides over one.\n",
+     nullptr, cmd_scenario_raw},
+    {"sweep", "expand scenario axis overrides into a comparable grid",
+     "usage: datc sweep [--scenario FILE|PRESET] [--set \"k=v; k=v\"]\n"
+     "                  [--axes \"channels=1,8,64; distance=0.2,1\"]\n"
+     "                  [--jobs N] [--out FILE.json]\n"
+     "  Runs the cross-product of the axis values over the base scenario\n"
+     "  (default preset paper-baseline) through the batch engine, one\n"
+     "  grid point per pool job, and prints one comparable report row\n"
+     "  per point (BENCH_scenarios.json schema with --out).\n",
+     cmd_sweep},
     {"table1", "print the DTC synthesis report",
      "usage: datc table1\n"
      "  Prints the standard-cell synthesis summary (the paper's Table 1).\n",
@@ -843,6 +1008,7 @@ int main(int argc, char** argv) {
     }
   }
   try {
+    if (sub->run_raw != nullptr) return sub->run_raw(argc, argv);
     const auto args = parse_args(argc, argv, 2);
     return sub->run(args);
   } catch (const std::exception& e) {
