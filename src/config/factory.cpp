@@ -83,7 +83,55 @@ runtime::SessionConfig PipelineFactory::session_config() const {
   auto cfg = sim::make_session_config(eval_config(), link_config(),
                                       calibration());
   cfg.cache_detection = spec_.link.cache_detection;
+  cfg.health = health_config();
   return cfg;
+}
+
+fault::FaultPlan PipelineFactory::fault_plan() const {
+  fault::FaultPlan plan;
+  plan.seed = spec_.fault.seed;
+  plan.store.write_fail_prob = spec_.fault.store_write_fail_prob;
+  plan.store.fsync_fail_prob = spec_.fault.store_fsync_fail_prob;
+  plan.store.enospc_every_ops = spec_.fault.store_enospc_every_ops;
+  plan.store.enospc_window_ops = spec_.fault.store_enospc_window_ops;
+  plan.session.chunk_drop_prob = spec_.fault.chunk_drop_prob;
+  plan.session.chunk_dup_prob = spec_.fault.chunk_dup_prob;
+  plan.session.chunk_stall_prob = spec_.fault.chunk_stall_prob;
+  plan.session.chunk_stall_ms = spec_.fault.chunk_stall_ms;
+  plan.session.chunk_poison_prob = spec_.fault.chunk_poison_prob;
+  plan.session.sensor_dropout_prob = spec_.fault.sensor_dropout_prob;
+  plan.session.sensor_saturate_prob = spec_.fault.sensor_saturate_prob;
+  plan.session.sensor_rail_v = spec_.fault.sensor_rail_v;
+  return plan;
+}
+
+fault::LinkHealthConfig PipelineFactory::health_config() const {
+  fault::LinkHealthConfig health;
+  health.starvation_s = spec_.fault.health_starvation_s;
+  health.bad_rate = spec_.fault.health_bad_rate;
+  health.window_s = spec_.fault.health_window_s;
+  return health;
+}
+
+store::RecorderConfig PipelineFactory::recorder_config(
+    const std::string& dir) const {
+  store::RecorderConfig cfg;
+  cfg.log.dir = dir;
+  const auto plan = fault_plan();
+  if (plan.store.any()) {
+    cfg.log.io = std::make_shared<fault::FaultyFileIo>(plan.store,
+                                                       plan.store_seed());
+  }
+  return cfg;
+}
+
+std::unique_ptr<runtime::Session> PipelineFactory::wrap_session_faults(
+    std::unique_ptr<runtime::Session> session,
+    std::uint32_t channel_id) const {
+  const auto plan = fault_plan();
+  if (!plan.session.any()) return session;
+  return std::make_unique<fault::FaultySession>(
+      std::move(session), plan.session, plan.session_seed(channel_id));
 }
 
 emg::RecordingSpec PipelineFactory::recording_spec(

@@ -9,10 +9,13 @@
 // config_scenario_test's factory-vs-legacy parity suite).
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "config/scenario.hpp"
 #include "emg/dataset.hpp"
+#include "fault/fault.hpp"
+#include "fault/faulty_session.hpp"
 #include "runtime/pipeline_runner.hpp"
 #include "runtime/session.hpp"
 #include "sim/end_to_end.hpp"
@@ -33,7 +36,26 @@ class PipelineFactory {
   [[nodiscard]] sim::LinkConfig link_config() const;
   [[nodiscard]] sim::SharedAerConfig shared_config() const;
   [[nodiscard]] runtime::RunnerConfig runner_config() const;
+  /// Includes the decode-health thresholds from fault.health_* (disabled
+  /// by default, in which case sessions are bit-identical to pre-fault).
   [[nodiscard]] runtime::SessionConfig session_config() const;
+
+  // ---- fault injection (the chaos layer; everything defaults to off)
+  /// The spec's fault.* keys as one seeded FaultPlan.
+  [[nodiscard]] fault::FaultPlan fault_plan() const;
+  /// Decode-health monitor thresholds from fault.health_*.
+  [[nodiscard]] fault::LinkHealthConfig health_config() const;
+  /// Recorder config for a session directory: store faults armed in the
+  /// spec route segment I/O through a seeded FaultyFileIo (owned by the
+  /// returned config), otherwise the real filesystem.
+  [[nodiscard]] store::RecorderConfig recorder_config(
+      const std::string& dir) const;
+  /// Wraps a session in a FaultySession (chunk/sensor faults, stream
+  /// seeded per `channel_id`) when the spec arms any session fault;
+  /// returns the session unchanged otherwise.
+  [[nodiscard]] std::unique_ptr<runtime::Session> wrap_session_faults(
+      std::unique_ptr<runtime::Session> session,
+      std::uint32_t channel_id) const;
 
   /// The D-ATC rate calibration (expensive Monte Carlo run): built on
   /// first use, shared by every session/reconstructor from this factory.

@@ -333,6 +333,57 @@ std::vector<ScenarioKey> build_registry() {
         s.recon.mode = parse_recon_mode(v);
       }});
 
+  // ---- fault (all defaults off: bit-identical to the fault-free chain)
+  keys.push_back(DATC_UINT_KEY(
+      "fault.seed", fault.seed, std::uint64_t, kU64Max,
+      "fault plan seed; drives every injected-fault decision stream"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.store_write_fail_prob", fault.store_write_fail_prob,
+      "torn-write probability per store I/O write op [0, 1]"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.store_fsync_fail_prob", fault.store_fsync_fail_prob,
+      "failure probability per store sync op [0, 1]"));
+  keys.push_back(DATC_UINT_KEY(
+      "fault.store_enospc_every_ops", fault.store_enospc_every_ops,
+      std::uint64_t, kU64Max,
+      "every Nth store op period ends in an ENOSPC window (0 = off)"));
+  keys.push_back(DATC_UINT_KEY(
+      "fault.store_enospc_window_ops", fault.store_enospc_window_ops,
+      std::uint64_t, kU64Max,
+      "failing ops at the end of each ENOSPC period"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.chunk_drop_prob", fault.chunk_drop_prob,
+      "probability a session chunk is dropped before delivery [0, 1]"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.chunk_dup_prob", fault.chunk_dup_prob,
+      "probability a session chunk is delivered twice [0, 1]"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.chunk_stall_prob", fault.chunk_stall_prob,
+      "probability chunk delivery stalls (exercises the watchdog)"));
+  keys.push_back(DATC_REAL_KEY("fault.chunk_stall_ms", fault.chunk_stall_ms,
+                               "stall duration, wall-clock milliseconds"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.chunk_poison_prob", fault.chunk_poison_prob,
+      "probability chunk delivery throws (exercises quarantine)"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.sensor_dropout_prob", fault.sensor_dropout_prob,
+      "per-chunk probability of a lead-off burst (samples read 0 V)"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.sensor_saturate_prob", fault.sensor_saturate_prob,
+      "per-chunk probability of a saturation burst (clips to the rail)"));
+  keys.push_back(DATC_REAL_KEY("fault.sensor_rail_v", fault.sensor_rail_v,
+                               "saturation rail voltage"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.health_starvation_s", fault.health_starvation_s,
+      "decode-health: trip after this long without events (0 = off)"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.health_bad_rate", fault.health_bad_rate,
+      "decode-health: trip when bad-decode fraction exceeds this (0 = "
+      "off)"));
+  keys.push_back(DATC_REAL_KEY(
+      "fault.health_window_s", fault.health_window_s,
+      "decode-health: sliding window for the bad-rate check, seconds"));
+
   return keys;
 }
 
@@ -410,6 +461,15 @@ bool ScenarioSpec::has_artifacts() const {
   return source.powerline_amplitude_v > 0.0 ||
          source.baseline_wander_amp_v > 0.0 ||
          source.motion_burst_rate_hz > 0.0 || source.spike_rate_hz > 0.0;
+}
+
+bool ScenarioSpec::has_faults() const {
+  return fault.store_write_fail_prob > 0.0 ||
+         fault.store_fsync_fail_prob > 0.0 ||
+         fault.store_enospc_every_ops > 0 || fault.chunk_drop_prob > 0.0 ||
+         fault.chunk_dup_prob > 0.0 || fault.chunk_stall_prob > 0.0 ||
+         fault.chunk_poison_prob > 0.0 || fault.sensor_dropout_prob > 0.0 ||
+         fault.sensor_saturate_prob > 0.0;
 }
 
 std::vector<ScenarioSpec::Issue> ScenarioSpec::validate() const {
@@ -542,6 +602,43 @@ std::vector<ScenarioSpec::Issue> ScenarioSpec::validate() const {
         "session channel id must fit the 16-bit AER address field, got " +
             std::to_string(session.channel));
   }
+
+  const auto prob = [&bad](const char* key, Real v, const char* what) {
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
+      bad(key, std::string(what) + " must lie in [0, 1], got " +
+                   fmt_real(v));
+    }
+  };
+  prob("fault.store_write_fail_prob", fault.store_write_fail_prob,
+       "store write-fail probability");
+  prob("fault.store_fsync_fail_prob", fault.store_fsync_fail_prob,
+       "store fsync-fail probability");
+  if (fault.store_enospc_every_ops > 0 &&
+      fault.store_enospc_window_ops < 1) {
+    bad("fault.store_enospc_window_ops",
+        "ENOSPC window must cover at least 1 op when the period is set");
+  }
+  prob("fault.chunk_drop_prob", fault.chunk_drop_prob,
+       "chunk drop probability");
+  prob("fault.chunk_dup_prob", fault.chunk_dup_prob,
+       "chunk duplicate probability");
+  prob("fault.chunk_stall_prob", fault.chunk_stall_prob,
+       "chunk stall probability");
+  non_negative("fault.chunk_stall_ms", fault.chunk_stall_ms,
+               "chunk stall duration");
+  prob("fault.chunk_poison_prob", fault.chunk_poison_prob,
+       "chunk poison probability");
+  prob("fault.sensor_dropout_prob", fault.sensor_dropout_prob,
+       "sensor dropout probability");
+  prob("fault.sensor_saturate_prob", fault.sensor_saturate_prob,
+       "sensor saturation probability");
+  positive("fault.sensor_rail_v", fault.sensor_rail_v, "sensor rail");
+  non_negative("fault.health_starvation_s", fault.health_starvation_s,
+               "health starvation threshold");
+  prob("fault.health_bad_rate", fault.health_bad_rate,
+       "health bad-rate threshold");
+  positive("fault.health_window_s", fault.health_window_s,
+           "health window");
   return issues;
 }
 
@@ -714,6 +811,27 @@ const std::vector<PresetDef>& preset_defs() {
         {"link.distance_m", "2"},
         {"link.erasure_prob", "0.1"},
         {"link.pulse_amplitude_v", "0.5"}}},
+      {"chaos-soak",
+       "everything degrades at once: lossy link, sensor bursts, chunk "
+       "drops/dups/stalls, store I/O faults, health monitor armed "
+       "(deterministic fault seed)",
+       {{"scenario", "chaos-soak"},
+        {"source.model", "noise"},
+        {"source.duration_s", "10"},
+        {"link.erasure_prob", "0.1"},
+        {"fault.store_write_fail_prob", "0.05"},
+        {"fault.store_fsync_fail_prob", "0.02"},
+        {"fault.store_enospc_every_ops", "4096"},
+        {"fault.store_enospc_window_ops", "8"},
+        {"fault.chunk_drop_prob", "0.02"},
+        {"fault.chunk_dup_prob", "0.02"},
+        {"fault.chunk_stall_prob", "0.01"},
+        {"fault.chunk_stall_ms", "2"},
+        {"fault.sensor_dropout_prob", "0.05"},
+        {"fault.sensor_saturate_prob", "0.03"},
+        {"fault.health_starvation_s", "0.5"},
+        {"fault.health_bad_rate", "0.5"},
+        {"fault.health_window_s", "1"}}},
   };
   return defs;
 }

@@ -108,6 +108,34 @@ struct ScenarioSpec {
     ReconMode mode{ReconMode::kRateInversion};
   } recon;
 
+  /// Deterministic fault injection + graceful-degradation thresholds.
+  /// All defaults are "off": a spec with default fault.* keys runs the
+  /// exact pre-fault pipeline, bit for bit. Probabilities are decided by
+  /// seeded hashes of operation indices (src/fault), never wall time, so
+  /// a fixed fault.seed reproduces identical fault sequences and counts.
+  struct Fault {
+    std::uint64_t seed{4242};  ///< one seed drives every fault stream
+    // Store I/O faults (recorder/log writer path).
+    Real store_write_fail_prob{0.0};   ///< torn-write prob per write op
+    Real store_fsync_fail_prob{0.0};   ///< failure prob per sync op
+    std::uint64_t store_enospc_every_ops{0};   ///< ENOSPC period (0 = off)
+    std::uint64_t store_enospc_window_ops{16}; ///< failing ops per period
+    // Session chunk-stream faults.
+    Real chunk_drop_prob{0.0};
+    Real chunk_dup_prob{0.0};
+    Real chunk_stall_prob{0.0};
+    Real chunk_stall_ms{5.0};
+    Real chunk_poison_prob{0.0};  ///< chunk delivery throws (quarantine)
+    // Sensor faults (dropout / saturation bursts at the electrode).
+    Real sensor_dropout_prob{0.0};
+    Real sensor_saturate_prob{0.0};
+    Real sensor_rail_v{1.0};
+    // Decode-health monitor thresholds (0 = check off).
+    Real health_starvation_s{0.0};
+    Real health_bad_rate{0.0};
+    Real health_window_s{1.0};
+  } fault;
+
   /// AER address width actually used on air: the configured width, or the
   /// smallest width covering `source.channels` when it is 0.
   [[nodiscard]] unsigned resolved_address_bits() const;
@@ -118,6 +146,11 @@ struct ScenarioSpec {
 
   /// True when any artifact amplitude/rate is non-zero.
   [[nodiscard]] bool has_artifacts() const;
+
+  /// True when any fault.* probability/period is armed (seed, stall
+  /// duration, rail and health thresholds alone do not count — they only
+  /// shape faults once one is armed).
+  [[nodiscard]] bool has_faults() const;
 
   /// Cross-field validation (no silent nonsense: NaN or non-positive
   /// rates, window sizes of 0, an AER address width too small for the

@@ -1,0 +1,27 @@
+#include "fault/fault.hpp"
+
+namespace datc::fault {
+
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t n) {
+  // splitmix64 finalizer over the pair; the golden-ratio stride keeps
+  // consecutive indices decorrelated.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (n + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Real hash01(std::uint64_t seed, std::uint64_t n) {
+  return static_cast<Real>(mix64(seed, n) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, const std::string& tag) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(base, h);
+}
+
+}  // namespace datc::fault

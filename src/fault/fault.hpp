@@ -1,0 +1,128 @@
+#pragma once
+// Deterministic fault-injection layer: one seeded FaultPlan schedules
+// every fault the chaos scenarios inject — store I/O failures (short
+// writes, fsync failures, ENOSPC windows), session chunk-stream faults
+// (drop / duplicate / stall / poison), and sensor faults (dropout and
+// saturation bursts at the electrode).
+//
+// Determinism contract: every decision is a pure function of (seed,
+// operation index) — never of wall time or thread timing — so the same
+// fault seed reproduces the exact same fault sequence, and with it the
+// same retry/drop/quarantine counts and the same degraded envelope,
+// bit for bit. Each consumer derives its own decision stream from the
+// plan seed (derive_seed) so streams never alias across subsystems or
+// channels.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dsp/types.hpp"
+
+namespace datc::fault {
+
+using dsp::Real;
+
+/// Splitmix64 of (seed, n): one hash = one i.i.d. decision. Unlike an
+/// engine with hidden state, indexed hashing keeps decision k identical
+/// no matter how many decisions other consumers drew in between.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t seed, std::uint64_t n);
+
+/// Uniform in [0, 1) from mix64(seed, n) (53 mantissa bits).
+[[nodiscard]] Real hash01(std::uint64_t seed, std::uint64_t n);
+
+/// Derives an independent stream seed from a plan seed and a tag string
+/// (e.g. "store", "session/3"). FNV-1a over the tag, mixed with the base.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        const std::string& tag);
+
+/// A seeded counter over hash01: next01() returns decision i and
+/// advances. Copyable; two copies replay the same sequence.
+class FaultStream {
+ public:
+  explicit FaultStream(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] Real next01() { return hash01(seed_, n_++); }
+  [[nodiscard]] std::uint64_t index() const { return n_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t n_{0};
+};
+
+/// Store-layer fault model, consumed by FaultyFileIo. Probabilities are
+/// per I/O operation (one record/header write or one sync each).
+struct StoreFaultSpec {
+  /// Transient short-write probability per write op: a prefix of the
+  /// buffer lands on disk, then the op fails (torn-record regime).
+  Real write_fail_prob{0.0};
+  /// Transient failure probability per sync (fsync/flush) op.
+  Real fsync_fail_prob{0.0};
+  /// Every Nth op period ends in an ENOSPC window (0 = off): ops with
+  /// (n % every) >= every - window all fail. Retries consume ops, so a
+  /// window longer than the retry budget forces counted drops; a shorter
+  /// one is survived by backoff — both deterministically.
+  std::uint64_t enospc_every_ops{0};
+  std::uint64_t enospc_window_ops{16};
+
+  [[nodiscard]] bool any() const {
+    return write_fail_prob > 0.0 || fsync_fail_prob > 0.0 ||
+           enospc_every_ops > 0;
+  }
+};
+
+/// Session chunk-stream fault model, consumed by FaultySession.
+/// Chunk probabilities are per push_chunk call, decided by chunk index.
+struct SessionFaultSpec {
+  Real chunk_drop_prob{0.0};       ///< chunk never reaches the session
+  Real chunk_dup_prob{0.0};        ///< chunk is delivered twice
+  Real chunk_stall_prob{0.0};      ///< delivery stalls for stall_ms first
+  Real chunk_stall_ms{5.0};
+  Real chunk_poison_prob{0.0};     ///< delivery throws (quarantine path)
+  /// Sensor faults: a burst covering a deterministic slice of the chunk.
+  Real sensor_dropout_prob{0.0};   ///< slice reads as 0 V (lead-off)
+  Real sensor_saturate_prob{0.0};  ///< slice clips to +-sensor_rail_v
+  Real sensor_rail_v{1.0};
+
+  [[nodiscard]] bool any() const {
+    return chunk_drop_prob > 0.0 || chunk_dup_prob > 0.0 ||
+           chunk_stall_prob > 0.0 || chunk_poison_prob > 0.0 ||
+           sensor_dropout_prob > 0.0 || sensor_saturate_prob > 0.0;
+  }
+};
+
+/// One seed + the per-layer models: everything a chaos scenario needs.
+/// config::PipelineFactory derives it from the `fault.*` scenario keys.
+struct FaultPlan {
+  std::uint64_t seed{4242};
+  StoreFaultSpec store{};
+  SessionFaultSpec session{};
+
+  [[nodiscard]] bool any() const { return store.any() || session.any(); }
+  /// Stream seed for the store I/O decision stream.
+  [[nodiscard]] std::uint64_t store_seed() const {
+    return derive_seed(seed, "store");
+  }
+  /// Stream seed for session `id`'s chunk-stream decisions.
+  [[nodiscard]] std::uint64_t session_seed(std::uint32_t id) const {
+    return derive_seed(seed, "session/" + std::to_string(id));
+  }
+};
+
+/// Failure of one storage I/O operation. `transient` failures are worth
+/// retrying (the injected windows clear; a real disk may too); the
+/// Recorder retries them with bounded exponential backoff and falls back
+/// to counted drop-and-continue when they persist.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, bool transient)
+      : std::runtime_error(what), transient_(transient) {}
+
+  [[nodiscard]] bool transient() const { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+}  // namespace datc::fault

@@ -1,0 +1,116 @@
+#include "fault/faulty_session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace datc::fault {
+
+namespace {
+
+// Per-fault salts keep the decision streams independent: whether chunk k
+// is dropped never depends on whether it would have stalled.
+constexpr std::uint64_t kPoisonSalt = 0x706f6973ull;    // "pois"
+constexpr std::uint64_t kDropSalt = 0x64726f70ull;      // "drop"
+constexpr std::uint64_t kDupSalt = 0x64757065ull;       // "dupe"
+constexpr std::uint64_t kStallSalt = 0x7374616cull;     // "stal"
+constexpr std::uint64_t kDropoutSalt = 0x6c656164ull;   // "lead"
+constexpr std::uint64_t kSaturateSalt = 0x7361747ull;   // "sat"
+constexpr std::uint64_t kBurstSalt = 0x62727374ull;     // "brst"
+
+/// Deterministic burst slice inside a chunk of n samples: offset and
+/// length drawn from two indexed hashes, length 10-50% of the chunk.
+void burst_bounds(std::uint64_t seed, std::uint64_t idx, std::size_t n,
+                  std::size_t* begin, std::size_t* end) {
+  const Real len_frac = 0.1 + 0.4 * hash01(seed ^ kBurstSalt, 2 * idx + 1);
+  std::size_t len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(len_frac * static_cast<Real>(n))));
+  len = std::min(len, n);
+  const std::size_t slack = n - len;
+  const std::size_t start = static_cast<std::size_t>(std::floor(
+      hash01(seed ^ kBurstSalt, 2 * idx) * static_cast<Real>(slack + 1)));
+  *begin = std::min(start, slack);
+  *end = *begin + len;
+}
+
+}  // namespace
+
+FaultySession::FaultySession(std::unique_ptr<runtime::Session> inner,
+                             const SessionFaultSpec& spec, std::uint64_t seed)
+    : inner_(std::move(inner)), spec_(spec), seed_(seed) {}
+
+std::size_t FaultySession::corrupt(std::vector<Real>& samples,
+                                   std::uint64_t idx) {
+  const std::size_t n = samples.size();
+  if (n == 0) return 0;
+  std::size_t touched = 0;
+  if (spec_.sensor_dropout_prob > 0.0 &&
+      hash01(seed_ ^ kDropoutSalt, idx) < spec_.sensor_dropout_prob) {
+    std::size_t b = 0;
+    std::size_t e = 0;
+    burst_bounds(seed_ ^ kDropoutSalt, idx, n, &b, &e);
+    std::fill(samples.begin() + static_cast<std::ptrdiff_t>(b),
+              samples.begin() + static_cast<std::ptrdiff_t>(e), Real{0});
+    ++stats_.sensor_dropout_bursts;
+    touched += e - b;
+  }
+  if (spec_.sensor_saturate_prob > 0.0 &&
+      hash01(seed_ ^ kSaturateSalt, idx) < spec_.sensor_saturate_prob) {
+    std::size_t b = 0;
+    std::size_t e = 0;
+    burst_bounds(seed_ ^ kSaturateSalt, idx, n, &b, &e);
+    const Real rail = spec_.sensor_rail_v;
+    for (std::size_t i = b; i < e; ++i) {
+      samples[i] = samples[i] >= Real{0} ? rail : -rail;
+    }
+    ++stats_.sensor_saturate_bursts;
+    touched += e - b;
+  }
+  return touched;
+}
+
+void FaultySession::push_chunk(std::span<const Real> samples_v) {
+  const std::uint64_t idx = chunk_index_++;
+  ++stats_.chunks_in;
+
+  if (spec_.chunk_poison_prob > 0.0 &&
+      hash01(seed_ ^ kPoisonSalt, idx) < spec_.chunk_poison_prob) {
+    ++stats_.chunks_poisoned;
+    throw std::runtime_error("injected poison chunk " + std::to_string(idx));
+  }
+  if (spec_.chunk_drop_prob > 0.0 &&
+      hash01(seed_ ^ kDropSalt, idx) < spec_.chunk_drop_prob) {
+    ++stats_.chunks_dropped;
+    return;
+  }
+  if (spec_.chunk_stall_prob > 0.0 &&
+      hash01(seed_ ^ kStallSalt, idx) < spec_.chunk_stall_prob) {
+    ++stats_.chunks_stalled;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        spec_.chunk_stall_ms));
+  }
+
+  const bool corrupting =
+      spec_.sensor_dropout_prob > 0.0 || spec_.sensor_saturate_prob > 0.0;
+  const bool duplicate =
+      spec_.chunk_dup_prob > 0.0 &&
+      hash01(seed_ ^ kDupSalt, idx) < spec_.chunk_dup_prob;
+  if (duplicate) ++stats_.chunks_duplicated;
+
+  if (corrupting) {
+    scratch_.assign(samples_v.begin(), samples_v.end());
+    stats_.samples_corrupted += corrupt(scratch_, idx);
+    inner_->push_chunk(scratch_);
+    if (duplicate) inner_->push_chunk(scratch_);
+  } else {
+    inner_->push_chunk(samples_v);
+    if (duplicate) inner_->push_chunk(samples_v);
+  }
+}
+
+void FaultySession::finish() { inner_->finish(); }
+
+}  // namespace datc::fault

@@ -1,0 +1,63 @@
+#pragma once
+// FaultySession: a runtime::Session decorator that injects chunk-stream
+// and sensor faults in front of any inner session (private or shared
+// AER). Every decision is a pure function of (stream seed, chunk index)
+// with a per-fault salt, so a fixed fault seed yields the same dropped /
+// duplicated / stalled / poisoned chunks and the same corrupted sample
+// slices on every run — which in turn makes the degraded envelope
+// bit-identical across runs.
+//
+// Fault order per chunk: poison (throws, exercising the manager's
+// quarantine path) -> drop -> stall (wall-clock sleep; exercises the
+// stall watchdog, never the output) -> sensor corruption -> deliver
+// (twice when duplicated).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "runtime/session.hpp"
+
+namespace datc::fault {
+
+/// Counters for the faults actually injected (deterministic for a fixed
+/// seed and chunk sequence).
+struct SessionFaultStats {
+  std::uint64_t chunks_in{0};
+  std::uint64_t chunks_dropped{0};
+  std::uint64_t chunks_duplicated{0};
+  std::uint64_t chunks_stalled{0};
+  std::uint64_t chunks_poisoned{0};
+  std::uint64_t sensor_dropout_bursts{0};
+  std::uint64_t sensor_saturate_bursts{0};
+  std::uint64_t samples_corrupted{0};
+};
+
+class FaultySession final : public runtime::Session {
+ public:
+  /// `seed` is the per-session stream seed (FaultPlan::session_seed(id)).
+  FaultySession(std::unique_ptr<runtime::Session> inner,
+                const SessionFaultSpec& spec, std::uint64_t seed);
+
+  void push_chunk(std::span<const Real> samples_v) override;
+  void finish() override;
+
+  [[nodiscard]] runtime::Session& inner() { return *inner_; }
+  [[nodiscard]] const runtime::Session& inner() const { return *inner_; }
+  [[nodiscard]] const SessionFaultStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<runtime::Session> inner_;
+  SessionFaultSpec spec_;
+  std::uint64_t seed_;
+  std::uint64_t chunk_index_{0};
+  std::vector<Real> scratch_;
+  SessionFaultStats stats_;
+
+  /// Applies dropout/saturation bursts in place; returns samples touched.
+  std::size_t corrupt(std::vector<Real>& samples, std::uint64_t idx);
+};
+
+}  // namespace datc::fault

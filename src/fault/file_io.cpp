@@ -1,0 +1,192 @@
+#include "fault/file_io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace datc::fault {
+
+namespace {
+
+/// Salt separating the fsync decision stream from the write stream.
+constexpr std::uint64_t kSyncSalt = 0x73796e63ull;  // "sync"
+
+class RealWritableFile final : public WritableFile {
+ public:
+  explicit RealWritableFile(const std::string& path)
+      : path_(path), file_(std::fopen(path.c_str(), "wb")) {
+    if (file_ == nullptr) {
+      throw IoError("open " + path + ": " + std::strerror(errno),
+                    /*transient=*/false);
+    }
+  }
+
+  ~RealWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void pwrite(std::uint64_t offset, const void* data,
+              std::size_t size) override {
+    require_open();
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      throw IoError("seek " + path_ + ": " + std::strerror(errno),
+                    /*transient=*/false);
+    }
+    if (std::fwrite(data, 1, size, file_) != size) {
+      throw IoError("write " + path_ + ": " + std::strerror(errno),
+                    /*transient=*/false);
+    }
+  }
+
+  void sync() override {
+    require_open();
+    if (std::fflush(file_) != 0) {
+      throw IoError("flush " + path_ + ": " + std::strerror(errno),
+                    /*transient=*/false);
+    }
+  }
+
+  void close() override {
+    if (file_ == nullptr) return;
+    FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) {
+      throw IoError("close " + path_ + ": " + std::strerror(errno),
+                    /*transient=*/false);
+    }
+  }
+
+ private:
+  void require_open() const {
+    if (file_ == nullptr) {
+      throw IoError("file " + path_ + " already closed",
+                    /*transient=*/false);
+    }
+  }
+
+  std::string path_;
+  FILE* file_;
+};
+
+class RealFileIo final : public FileIo {
+ public:
+  std::unique_ptr<WritableFile> create(const std::string& path) override {
+    return std::make_unique<RealWritableFile>(path);
+  }
+};
+
+enum class OpFate { kOk, kShortWrite, kEnospc, kSyncFail };
+
+}  // namespace
+
+FileIo& real_file_io() {
+  static RealFileIo io;
+  return io;
+}
+
+// ------------------------------------------------------------ FaultyFileIo
+
+namespace {
+
+class FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<WritableFile> inner, FaultyFileIo* io)
+      : inner_(std::move(inner)), io_(io) {}
+
+  void pwrite(std::uint64_t offset, const void* data,
+              std::size_t size) override {
+    std::size_t prefix = 0;
+    try {
+      io_->check_op(/*is_sync=*/false, size, &prefix);
+    } catch (const IoError&) {
+      // A short write leaves a torn prefix on disk before failing — that
+      // is the fault being modelled. The positional interface makes the
+      // retry overwrite it at the same offset.
+      if (prefix > 0) inner_->pwrite(offset, data, prefix);
+      throw;
+    }
+    inner_->pwrite(offset, data, size);
+  }
+
+  void sync() override {
+    io_->check_op(/*is_sync=*/true, 0, nullptr);
+    inner_->sync();
+  }
+
+  void close() override {
+    // Teardown is not injected: the fsync stream already covers the
+    // finalize path, and a close that cannot fail keeps destructors
+    // simple for every layer above.
+    inner_->close();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> inner_;
+  FaultyFileIo* io_;
+};
+
+}  // namespace
+
+FaultyFileIo::FaultyFileIo(const StoreFaultSpec& spec, std::uint64_t seed,
+                           FileIo& base)
+    : spec_(spec), seed_(seed), base_(base) {}
+
+std::unique_ptr<WritableFile> FaultyFileIo::create(const std::string& path) {
+  return std::make_unique<FaultyWritableFile>(base_.create(path), this);
+}
+
+FaultyIoStats FaultyFileIo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultyFileIo::check_op(bool is_sync, std::size_t size,
+                            std::size_t* written) {
+  (void)size;
+  std::uint64_t n = 0;
+  OpFate fate = OpFate::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = stats_.ops++;
+    // ENOSPC window: the tail of every `every`-op period fails. Retries
+    // consume op indices, so a window shorter than the retry budget is
+    // survived by backoff and a longer one forces counted drops.
+    if (spec_.enospc_every_ops > 0) {
+      const std::uint64_t every = spec_.enospc_every_ops;
+      const std::uint64_t window =
+          std::min(spec_.enospc_window_ops, every);
+      if (n % every >= every - window) {
+        fate = OpFate::kEnospc;
+        ++stats_.enospc_failures;
+      }
+    }
+    if (fate == OpFate::kOk) {
+      if (is_sync) {
+        if (hash01(seed_ ^ kSyncSalt, n) < spec_.fsync_fail_prob) {
+          fate = OpFate::kSyncFail;
+          ++stats_.sync_failures;
+        }
+      } else if (hash01(seed_, n) < spec_.write_fail_prob) {
+        fate = OpFate::kShortWrite;
+        ++stats_.short_writes;
+      }
+    }
+  }
+  switch (fate) {
+    case OpFate::kOk:
+      return;
+    case OpFate::kEnospc:
+      throw IoError("injected ENOSPC window (op " + std::to_string(n) + ")",
+                    /*transient=*/true);
+    case OpFate::kSyncFail:
+      throw IoError("injected fsync failure (op " + std::to_string(n) + ")",
+                    /*transient=*/true);
+    case OpFate::kShortWrite:
+      if (written != nullptr) *written = size / 2;
+      throw IoError("injected short write (op " + std::to_string(n) + ")",
+                    /*transient=*/true);
+  }
+}
+
+}  // namespace datc::fault

@@ -1,0 +1,91 @@
+#pragma once
+// Fault-injectable file I/O seam for the persistent store. SegmentWriter
+// performs all of its writes through WritableFile/FileIo, so the chaos
+// layer can interpose failures without the store knowing.
+//
+// The write interface is positional (pwrite-style): the caller states
+// the absolute offset of every write. That makes failed operations
+// retryable by construction — a short write leaves torn bytes behind,
+// but the retry lands on the same offset and simply overwrites them, so
+// no misaligned records can ever enter a segment payload.
+//
+// FaultyFileIo wraps a base FileIo and injects StoreFaultSpec faults
+// (short writes, fsync failures, ENOSPC windows) from one deterministic
+// decision stream shared by every file it creates: decision n is a pure
+// function of (seed, n), so the nth store I/O operation of a run always
+// sees the same fate.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fault/fault.hpp"
+
+namespace datc::fault {
+
+/// One file open for (over)writing. All methods throw IoError on failure.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Writes `size` bytes at absolute `offset` (extends the file as
+  /// needed). Idempotent per (offset, data): safe to retry after failure.
+  virtual void pwrite(std::uint64_t offset, const void* data,
+                      std::size_t size) = 0;
+
+  /// Flushes buffered data towards the device.
+  virtual void sync() = 0;
+
+  /// Flushes and closes. Idempotent; further ops are invalid.
+  virtual void close() = 0;
+};
+
+/// Factory for WritableFiles (the only operation the store needs).
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  /// Creates/truncates `path` for writing.
+  virtual std::unique_ptr<WritableFile> create(const std::string& path) = 0;
+};
+
+/// The process-wide pass-through implementation over the real filesystem.
+[[nodiscard]] FileIo& real_file_io();
+
+/// Counters a FaultyFileIo exposes for tests and benches.
+struct FaultyIoStats {
+  std::uint64_t ops{0};             ///< write + sync operations attempted
+  std::uint64_t short_writes{0};    ///< injected torn writes
+  std::uint64_t sync_failures{0};   ///< injected fsync failures
+  std::uint64_t enospc_failures{0}; ///< ops failed inside an ENOSPC window
+};
+
+/// Wraps a base FileIo and injects StoreFaultSpec faults deterministically.
+/// Thread-safe: the op counter and stats are mutex-guarded (the store's
+/// writer thread is the usual caller, but tests may probe concurrently).
+class FaultyFileIo final : public FileIo {
+ public:
+  FaultyFileIo(const StoreFaultSpec& spec, std::uint64_t seed,
+               FileIo& base = real_file_io());
+
+  std::unique_ptr<WritableFile> create(const std::string& path) override;
+
+  [[nodiscard]] FaultyIoStats stats() const;
+
+  /// Internal (used by the files this io creates): consumes one op index
+  /// and throws IoError if that op must fail. `is_sync` selects the
+  /// fsync decision stream; `written` reports how many bytes of a write
+  /// landed before a short-write failure.
+  void check_op(bool is_sync, std::size_t size, std::size_t* written);
+
+ private:
+  StoreFaultSpec spec_;
+  std::uint64_t seed_;
+  FileIo& base_;
+  mutable std::mutex mu_;
+  FaultyIoStats stats_;
+};
+
+}  // namespace datc::fault

@@ -1,0 +1,49 @@
+#include "fault/health.hpp"
+
+namespace datc::fault {
+
+DecodeHealthMonitor::DecodeHealthMonitor(const LinkHealthConfig& config)
+    : config_(config) {}
+
+void DecodeHealthMonitor::observe(Real watermark, std::size_t good,
+                                  std::size_t bad) {
+  if (!config_.enabled()) return;
+
+  if (good > 0) {
+    last_good_t_ = watermark;
+    armed_ = true;
+  }
+
+  if (good > 0 || bad > 0) {
+    window_.push_back(Obs{watermark, good, bad});
+    win_good_ += good;
+    win_bad_ += bad;
+  }
+  while (!window_.empty() &&
+         window_.front().t < watermark - config_.window_s) {
+    win_good_ -= window_.front().good;
+    win_bad_ -= window_.front().bad;
+    window_.pop_front();
+  }
+
+  bool starved = false;
+  if (config_.starvation_s > 0.0 && armed_) {
+    starved = watermark - last_good_t_ > config_.starvation_s;
+  }
+
+  bool storm = false;
+  if (config_.bad_rate > 0.0) {
+    const std::size_t total = win_good_ + win_bad_;
+    if (total >= config_.min_observations) {
+      storm = static_cast<Real>(win_bad_) >
+              config_.bad_rate * static_cast<Real>(total);
+    }
+  }
+
+  const bool now_healthy = !starved && !storm;
+  if (healthy_ && !now_healthy) ++trips_;
+  healthy_ = now_healthy;
+  reason_ = starved ? "starved" : (storm ? "bad-rate" : "ok");
+}
+
+}  // namespace datc::fault

@@ -1,0 +1,81 @@
+#pragma once
+// Decode-health monitor for the streaming receive chain. Watches the
+// decoded event stream for two failure signatures:
+//
+//  * starvation — the link has produced no decoded events for longer
+//    than `starvation_s` while signal time keeps advancing (dead TX,
+//    saturated channel, detector collapse);
+//  * garbage — the fraction of bad decode outcomes (invalid AER
+//    addresses in shared mode, false-alarm bits in private mode) over a
+//    sliding window exceeds `bad_rate`.
+//
+// While unhealthy, the session switches the reconstructor to a flagged
+// envelope-hold (last good value, counted) instead of emitting garbage;
+// the monitor recovers as soon as the window clears. Decisions depend
+// only on the decoded stream and watermark times, never on wall time,
+// so degraded output is deterministic and reproducible.
+
+#include <cstddef>
+#include <deque>
+
+#include "dsp/types.hpp"
+
+namespace datc::fault {
+
+using dsp::Real;
+
+struct LinkHealthConfig {
+  /// Trip after this long without a decoded event (0 = starvation check
+  /// off). Arms only once the first event has been decoded, so a silent
+  /// lead-in does not trip it.
+  Real starvation_s{0.0};
+  /// Trip when bad / (good + bad) over the window exceeds this fraction
+  /// (0 = bad-rate check off).
+  Real bad_rate{0.0};
+  /// Sliding window for the bad-rate check, seconds of watermark time.
+  Real window_s{1.0};
+  /// Bad-rate check needs at least this many observations in the window
+  /// before it may trip (a single bad event is not a storm).
+  std::size_t min_observations{8};
+
+  [[nodiscard]] bool enabled() const {
+    return starvation_s > 0.0 || bad_rate > 0.0;
+  }
+};
+
+class DecodeHealthMonitor {
+ public:
+  explicit DecodeHealthMonitor(const LinkHealthConfig& config);
+
+  /// Feed one chunk's outcome: the event-time watermark after the chunk,
+  /// the number of well-decoded events and the number of bad outcomes
+  /// (invalid addresses / false-alarm bits) it carried.
+  void observe(Real watermark, std::size_t good, std::size_t bad);
+
+  [[nodiscard]] bool healthy() const { return healthy_; }
+  /// healthy -> unhealthy transitions so far.
+  [[nodiscard]] std::size_t trips() const { return trips_; }
+  /// "starved", "bad-rate" or "ok".
+  [[nodiscard]] const char* reason() const { return reason_; }
+
+  [[nodiscard]] const LinkHealthConfig& config() const { return config_; }
+
+ private:
+  struct Obs {
+    Real t;
+    std::size_t good;
+    std::size_t bad;
+  };
+
+  LinkHealthConfig config_;
+  std::deque<Obs> window_;
+  std::size_t win_good_{0};
+  std::size_t win_bad_{0};
+  Real last_good_t_{0.0};
+  bool armed_{false};  ///< first good event seen
+  bool healthy_{true};
+  std::size_t trips_{0};
+  const char* reason_{"ok"};
+};
+
+}  // namespace datc::fault

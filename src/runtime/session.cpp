@@ -55,6 +55,9 @@ SessionReport session_report_delta(const SessionReport& after,
   d.pulses_erased = after.pulses_erased - before.pulses_erased;
   d.events_rx = after.events_rx - before.events_rx;
   d.arv_emitted = after.arv_emitted - before.arv_emitted;
+  d.events_quarantined = after.events_quarantined - before.events_quarantined;
+  d.arv_held = after.arv_held - before.arv_held;
+  d.health_trips = after.health_trips - before.health_trips;
   d.decode = uwb::decode_stats_delta(after.decode, before.decode);
   return d;
 }
@@ -74,7 +77,8 @@ StreamingSession::StreamingSession(const SessionConfig& config,
       receiver_(receiver_config(config, frame_modulator(config), 0),
                 config.link.channel,
                 link_rngs(config.link.seed ^ channel_id).rx),
-      reconstructor_(config.recon, config.calibration) {
+      reconstructor_(config.recon, config.calibration),
+      health_(config.health) {
   dsp::require(config_.calibration != nullptr,
                "StreamingSession: null calibration");
 }
@@ -104,16 +108,40 @@ void StreamingSession::run_link_chunk(Real watermark, bool flush) {
     event_tee_(decoded_chunk_.events());
   }
 
-  reconstructor_.push_events(decoded_chunk_.events());
+  // Decode health: in private mode the garbage signal is false-alarm
+  // code bits (noise decoded as data). The monitor never changes the
+  // chain while disabled or healthy, preserving bit-identicality.
+  const Real duration = static_cast<Real>(samples_in_) / config_.analog_fs_hz;
+  const std::uint64_t bad_bits = receiver_.stats().false_alarm_bits;
+  health_.observe(flush ? duration : receiver_.event_time_watermark(),
+                  decoded_chunk_.size(),
+                  static_cast<std::size_t>(bad_bits - last_bad_bits_));
+  last_bad_bits_ = bad_bits;
+
+  const bool hold = !health_.healthy();
+  if (hold) {
+    // Envelope hold: withhold this chunk's (suspect) events from the
+    // reconstructor; the watermark still advances, and the freshly
+    // drained samples are pinned to the last good value below.
+    events_quarantined_ += decoded_chunk_.size();
+  } else {
+    reconstructor_.push_events(decoded_chunk_.events());
+  }
   if (flush) {
-    if (samples_in_ > 0) {
-      reconstructor_.finish(static_cast<Real>(samples_in_) /
-                            config_.analog_fs_hz);
-    }
+    if (samples_in_ > 0) reconstructor_.finish(duration);
   } else {
     reconstructor_.advance_to(receiver_.event_time_watermark());
   }
+  const std::size_t before = arv_.size();
   reconstructor_.drain(arv_);
+  if (hold) {
+    for (std::size_t i = before; i < arv_.size(); ++i) {
+      arv_[i] = last_good_arv_;
+    }
+    arv_held_ += arv_.size() - before;
+  } else if (arv_.size() > before) {
+    last_good_arv_ = arv_.back();
+  }
   arv_emitted_ = reconstructor_.emitted();
   peak_bytes_ = std::max(peak_bytes_, buffered_bytes());
 }
@@ -154,6 +182,9 @@ SessionReport StreamingSession::report() const {
   r.pulses_erased = channel_.erased();
   r.events_rx = events_rx_;
   r.arv_emitted = arv_emitted_;
+  r.events_quarantined = events_quarantined_;
+  r.arv_held = arv_held_;
+  r.health_trips = health_.trips();
   r.decode = receiver_.stats();
   return r;
 }
@@ -185,7 +216,8 @@ SharedAerStreamingSession::SharedAerStreamingSession(
       channel_(config.link.channel, link_rngs(config.link.seed).channel),
       receiver_(receiver_config(config, frame_modulator(config),
                                 shared.aer.address_bits),
-                config.link.channel, link_rngs(config.link.seed).rx) {
+                config.link.channel, link_rngs(config.link.seed).rx),
+      health_(config.health) {
   dsp::require(config_.calibration != nullptr,
                "SharedAerStreamingSession: null calibration");
   dsp::require(num_channels >= 1,
@@ -208,6 +240,8 @@ SharedAerStreamingSession::SharedAerStreamingSession(
   arv_.resize(num_channels);
   events_rx_.assign(num_channels, 0);
   arv_emitted_.assign(num_channels, 0);
+  arv_held_.assign(num_channels, 0);
+  last_good_arv_.assign(num_channels, 0.0);
   encoders_.reserve(num_channels);
   reconstructors_.reserve(num_channels);
   for (std::size_t c = 0; c < num_channels; ++c) {
@@ -275,7 +309,24 @@ void SharedAerStreamingSession::run_link_chunk(Real merged_watermark,
     event_tee_(decoded_chunk_.events());
   }
 
-  // Demux straight into the per-channel reconstructors.
+  // Decode health is link-wide in shared mode: one radio, one monitor.
+  // The garbage signal is demux address errors (decoded frames whose
+  // address is outside the channel map).
+  const Real duration = static_cast<Real>(samples_in_per_channel_) /
+                        config_.analog_fs_hz;
+  std::size_t chunk_good = 0;
+  std::size_t chunk_bad = 0;
+  for (const auto& e : decoded_chunk_.events()) {
+    (e.channel < queues_.size() ? chunk_good : chunk_bad) += 1;
+  }
+  health_.observe(flush ? duration
+                        : std::min(receiver_.event_time_watermark(),
+                                   recon_watermark_cap),
+                  chunk_good, chunk_bad);
+  const bool hold = !health_.healthy();
+
+  // Demux straight into the per-channel reconstructors (withholding the
+  // whole chunk while the monitor is tripped — envelope hold below).
   for (const auto& e : decoded_chunk_.events()) {
     ++demux_.in_events;
     if (e.channel < queues_.size()) {
@@ -284,7 +335,11 @@ void SharedAerStreamingSession::run_link_chunk(Real merged_watermark,
       if (config_.keep_rx_events) {
         rx_events_[e.channel].add(e.time_s, e.vth_code, e.channel);
       }
-      reconstructors_[e.channel]->push_events({&e, 1});
+      if (hold) {
+        ++events_quarantined_;
+      } else {
+        reconstructors_[e.channel]->push_events({&e, 1});
+      }
     } else {
       ++demux_.invalid_address;
     }
@@ -294,15 +349,22 @@ void SharedAerStreamingSession::run_link_chunk(Real merged_watermark,
   // final duration — cap it at the newest sample's record time.
   const Real event_watermark =
       std::min(receiver_.event_time_watermark(), recon_watermark_cap);
-  const Real duration = static_cast<Real>(samples_in_per_channel_) /
-                        config_.analog_fs_hz;
   for (std::size_t c = 0; c < reconstructors_.size(); ++c) {
     if (flush) {
       if (samples_in_per_channel_ > 0) reconstructors_[c]->finish(duration);
     } else {
       reconstructors_[c]->advance_to(event_watermark);
     }
+    const std::size_t before = arv_[c].size();
     reconstructors_[c]->drain(arv_[c]);
+    if (hold) {
+      for (std::size_t i = before; i < arv_[c].size(); ++i) {
+        arv_[c][i] = last_good_arv_[c];
+      }
+      arv_held_[c] += arv_[c].size() - before;
+    } else if (arv_[c].size() > before) {
+      last_good_arv_[c] = arv_[c].back();
+    }
     arv_emitted_[c] = reconstructors_[c]->emitted();
   }
 }
@@ -359,6 +421,11 @@ SessionReport SharedAerStreamingSession::report(std::size_t channel) const {
   // not exist (mirrors the batch SharedLinkReport split).
   r.events_rx = events_rx_[channel];
   r.arv_emitted = arv_emitted_[channel];
+  // Quarantine count and trips are link-wide (one radio, one monitor);
+  // held samples are per channel.
+  r.events_quarantined = events_quarantined_;
+  r.arv_held = arv_held_[channel];
+  r.health_trips = health_.trips();
   return r;
 }
 
@@ -369,6 +436,11 @@ SessionManager::SessionManager(const Config& config)
       pool_(std::make_unique<ThreadPool>(config.jobs)) {
   dsp::require(config_.max_pending_chunks >= 1,
                "SessionManager: need a queue bound of at least 1");
+  dsp::require(config_.stall_timeout_s >= 0.0,
+               "SessionManager: stall timeout must be non-negative");
+  if (config_.stall_timeout_s > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 SessionManager::~SessionManager() {
@@ -376,6 +448,34 @@ SessionManager::~SessionManager() {
     drain();
   } catch (...) {
     // Destruction must not throw; errors were the caller's to collect.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_watchdog_.notify_all();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void SessionManager::watchdog_loop() {
+  // Polls at a quarter of the timeout: a stall is flagged no later than
+  // 1.25 timeouts after it began. The flag is sticky and observational —
+  // the chunk is never interrupted (there is no safe way to kill it),
+  // the operator just learns which strand is wedged.
+  const auto period = std::chrono::duration<double>(
+      std::max(config_.stall_timeout_s / 4.0, 1e-3));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_watchdog_.wait_for(lock, period, [this] { return stopping_; });
+    if (stopping_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& slot : slots_) {
+      if (!slot->running || slot->stall_flagged) continue;
+      const std::chrono::duration<double> elapsed = now - slot->run_start;
+      if (elapsed.count() > config_.stall_timeout_s) {
+        slot->stall_flagged = true;
+      }
+    }
   }
 }
 
@@ -407,9 +507,18 @@ void SessionManager::submit_chunk(SessionId id,
   std::unique_lock<std::mutex> lock(mu_);
   dsp::require(id < slots_.size(), "SessionManager: bad session id");
   Slot& slot = *slots_[id];
+  if (slot.quarantined) {
+    ++slot.discarded;
+    return;
+  }
   cv_space_.wait(lock, [&slot, this] {
-    return slot.queue.size() < config_.max_pending_chunks;
+    return slot.quarantined ||
+           slot.queue.size() < config_.max_pending_chunks;
   });
+  if (slot.quarantined) {
+    ++slot.discarded;
+    return;
+  }
   slot.queue.emplace_back(samples_v.begin(), samples_v.end());
   schedule_locked(id);
 }
@@ -417,8 +526,28 @@ void SessionManager::submit_chunk(SessionId id,
 void SessionManager::submit_finish(SessionId id) {
   std::lock_guard<std::mutex> lock(mu_);
   dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  if (slots_[id]->quarantined) return;
   slots_[id]->finish_pending = true;
   schedule_locked(id);
+}
+
+SessionManager::SessionHealth SessionManager::health(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  const Slot& slot = *slots_[id];
+  SessionHealth h;
+  h.quarantined = slot.quarantined;
+  h.error = slot.error;
+  h.chunks_discarded = slot.discarded;
+  h.stall_flagged = slot.stall_flagged;
+  return h;
+}
+
+std::size_t SessionManager::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& slot : slots_) n += slot->quarantined ? 1 : 0;
+  return n;
 }
 
 void SessionManager::schedule_locked(SessionId id) {
@@ -456,24 +585,46 @@ void SessionManager::run_strand(SessionId id) {
       }
     }
     cv_space_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot.running = true;
+      slot.run_start = std::chrono::steady_clock::now();
+    }
     try {
       if (do_finish) {
         slot.session->finish();
       } else {
         slot.session->push_chunk(chunk);
       }
-    } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (first_error_ == nullptr) first_error_ = std::current_exception();
-      // Abandon this session's remaining work; keep the engine alive.
-      slot.queue.clear();
-      slot.finish_pending = false;
-      slot.active = false;
-      cv_space_.notify_all();
-      cv_idle_.notify_all();
+      slot.running = false;
+    } catch (const std::exception& e) {
+      quarantine(slot, std::current_exception(), e.what());
+      return;
+    } catch (...) {
+      quarantine(slot, std::current_exception(),
+                 "(non-std exception from session)");
       return;
     }
   }
+}
+
+void SessionManager::quarantine(Slot& slot, std::exception_ptr err,
+                                const char* what) {
+  // Fault isolation: the throwing session is retired with its error
+  // recorded and its pending work discarded (counted); every other
+  // session keeps running. The engine stays alive either way.
+  std::lock_guard<std::mutex> lock(mu_);
+  slot.running = false;
+  if (first_error_ == nullptr) first_error_ = err;
+  slot.quarantined = true;
+  slot.error = what;
+  slot.discarded += slot.queue.size();
+  slot.queue.clear();
+  slot.finish_pending = false;
+  slot.active = false;
+  cv_space_.notify_all();
+  cv_idle_.notify_all();
 }
 
 void SessionManager::drain() {
@@ -486,7 +637,7 @@ void SessionManager::drain() {
     }
     return true;
   });
-  if (first_error_ != nullptr) {
+  if (config_.rethrow_on_drain && first_error_ != nullptr) {
     const std::exception_ptr err = first_error_;
     first_error_ = nullptr;
     std::rethrow_exception(err);

@@ -17,6 +17,7 @@
 // different sessions run in parallel, and a bounded per-session queue
 // gives the producer backpressure instead of unbounded buffering.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -25,11 +26,14 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/event_arena.hpp"
 #include "core/streaming.hpp"
 #include "core/streaming_reconstruct.hpp"
+#include "fault/health.hpp"
 #include "sim/end_to_end.hpp"
 #include "uwb/streaming_link.hpp"
 
@@ -50,6 +54,12 @@ struct SessionConfig {
   core::CalibrationPtr calibration;  ///< required (shared across sessions)
   bool cache_detection{true};  ///< bit-identical fast detection stage
   bool keep_rx_events{false};  ///< retain decoded events (tests/debug)
+  /// Decode-health thresholds; default-disabled (all zero), in which case
+  /// the session is bit-identical to one without the monitor. When armed
+  /// and the monitor trips, the session holds the envelope at the last
+  /// good value instead of reconstructing from garbage (counted in
+  /// SessionReport::arv_held / events_quarantined).
+  fault::LinkHealthConfig health{};
 };
 
 /// Cumulative per-session counters. SessionManager consumers read either
@@ -62,6 +72,12 @@ struct SessionReport {
   std::size_t pulses_erased{0};
   std::size_t events_rx{0};
   std::size_t arv_emitted{0};
+  /// Graceful-degradation counters (0 unless the health monitor is armed
+  /// and tripped): decoded events withheld from reconstruction, ARV
+  /// samples pinned to the last good value, and monitor trips.
+  std::size_t events_quarantined{0};
+  std::size_t arv_held{0};
+  std::size_t health_trips{0};
   uwb::DecodeStats decode{};
 };
 
@@ -106,6 +122,9 @@ class StreamingSession final : public Session {
   [[nodiscard]] SessionReport report() const;
   /// Cumulative report delta since the previous take_delta() call.
   [[nodiscard]] SessionReport take_delta();
+  [[nodiscard]] const fault::DecodeHealthMonitor& health() const {
+    return health_;
+  }
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] const core::EventStream& rx_events() const {
     return rx_events_;
@@ -133,6 +152,11 @@ class StreamingSession final : public Session {
   std::size_t events_rx_{0};
   std::size_t arv_emitted_{0};
   std::size_t peak_bytes_{0};
+  fault::DecodeHealthMonitor health_;
+  std::size_t events_quarantined_{0};
+  std::size_t arv_held_{0};
+  Real last_good_arv_{0.0};
+  std::uint64_t last_bad_bits_{0};  ///< false_alarm_bits at previous chunk
   bool finished_{false};
   SessionReport last_delta_{};
 
@@ -173,6 +197,11 @@ class SharedAerStreamingSession final : public Session {
     return modulator_.pulses_emitted();
   }
   [[nodiscard]] std::size_t pulses_erased() const { return channel_.erased(); }
+  /// Link-wide health monitor (one radio → one monitor; bad = demux
+  /// invalid-address outcomes).
+  [[nodiscard]] const fault::DecodeHealthMonitor& health() const {
+    return health_;
+  }
 
  private:
   SessionConfig config_;
@@ -198,6 +227,10 @@ class SharedAerStreamingSession final : public Session {
   std::vector<core::EventStream> rx_events_;
   std::vector<std::size_t> events_rx_;
   std::vector<std::size_t> arv_emitted_;
+  fault::DecodeHealthMonitor health_;
+  std::size_t events_quarantined_{0};
+  std::vector<std::size_t> arv_held_;
+  std::vector<Real> last_good_arv_;
   std::size_t samples_in_per_channel_{0};
   bool finished_{false};
 
@@ -211,11 +244,27 @@ class SharedAerStreamingSession final : public Session {
 /// other); cross-session execution is parallel. submit_chunk blocks once
 /// `max_pending_chunks` chunks of that session are queued — backpressure
 /// towards the producer instead of unbounded memory.
+///
+/// Fault isolation: a session that throws is quarantined — its pending
+/// work is discarded, later submissions to it are counted and dropped,
+/// and its error is surfaced through health() — while every other
+/// session keeps running untouched. With `rethrow_on_drain` (the
+/// default) drain() additionally rethrows the first session error, which
+/// single-session callers expect; chaos callers set it to false and read
+/// per-session health instead. An optional watchdog thread flags strands
+/// whose chunk has been executing for more than `stall_timeout_s`
+/// (sticky flag, observation only — the chunk is never interrupted).
 class SessionManager {
  public:
   struct Config {
     std::size_t jobs{0};  ///< worker threads; 0 = hardware concurrency
     std::size_t max_pending_chunks{4};  ///< per-session queue bound
+    /// drain() rethrows the first session error (pre-quarantine
+    /// behaviour). False = errors only surface through health().
+    bool rethrow_on_drain{true};
+    /// Watchdog: flag a strand whose single chunk/finish call has been
+    /// running longer than this (wall-clock seconds; 0 = no watchdog).
+    Real stall_timeout_s{0.0};
   };
 
   explicit SessionManager(const Config& config);
@@ -226,23 +275,35 @@ class SessionManager {
 
   using SessionId = std::size_t;
 
+  /// Per-session degradation state, readable any time.
+  struct SessionHealth {
+    bool quarantined{false};
+    std::string error;  ///< what() of the quarantining exception
+    std::uint64_t chunks_discarded{0};  ///< dropped by quarantine
+    bool stall_flagged{false};  ///< watchdog saw a too-long chunk (sticky)
+  };
+
   /// Registers a session; the manager owns it. The returned id addresses
   /// submissions; the raw pointer stays valid for reading reports after
   /// drain().
   SessionId add(std::unique_ptr<Session> session);
 
   /// Enqueues a chunk for the session (copies the samples). Blocks while
-  /// the session's queue is full.
+  /// the session's queue is full. Chunks for a quarantined session are
+  /// discarded and counted instead of enqueued — the producer keeps
+  /// running against a failed session without blocking or throwing.
   void submit_chunk(SessionId id, std::span<const Real> samples_v);
 
   /// Enqueues the end-of-stream flush after every queued chunk.
   void submit_finish(SessionId id);
 
   /// Blocks until every queued chunk and finish has run. Rethrows the
-  /// first session exception, if any.
+  /// first session exception if config.rethrow_on_drain is set.
   void drain();
 
   [[nodiscard]] Session& session(SessionId id);
+  [[nodiscard]] SessionHealth health(SessionId id) const;
+  [[nodiscard]] std::size_t quarantined_count() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t jobs() const;
 
@@ -252,6 +313,14 @@ class SessionManager {
     std::deque<std::vector<Real>> queue;
     bool finish_pending{false};
     bool active{false};  ///< a worker is currently running this strand
+    bool quarantined{false};
+    std::string error;
+    std::uint64_t discarded{0};
+    /// Watchdog view of the in-flight call: run start in steady-clock
+    /// ticks (running == true while a chunk/finish executes).
+    bool running{false};
+    std::chrono::steady_clock::time_point run_start{};
+    bool stall_flagged{false};
   };
 
   Config config_;
@@ -261,9 +330,14 @@ class SessionManager {
   std::condition_variable cv_idle_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::exception_ptr first_error_;
+  std::thread watchdog_;
+  std::condition_variable cv_watchdog_;
+  bool stopping_{false};
 
   void schedule_locked(SessionId id);
   void run_strand(SessionId id);
+  void quarantine(Slot& slot, std::exception_ptr err, const char* what);
+  void watchdog_loop();
 };
 
 }  // namespace datc::runtime

@@ -100,7 +100,8 @@ void LogWriter::append(const Event& e) {
     // Segments are created lazily on first append, so the log never holds
     // an empty segment file and catalog time bounds stay meaningful.
     current_ = std::make_unique<SegmentWriter>(
-        segment_path(config_.dir, next_seqno_), next_seqno_);
+        segment_path(config_.dir, next_seqno_), next_seqno_,
+        /*decimation=*/1, config_.io.get());
     ++next_seqno_;
   }
   current_->append(e);

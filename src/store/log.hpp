@@ -34,6 +34,9 @@ struct LogWriterConfig {
   std::uint64_t max_events_per_segment{1u << 16};
   /// Rotate when the current segment spans more than this much time.
   Real max_segment_span_s{std::numeric_limits<Real>::infinity()};
+  /// Segment file I/O goes through this seam when set (fault injection);
+  /// nullptr writes through the real filesystem.
+  std::shared_ptr<fault::FileIo> io{};
 };
 
 class LogWriter {

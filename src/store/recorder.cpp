@@ -1,11 +1,24 @@
 #include "store/recorder.hpp"
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <sstream>
+#include <thread>
+
+#include "fault/fault.hpp"
 
 namespace datc::store {
+
+namespace {
+
+/// Close() failures swallowed by ~Recorder (see the header).
+std::atomic<std::uint64_t> g_destructor_close_errors{0};
+
+}  // namespace
 
 // ---------------------------------------------------------------- Recorder
 
@@ -20,9 +33,15 @@ Recorder::~Recorder() {
   try {
     close();
   } catch (...) {
-    // Destructor must not throw; close() exposes writer errors.
+    // Destructor must not throw, but the failure must not disappear
+    // either: count it where tests and operators can see it.
+    g_destructor_close_errors.fetch_add(1, std::memory_order_relaxed);
   }
   if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t Recorder::destructor_close_errors() {
+  return g_destructor_close_errors.load(std::memory_order_relaxed);
 }
 
 void Recorder::offer(std::span<const Event> events) {
@@ -53,6 +72,34 @@ void Recorder::offer(std::span<const Event> events) {
   dropped_ += events.size() - accept;
 }
 
+bool Recorder::append_with_retry(const Event& e) {
+  Real backoff_ms = config_.io_backoff_initial_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      writer_.append(e);
+      return true;
+    } catch (const fault::IoError& io) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++io_errors_;
+        last_error_ = io.what();
+      }
+      if (!io.transient() || attempt >= config_.max_io_retries) {
+        // Degraded mode: drop this event, keep the recorder alive. The
+        // caller counts the drop; offered == written + dropped holds.
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++io_retries_;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, config_.io_backoff_max_ms);
+    }
+  }
+}
+
 void Recorder::writer_loop() {
   while (true) {
     std::vector<Event> chunk;
@@ -67,25 +114,37 @@ void Recorder::writer_loop() {
       queue_.pop_front();
       in_flight_ = true;
     }
+    // Per-event append: I/O errors degrade per event (retry, then drop
+    // and continue with the rest of the chunk); logic errors — e.g. a
+    // time-order violation, which no retry can fix — abort the chunk and
+    // surface through flush()/close() as before.
+    std::size_t wrote = 0;
+    std::size_t io_dropped = 0;
     std::exception_ptr err;
-    try {
-      writer_.append(std::span<const Event>(chunk));
-    } catch (...) {
-      err = std::current_exception();
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      try {
+        if (append_with_retry(chunk[i])) {
+          ++wrote;
+        } else {
+          ++io_dropped;
+        }
+      } catch (...) {
+        err = std::current_exception();
+        break;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       in_flight_ = false;
       queued_events_ -= chunk.size();
       segments_finalized_ = writer_.segments_finalized();
-      if (err != nullptr) {
-        if (error_ == nullptr) error_ = err;
-        // A failed chunk counts as dropped, keeping
-        // offered == written + dropped.
-        dropped_ += chunk.size();
-      } else {
-        written_ += chunk.size();
-      }
+      written_ += wrote;
+      io_dropped_ += io_dropped;
+      // Everything not written was dropped — by exhausted retries or by
+      // a chunk-aborting logic error — keeping offered == written +
+      // dropped.
+      dropped_ += chunk.size() - wrote;
+      if (err != nullptr && error_ == nullptr) error_ = err;
       cv_drained_.notify_all();
     }
   }
@@ -123,7 +182,25 @@ void Recorder::close() {
   std::unique_lock<std::mutex> lock(mu_);
   // Finalize the tail segment BEFORE surfacing any writer-thread error:
   // a failed chunk must not leave the log needing crash recovery.
-  writer_.close();
+  // Transient I/O failures are retried with the same backoff as appends;
+  // if they persist, the failure is recorded and swallowed — the
+  // unfinalized tail stays recoverable (recover_segment on next open),
+  // which beats throwing away a clean shutdown path.
+  Real backoff_ms = config_.io_backoff_initial_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      writer_.close();
+      break;
+    } catch (const fault::IoError& io) {
+      ++io_errors_;
+      last_error_ = io.what();
+      if (!io.transient() || attempt >= config_.max_io_retries) break;
+      ++io_retries_;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, config_.io_backoff_max_ms);
+    }
+  }
   segments_finalized_ = writer_.segments_finalized();
   rethrow_locked(lock);
 }
@@ -135,6 +212,10 @@ Recorder::Stats Recorder::stats() const {
   s.written = written_;
   s.dropped = dropped_;
   s.segments_finalized = segments_finalized_;
+  s.io_errors = io_errors_;
+  s.io_retries = io_retries_;
+  s.io_dropped = io_dropped_;
+  s.last_error = last_error_;
   return s;
 }
 
@@ -174,36 +255,92 @@ void write_manifest(const std::string& dir, const SessionManifest& m) {
 }
 
 SessionManifest read_manifest(const std::string& dir) {
-  std::ifstream f(manifest_path(dir));
-  dsp::require(f.good(), "read_manifest: cannot open " + manifest_path(dir));
-  std::map<std::string, std::string> kv;
+  // Same diagnostic discipline as the scenario parser: every rejection —
+  // malformed line, unknown/duplicate/missing key, bad number — names
+  // `path:line` so a hand-edited manifest fails with a usable message.
+  const std::string path = manifest_path(dir);
+  std::ifstream f(path);
+  dsp::require(f.good(), "read_manifest: cannot open " + path);
+  const auto fail = [&path](int line, const std::string& msg) {
+    throw std::invalid_argument(path + ":" + std::to_string(line) + ": " +
+                                msg);
+  };
+  struct Entry {
+    std::string value;
+    int line;
+  };
+  std::map<std::string, Entry> kv;
   std::string line;
+  int lineno = 0;
   while (std::getline(f, line)) {
+    ++lineno;
     if (line.empty()) continue;
     const auto eq = line.find('=');
-    dsp::require(eq != std::string::npos,
-                 "read_manifest: malformed line: " + line);
-    kv[line.substr(0, eq)] = line.substr(eq + 1);
+    if (eq == std::string::npos) {
+      fail(lineno, "expected `key=value`, got '" + line + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key.empty()) fail(lineno, "missing key before '='");
+    if (value.empty()) fail(lineno, "missing value for key '" + key + "'");
+    const auto [it, inserted] = kv.emplace(key, Entry{value, lineno});
+    if (!inserted) {
+      fail(lineno, "duplicate key '" + key + "' (first set on line " +
+                       std::to_string(it->second.line) + ")");
+    }
   }
-  const auto num = [&kv](const char* key) {
+  const auto num = [&](const char* key) {
     const auto it = kv.find(key);
-    dsp::require(it != kv.end(),
-                 std::string("read_manifest: missing key ") + key);
-    return std::stod(it->second);
+    if (it == kv.end()) {
+      throw std::invalid_argument(path + ": missing key '" +
+                                  std::string(key) + "'");
+    }
+    const std::string& s = it->second.value;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || errno == ERANGE) {
+      fail(it->second.line, "key '" + std::string(key) +
+                                "': not a number: '" + s + "'");
+    }
+    if (*end != '\0') {
+      fail(it->second.line, "key '" + std::string(key) +
+                                "': trailing characters after number: '" + s +
+                                "'");
+    }
+    return v;
+  };
+  const auto uint = [&](const char* key) {
+    const double v = num(key);
+    const auto it = kv.find(key);
+    if (v < 0.0 || v != static_cast<double>(static_cast<std::uint32_t>(v))) {
+      fail(it->second.line, "key '" + std::string(key) +
+                                "': expected a non-negative integer, got '" +
+                                it->second.value + "'");
+    }
+    return static_cast<std::uint32_t>(v);
   };
   SessionManifest m;
   m.analog_fs_hz = num("analog_fs_hz");
   m.duration_s = num("duration_s");
   m.window_s = num("window_s");
   m.dac_vref = num("dac_vref");
-  m.dac_bits = static_cast<std::uint32_t>(num("dac_bits"));
+  m.dac_bits = uint("dac_bits");
   m.count_fs_hz = num("count_fs_hz");
   m.band_lo_hz = num("band_lo_hz");
   m.band_hi_hz = num("band_hi_hz");
-  m.channel = static_cast<std::uint32_t>(num("channel"));
+  m.channel = uint("channel");
+  for (const auto& [key, entry] : kv) {
+    static const char* const kKnown[] = {
+        "analog_fs_hz", "duration_s",  "window_s",   "dac_vref", "dac_bits",
+        "count_fs_hz",  "band_lo_hz",  "band_hi_hz", "channel"};
+    bool known = false;
+    for (const char* k : kKnown) known = known || key == k;
+    if (!known) fail(entry.line, "unknown key '" + key + "'");
+  }
   dsp::require(m.analog_fs_hz > 0.0 && m.duration_s >= 0.0 &&
                    m.window_s > 0.0 && m.count_fs_hz > 0.0,
-               "read_manifest: non-physical parameters");
+               "read_manifest: non-physical parameters in " + path);
   return m;
 }
 

@@ -7,6 +7,14 @@
 // counted (storage pressure must not stall the radio chain), so
 // `offered == written + dropped` always holds after close().
 //
+// Graceful degradation under storage faults: a transient fault::IoError
+// from the log (injected or real) is retried per event with bounded
+// exponential backoff; when retries are exhausted — or the error is not
+// transient — the event is dropped, counted (Stats::io_dropped /
+// io_errors / last_error) and the recorder keeps going in degraded mode
+// rather than killing the session. Logic errors (e.g. a time-order
+// violation) still surface through flush()/close() exactly as before.
+//
 // The manifest records everything replay needs to re-simulate the
 // receiver deterministically: sample rate, duration, reconstruction
 // window/DAC parameters and the calibration's counting rate.
@@ -29,6 +37,12 @@ struct RecorderConfig {
   LogWriterConfig log;
   /// Queue bound in events; offers that would exceed it are dropped.
   std::size_t max_queued_events{1u << 16};
+  /// Retry budget per event for transient I/O errors (0 = no retries).
+  std::size_t max_io_retries{4};
+  /// Exponential backoff between retries: initial delay, doubling up to
+  /// the cap. Wall-clock only — never part of any determinism contract.
+  Real io_backoff_initial_ms{0.5};
+  Real io_backoff_max_ms{8.0};
 };
 
 class Recorder {
@@ -55,10 +69,20 @@ class Recorder {
   struct Stats {
     std::uint64_t offered{0};
     std::uint64_t written{0};
-    std::uint64_t dropped{0};
+    std::uint64_t dropped{0};  ///< overflow + io_dropped + post-close offers
     std::uint64_t segments_finalized{0};
+    std::uint64_t io_errors{0};   ///< I/O failures observed (incl. retried)
+    std::uint64_t io_retries{0};  ///< retry attempts made
+    std::uint64_t io_dropped{0};  ///< events dropped after exhausted retries
+    std::string last_error;       ///< most recent I/O error message
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Process-wide count of close() errors swallowed by ~Recorder (a
+  /// destructor cannot throw, but the failure must not vanish: tests and
+  /// operators can watch this counter). Errors from an explicit close()
+  /// are NOT counted — the caller saw them.
+  [[nodiscard]] static std::uint64_t destructor_close_errors();
 
   /// Test/backpressure hook: while paused the writer thread leaves the
   /// queue untouched, so overflow (drop) behaviour is deterministic.
@@ -79,6 +103,10 @@ class Recorder {
   std::uint64_t offered_{0};
   std::uint64_t written_{0};
   std::uint64_t dropped_{0};
+  std::uint64_t io_errors_{0};
+  std::uint64_t io_retries_{0};
+  std::uint64_t io_dropped_{0};
+  std::string last_error_;
   /// Mirror of writer_.segments_finalized(), updated under mu_ — the
   /// writer thread mutates writer_ outside the lock during append, so
   /// stats() must never touch writer_ directly while it runs.
@@ -90,6 +118,9 @@ class Recorder {
   std::thread thread_;
 
   void writer_loop();
+  /// Writer thread only: appends one event, retrying transient IoErrors
+  /// with bounded backoff. True = written, false = dropped (degraded).
+  bool append_with_retry(const Event& e);
   void rethrow_locked(std::unique_lock<std::mutex>& lock);
 };
 

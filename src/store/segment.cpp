@@ -103,10 +103,10 @@ bool segment_may_have_channel(const SegmentHeader& header,
 // ----------------------------------------------------------- SegmentWriter
 
 SegmentWriter::SegmentWriter(const std::string& path, std::uint64_t seqno,
-                             std::uint32_t decimation)
-    : path_(path), file_(path, std::ios::binary | std::ios::trunc) {
-  dsp::require(file_.good(), "SegmentWriter: cannot create " + path);
+                             std::uint32_t decimation, fault::FileIo* io) {
   dsp::require(decimation >= 1, "SegmentWriter: decimation must be >= 1");
+  path_ = path;
+  file_ = (io != nullptr ? *io : fault::real_file_io()).create(path);
   header_.seqno = seqno;
   header_.decimation = decimation;
   header_.count = 0;
@@ -116,8 +116,7 @@ SegmentWriter::SegmentWriter(const std::string& path, std::uint64_t seqno,
   open.count = kOpenSegmentCount;
   unsigned char buf[kSegmentHeaderBytes];
   encode_header(open, buf);
-  file_.write(reinterpret_cast<const char*>(buf), sizeof(buf));
-  dsp::require(file_.good(), "SegmentWriter: cannot write header to " + path);
+  file_->pwrite(0, buf, sizeof(buf));
 }
 
 SegmentWriter::~SegmentWriter() {
@@ -137,9 +136,12 @@ void SegmentWriter::append(const Event& e) {
                "order");
   unsigned char record[core::kEventRecordBytes];
   core::encode_event_record(e, record);
+  // Positional write at the record's fixed offset, state updated only on
+  // success: a failed (possibly torn) write leaves count/bounds/CRC
+  // untouched, and the retry overwrites the same bytes.
+  file_->pwrite(kSegmentHeaderBytes + header_.count * kEventRecordBytes,
+                record, sizeof(record));
   crc_.update(record, sizeof(record));
-  file_.write(reinterpret_cast<const char*>(record), sizeof(record));
-  dsp::require(file_.good(), "SegmentWriter: write failed on " + path_);
   if (header_.count == 0) header_.t_min = e.time_s;
   header_.t_max = e.time_s;
   header_.channel_bitmap |= bitmap_bit(e.channel);
@@ -148,16 +150,18 @@ void SegmentWriter::append(const Event& e) {
 
 void SegmentWriter::finalize() {
   if (!open_) return;
-  open_ = false;
-  header_.finalized = true;
-  header_.payload_crc32 = crc_.value();
+  SegmentHeader final_header = header_;
+  final_header.finalized = true;
+  final_header.payload_crc32 = crc_.value();
   unsigned char buf[kSegmentHeaderBytes];
-  encode_header(header_, buf);
-  file_.seekp(0);
-  file_.write(reinterpret_cast<const char*>(buf), sizeof(buf));
-  file_.flush();
-  dsp::require(file_.good(), "SegmentWriter: finalize failed on " + path_);
-  file_.close();
+  encode_header(final_header, buf);
+  file_->pwrite(0, buf, sizeof(buf));
+  file_->sync();
+  file_->close();
+  // Mark closed only after everything succeeded, so a transient header
+  // write or sync failure leaves the writer open and finalize retryable.
+  header_ = final_header;
+  open_ = false;
 }
 
 // ----------------------------------------------------------- SegmentReader

@@ -20,12 +20,14 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "core/crc32.hpp"
 #include "core/event_io.hpp"
 #include "core/events.hpp"
+#include "fault/file_io.hpp"
 
 namespace datc::store {
 
@@ -59,18 +61,28 @@ struct SegmentHeader {
                                             std::uint16_t channel);
 
 /// Appends events (non-decreasing time required) to a fresh segment file.
+///
+/// All file I/O goes through fault::FileIo with positional writes: record
+/// k always lands at kSegmentHeaderBytes + k * kEventRecordBytes, and the
+/// in-memory state (count, bounds, CRC) advances only after the write
+/// succeeded. A failed append or finalize (fault::IoError) therefore
+/// leaves the writer unchanged and retryable — the retry overwrites any
+/// torn bytes at the same offset.
 class SegmentWriter {
  public:
+  /// `io` = nullptr writes through the real filesystem.
   SegmentWriter(const std::string& path, std::uint64_t seqno,
-                std::uint32_t decimation = 1);
+                std::uint32_t decimation = 1, fault::FileIo* io = nullptr);
   ~SegmentWriter();
 
   SegmentWriter(const SegmentWriter&) = delete;
   SegmentWriter& operator=(const SegmentWriter&) = delete;
 
   void append(const Event& e);
-  /// Rewrites the header with the final count/bounds/CRC and closes the
-  /// file. Idempotent; the destructor finalizes an open segment.
+  /// Rewrites the header with the final count/bounds/CRC, syncs and
+  /// closes the file. Idempotent once it succeeds; on failure the writer
+  /// stays open so the call can be retried. The destructor finalizes an
+  /// open segment (swallowing errors — the tail stays recoverable).
   void finalize();
 
   [[nodiscard]] std::uint64_t count() const { return header_.count; }
@@ -80,7 +92,7 @@ class SegmentWriter {
 
  private:
   std::string path_;
-  std::ofstream file_;
+  std::unique_ptr<fault::WritableFile> file_;
   SegmentHeader header_;
   core::Crc32 crc_;
   bool open_{true};

@@ -584,8 +584,9 @@ int cmd_record(const Args& a) {
   const auto session =
       factory.make_streaming_session(spec.session.channel);
 
-  store::RecorderConfig rcfg;
-  rcfg.log.dir = dir;
+  // Factory-built recorder config: fault.store_* keys in the scenario
+  // route segment I/O through the seeded fault-injection seam.
+  store::RecorderConfig rcfg = factory.recorder_config(dir);
   rcfg.log.max_events_per_segment =
       static_cast<std::uint64_t>(seg_events_f);
   rcfg.log.max_segment_span_s = seg_span;
