@@ -68,7 +68,8 @@ void print_runtime_table() {
 
   const auto& recs = workload();
   std::printf("workload: %zu channels x %.0f s EMG (%.0f s total)\n",
-              recs.size(), kDurationS, kDurationS * recs.size());
+              recs.size(), kDurationS,
+              kDurationS * static_cast<double>(recs.size()));
 
   const auto cfg = runner_config();
   const sim::EndToEnd reference(cfg.eval, cfg.link);

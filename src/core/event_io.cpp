@@ -210,6 +210,8 @@ void write_events_binary_v1(std::ostream& os, const EventStream& events) {
   const std::uint64_t count = events.size();
   os.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& e : events.events()) {
+    // datc-lint: allow(narrow-channel) — v1's on-disk address field IS u8;
+    // the require() above refuses any channel that would truncate.
     const auto chan = static_cast<std::uint8_t>(e.channel);
     os.write(reinterpret_cast<const char*>(&e.time_s), sizeof(e.time_s));
     os.write(reinterpret_cast<const char*>(&e.vth_code), 1);

@@ -70,7 +70,7 @@ std::size_t inject_artifacts(dsp::TimeSeries& signal,
 
 void add_white_noise(dsp::TimeSeries& signal, Real rms, dsp::Rng& rng) {
   dsp::require(rms >= 0.0, "add_white_noise: rms must be non-negative");
-  if (rms == 0.0) return;
+  if (rms <= 0.0) return;
   for (auto& v : signal.samples()) v += rms * rng.gaussian();
 }
 

@@ -85,6 +85,14 @@ FileIo& real_file_io() {
   return io;
 }
 
+void write_file(FileIo& io, const std::string& path, const void* data,
+                std::size_t size) {
+  auto file = io.create(path);
+  if (size > 0) file->pwrite(0, data, size);
+  file->sync();
+  file->close();
+}
+
 // ------------------------------------------------------------ FaultyFileIo
 
 namespace {

@@ -54,6 +54,13 @@ class FileIo {
 /// The process-wide pass-through implementation over the real filesystem.
 [[nodiscard]] FileIo& real_file_io();
 
+/// Writes `size` bytes to a fresh `path` through the seam: create, one
+/// positional write at offset 0, sync, close. The store's sidecar writers
+/// (manifest.txt, envelope.f64) route through this so no write-side file
+/// I/O bypasses fault injection or the positional-retry contract.
+void write_file(FileIo& io, const std::string& path, const void* data,
+                std::size_t size);
+
 /// Counters a FaultyFileIo exposes for tests and benches.
 struct FaultyIoStats {
   std::uint64_t ops{0};             ///< write + sync operations attempted

@@ -39,8 +39,12 @@ ShiftRegisterBank::ShiftRegisterBank(std::string name, unsigned width,
                "ShiftRegisterBank: bad geometry");
   q_.reserve(stages);
   for (std::size_t i = 0; i < stages; ++i) {
-    q_.push_back(&make_signal<std::uint32_t>("q" + std::to_string(i),
-                                             width, 0));
+    // Built via append instead of `"q" + std::to_string(i)`: the rvalue
+    // operator+ overload trips GCC 12's -Wrestrict false positive
+    // (PR105651) when inlined at -O2.
+    std::string stage_name = "q";
+    stage_name += std::to_string(i);
+    q_.push_back(&make_signal<std::uint32_t>(std::move(stage_name), width, 0));
   }
 }
 

@@ -7,9 +7,11 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <thread>
 
 #include "fault/fault.hpp"
+#include "fault/file_io.hpp"
 
 namespace datc::store {
 
@@ -237,10 +239,10 @@ std::string manifest_path(const std::string& dir) {
 
 }  // namespace
 
-void write_manifest(const std::string& dir, const SessionManifest& m) {
+void write_manifest(const std::string& dir, const SessionManifest& m,
+                    fault::FileIo* io) {
   std::filesystem::create_directories(dir);
-  std::ofstream f(manifest_path(dir));
-  dsp::require(f.good(), "write_manifest: cannot write in " + dir);
+  std::ostringstream f;
   f.precision(17);
   f << "analog_fs_hz=" << m.analog_fs_hz << '\n'
     << "duration_s=" << m.duration_s << '\n'
@@ -251,7 +253,9 @@ void write_manifest(const std::string& dir, const SessionManifest& m) {
     << "band_lo_hz=" << m.band_lo_hz << '\n'
     << "band_hi_hz=" << m.band_hi_hz << '\n'
     << "channel=" << m.channel << '\n';
-  dsp::require(f.good(), "write_manifest: write failed in " + dir);
+  const std::string text = f.str();
+  fault::write_file(io != nullptr ? *io : fault::real_file_io(),
+                    manifest_path(dir), text.data(), text.size());
 }
 
 SessionManifest read_manifest(const std::string& dir) {

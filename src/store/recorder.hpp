@@ -139,7 +139,11 @@ struct SessionManifest {
   std::uint32_t channel{0};
 };
 
-void write_manifest(const std::string& dir, const SessionManifest& m);
+/// Writes `manifest.txt` through the FileIo seam (`io`; the real
+/// filesystem when null) — store/ performs no write-side file I/O
+/// outside the seam, so recordings stay fault-injectable end to end.
+void write_manifest(const std::string& dir, const SessionManifest& m,
+                    fault::FileIo* io = nullptr);
 [[nodiscard]] SessionManifest read_manifest(const std::string& dir);
 
 }  // namespace datc::store

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "core/rate_calibration.hpp"
+#include "fault/file_io.hpp"
 
 namespace datc::store {
 
@@ -20,13 +21,13 @@ std::string envelope_path(const std::string& dir) {
 
 }  // namespace
 
-void write_envelope_f64(const std::string& dir,
-                        const std::vector<Real>& arv) {
-  std::ofstream f(envelope_path(dir), std::ios::binary | std::ios::trunc);
-  dsp::require(f.good(), "write_envelope_f64: cannot write in " + dir);
-  f.write(reinterpret_cast<const char*>(arv.data()),
-          static_cast<std::streamsize>(arv.size() * sizeof(Real)));
-  dsp::require(f.good(), "write_envelope_f64: write failed in " + dir);
+void write_envelope_f64(const std::string& dir, const std::vector<Real>& arv,
+                        fault::FileIo* io) {
+  // Through the FileIo seam like every other write in store/: the
+  // sidecar write is fault-injectable and positionally retryable.
+  fault::write_file(io != nullptr ? *io : fault::real_file_io(),
+                    envelope_path(dir), arv.data(),
+                    arv.size() * sizeof(Real));
 }
 
 std::vector<Real> read_envelope_f64(const std::string& dir) {

@@ -18,9 +18,10 @@
 
 namespace datc::store {
 
-/// Raw f64 envelope sidecar inside a session directory.
-void write_envelope_f64(const std::string& dir,
-                        const std::vector<Real>& arv);
+/// Raw f64 envelope sidecar inside a session directory, written through
+/// the FileIo seam (`io`; the real filesystem when null).
+void write_envelope_f64(const std::string& dir, const std::vector<Real>& arv,
+                        fault::FileIo* io = nullptr);
 [[nodiscard]] std::vector<Real> read_envelope_f64(const std::string& dir);
 [[nodiscard]] bool has_envelope_f64(const std::string& dir);
 

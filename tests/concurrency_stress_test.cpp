@@ -1,0 +1,477 @@
+// Concurrency stress + edge-case suite, written to run clean under
+// ThreadSanitizer (the `tsan` CMake preset builds everything with
+// -fsanitize=thread and CI repeats this binary many times). Each test
+// hammers one synchronization boundary the runtime relies on:
+//
+//   * ThreadPool     — shutdown with work still queued, exception
+//                      propagation, zero/single-thread configs;
+//   * SessionManager — quarantine and the stall watchdog while many
+//                      producer threads submit concurrently;
+//   * Recorder       — queue overflow + injected I/O faults with
+//                      concurrent offerers, and the destructor-close
+//                      error counter under concurrent destruction;
+//   * scenario grid  — parallel fan-out determinism.
+//
+// Assertions here are about *invariants* (counts conserved, flags
+// sticky, no lost tasks), not timing: the suite must be meaningful on a
+// single-core runner and under TSan's heavy interleaving shuffle alike.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/scenario.hpp"
+#include "fault/file_io.hpp"
+#include "runtime/session.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/scenario_grid.hpp"
+#include "store/recorder.hpp"
+
+#include <filesystem>
+
+namespace datc {
+namespace {
+
+namespace fs = std::filesystem;
+using dsp::Real;
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolEdgeTest, ZeroThreadConfigUsesHardwareConcurrency) {
+  runtime::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.size(), runtime::ThreadPool::hardware_threads());
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolEdgeTest, SingleThreadPoolRunsTasksInSubmissionOrder) {
+  runtime::ThreadPool pool(1);
+  std::vector<std::size_t> order;  // single worker: no lock needed
+  for (std::size_t i = 0; i < 64; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolEdgeTest, DestructorDrainsQueuedTasks) {
+  // Shutdown with pending work: the destructor contract is that every
+  // already-submitted task still runs (workers drain the queue before
+  // exiting), so no work is silently lost.
+  std::atomic<std::size_t> ran{0};
+  constexpr std::size_t kTasks = 256;
+  {
+    runtime::ThreadPool pool(2);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait_idle(): destruction races the queue on purpose.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolEdgeTest, RepeatedImmediateShutdownLosesNothing) {
+  // The TSan-facing version of the above: many short-lived pools torn
+  // down while their queues are still full, exercising the stop_ flag,
+  // cv_task_ wakeups and the join path concurrently with task bodies.
+  std::atomic<std::size_t> ran{0};
+  std::size_t submitted = 0;
+  for (std::size_t round = 0; round < 20; ++round) {
+    runtime::ThreadPool pool(1 + round % 4);
+    for (std::size_t i = 0; i < 50; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      ++submitted;
+    }
+  }
+  EXPECT_EQ(ran.load(), submitted);
+}
+
+TEST(ThreadPoolEdgeTest, WaitIdleRethrowsFirstTaskException) {
+  runtime::ThreadPool pool(2);
+  std::atomic<std::size_t> ran{0};
+  pool.submit([] { throw std::runtime_error("pooled task failure"); });
+  for (std::size_t i = 0; i < 32; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "expected the pooled exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "pooled task failure");
+  }
+  // The error does not poison the pool: later work runs and a second
+  // wait_idle() returns cleanly (the exception was consumed).
+  EXPECT_EQ(ran.load(), 32u);
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 33u);
+}
+
+TEST(ThreadPoolEdgeTest, ParallelForPropagatesAndCompletes) {
+  runtime::ThreadPool pool(3);
+  std::atomic<std::size_t> visited{0};
+  EXPECT_THROW(
+      runtime::parallel_for(pool, 64,
+                            [&visited](std::size_t i) {
+                              visited.fetch_add(1,
+                                                std::memory_order_relaxed);
+                              if (i == 13) {
+                                throw std::invalid_argument("slot 13");
+                              }
+                            }),
+      std::invalid_argument);
+  // parallel_for waits for idle before rethrowing: every iteration ran.
+  EXPECT_EQ(visited.load(), 64u);
+}
+
+// -------------------------------------------------------- SessionManager
+
+/// Counts deliveries; optionally sleeps (stall) or throws on a chunk.
+class StressSession final : public runtime::Session {
+ public:
+  struct Behaviour {
+    std::size_t throw_on{0};   ///< 1-based chunk index; 0 = never throw
+    double sleep_ms{0.0};      ///< per-chunk stall
+  };
+
+  explicit StressSession(Behaviour b) : behaviour_(b) {}
+
+  void push_chunk(std::span<const Real>) override {
+    const auto n = chunks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (behaviour_.sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(behaviour_.sleep_ms));
+    }
+    if (behaviour_.throw_on != 0 && n >= behaviour_.throw_on) {
+      throw std::runtime_error("stress session failure");
+    }
+  }
+  void finish() override { finished_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::size_t chunks() const {
+    return chunks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool finished() const {
+    return finished_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Behaviour behaviour_;
+  std::atomic<std::size_t> chunks_{0};
+  std::atomic<bool> finished_{false};
+};
+
+TEST(SessionManagerStressTest, ConcurrentProducersAgainstQuarantine) {
+  // Several producer threads hammer a mixed population: one session that
+  // throws early (quarantined mid-stream while submits keep landing) and
+  // healthy sessions that must see every chunk despite the contention.
+  runtime::SessionManager manager({.jobs = 4,
+                                   .max_pending_chunks = 2,
+                                   .rethrow_on_drain = false});
+  constexpr std::size_t kHealthy = 3;
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kChunksPerProducer = 25;
+
+  auto bad_owned = std::make_unique<StressSession>(
+      StressSession::Behaviour{.throw_on = 5});
+  const auto bad_id = manager.add(std::move(bad_owned));
+  std::vector<StressSession*> healthy;
+  std::vector<runtime::SessionManager::SessionId> healthy_ids;
+  for (std::size_t i = 0; i < kHealthy; ++i) {
+    auto s = std::make_unique<StressSession>(StressSession::Behaviour{});
+    healthy.push_back(s.get());
+    healthy_ids.push_back(manager.add(std::move(s)));
+  }
+
+  const std::vector<Real> chunk(8, 0.0);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&manager, &chunk, bad_id, &healthy_ids] {
+      for (std::size_t c = 0; c < kChunksPerProducer; ++c) {
+        manager.submit_chunk(bad_id, chunk);
+        for (const auto id : healthy_ids) manager.submit_chunk(id, chunk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (const auto id : healthy_ids) manager.submit_finish(id);
+  manager.submit_finish(bad_id);
+  manager.drain();
+
+  const auto bad_health = manager.health(bad_id);
+  EXPECT_TRUE(bad_health.quarantined);
+  EXPECT_NE(bad_health.error.find("stress session failure"),
+            std::string::npos);
+  EXPECT_EQ(manager.quarantined_count(), 1u);
+  for (std::size_t i = 0; i < kHealthy; ++i) {
+    EXPECT_EQ(healthy[i]->chunks(), kProducers * kChunksPerProducer) << i;
+    EXPECT_TRUE(healthy[i]->finished()) << i;
+    EXPECT_FALSE(manager.health(healthy_ids[i]).quarantined) << i;
+  }
+}
+
+TEST(SessionManagerStressTest, WatchdogUnderConcurrentSubmitsStaysSticky) {
+  runtime::SessionManager manager({.jobs = 2,
+                                   .max_pending_chunks = 2,
+                                   .rethrow_on_drain = false,
+                                   .stall_timeout_s = 0.01});
+  const auto slow = manager.add(std::make_unique<StressSession>(
+      StressSession::Behaviour{.sleep_ms = 40.0}));
+  auto fast_owned =
+      std::make_unique<StressSession>(StressSession::Behaviour{});
+  StressSession* fast_raw = fast_owned.get();
+  const auto fast = manager.add(std::move(fast_owned));
+
+  const std::vector<Real> chunk(4, 0.0);
+  std::thread slow_producer([&manager, &chunk, slow] {
+    for (int i = 0; i < 3; ++i) manager.submit_chunk(slow, chunk);
+  });
+  std::thread fast_producer([&manager, &chunk, fast] {
+    for (int i = 0; i < 50; ++i) manager.submit_chunk(fast, chunk);
+  });
+  slow_producer.join();
+  fast_producer.join();
+  manager.drain();
+
+  // Sticky: the strand finished long ago, yet the flag must survive, and
+  // health() must be readable while nothing is running.
+  EXPECT_TRUE(manager.health(slow).stall_flagged);
+  EXPECT_FALSE(manager.health(fast).stall_flagged);
+  EXPECT_FALSE(manager.health(slow).quarantined);
+  EXPECT_EQ(fast_raw->chunks(), 50u);
+}
+
+TEST(SessionManagerStressTest, HealthPollingRacesTheStrands) {
+  // A monitoring thread polls health()/quarantined_count() continuously
+  // while strands run, quarantine and stall — the reader path must be
+  // fully synchronized with the mutating workers (this is where TSan
+  // earns its keep; the assertions are deliberately weak).
+  runtime::SessionManager manager({.jobs = 3,
+                                   .max_pending_chunks = 2,
+                                   .rethrow_on_drain = false,
+                                   .stall_timeout_s = 0.005});
+  std::vector<runtime::SessionManager::SessionId> ids;
+  ids.push_back(manager.add(std::make_unique<StressSession>(
+      StressSession::Behaviour{.throw_on = 3})));
+  ids.push_back(manager.add(std::make_unique<StressSession>(
+      StressSession::Behaviour{.sleep_ms = 15.0})));
+  ids.push_back(manager.add(
+      std::make_unique<StressSession>(StressSession::Behaviour{})));
+
+  std::atomic<bool> stop_polling{false};
+  std::thread poller([&manager, &ids, &stop_polling] {
+    std::uint64_t observations = 0;
+    while (!stop_polling.load(std::memory_order_relaxed)) {
+      for (const auto id : ids) {
+        const auto h = manager.health(id);
+        observations += h.chunks_discarded + (h.quarantined ? 1 : 0) +
+                        (h.stall_flagged ? 1 : 0);
+      }
+      observations += manager.quarantined_count();
+    }
+    EXPECT_GE(observations, 0u);
+  });
+
+  const std::vector<Real> chunk(4, 0.0);
+  for (int round = 0; round < 10; ++round) {
+    for (const auto id : ids) manager.submit_chunk(id, chunk);
+  }
+  for (const auto id : ids) manager.submit_finish(id);
+  manager.drain();
+  stop_polling.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  EXPECT_TRUE(manager.health(ids[0]).quarantined);
+  EXPECT_FALSE(manager.health(ids[2]).quarantined);
+}
+
+// -------------------------------------------------------------- Recorder
+
+class ConcurrencyStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("datc_conc_test_" + std::string(::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string dir(const char* sub = "") const {
+    return (dir_ / sub).string();
+  }
+
+  fs::path dir_;
+};
+
+std::vector<core::Event> spaced_events(std::size_t n, Real t0) {
+  std::vector<core::Event> ev(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ev[i] = core::Event{t0 + static_cast<Real>(i) * 1e-5, 1, 0};
+  }
+  return ev;
+}
+
+TEST_F(ConcurrencyStoreTest, OverflowPlusIoFaultsConservesEventCounts) {
+  // A deliberately tiny queue, a paused writer (so overflow drops are
+  // certain, not timing-dependent), transient injected I/O faults once
+  // the writer resumes, and concurrent offerers. The ledger invariant
+  // offered == written + dropped must survive all three at once.
+  fault::StoreFaultSpec spec;
+  spec.write_fail_prob = 0.2;
+  spec.fsync_fail_prob = 0.1;
+
+  store::RecorderConfig rcfg;
+  rcfg.log.dir = dir("log");
+  rcfg.log.io = std::make_shared<fault::FaultyFileIo>(spec, 2024);
+  rcfg.max_queued_events = 64;  // far smaller than the offered volume
+  rcfg.max_io_retries = 2;
+  rcfg.io_backoff_initial_ms = 0.01;
+  rcfg.io_backoff_max_ms = 0.02;
+  store::Recorder recorder(rcfg);
+  recorder.set_paused(true);
+
+  constexpr std::size_t kOfferers = 4;
+  constexpr std::size_t kEventsPerOfferer = 500;
+  std::vector<std::thread> offerers;
+  offerers.reserve(kOfferers);
+  for (std::size_t p = 0; p < kOfferers; ++p) {
+    offerers.emplace_back([&recorder, p] {
+      // Disjoint, increasing time ranges per thread: whatever interleaving
+      // the queue admits, each thread's own events stay time-ordered.
+      const auto events =
+          spaced_events(kEventsPerOfferer, static_cast<Real>(p) * 10.0);
+      for (std::size_t pos = 0; pos < events.size(); pos += 37) {
+        const std::size_t n =
+            std::min<std::size_t>(37, events.size() - pos);
+        recorder.offer(
+            std::span<const core::Event>(events.data() + pos, n));
+      }
+    });
+  }
+  for (auto& t : offerers) t.join();
+  recorder.set_paused(false);
+
+  try {
+    recorder.close();
+  } catch (const std::exception&) {
+    // Concurrent offerers admit chunks in arbitrary order, so the writer
+    // may see a time-order violation — a logic error surfaced by
+    // close(), which is itself part of the contract under test. The
+    // ledger below must balance either way.
+  }
+  const auto s = recorder.stats();
+  EXPECT_EQ(s.offered, kOfferers * kEventsPerOfferer);
+  EXPECT_EQ(s.offered, s.written + s.dropped);
+  EXPECT_GT(s.dropped, 0u);  // the paused 64-slot queue guarantees drops
+}
+
+TEST_F(ConcurrencyStoreTest, ConcurrentRecorderDestructionCountsCloseErrors) {
+  // Several recorders, each primed with a guaranteed close()-time logic
+  // error (a stale event queued behind a flushed later one), destroyed
+  // from concurrent threads: the process-wide swallowed-error counter
+  // must absorb exactly one increment per recorder, no lost updates.
+  constexpr std::size_t kRecorders = 4;
+  const auto before = store::Recorder::destructor_close_errors();
+  std::vector<std::thread> destroyers;
+  destroyers.reserve(kRecorders);
+  for (std::size_t r = 0; r < kRecorders; ++r) {
+    destroyers.emplace_back([this, r] {
+      store::RecorderConfig rcfg;
+      rcfg.log.dir = dir(("log" + std::to_string(r)).c_str());
+      store::Recorder recorder(rcfg);
+      const core::Event good{1.0, 1, 0};
+      const core::Event stale{0.5, 1, 0};
+      recorder.offer({&good, 1});
+      recorder.flush();
+      recorder.offer({&stale, 1});
+      // Destroyed without close(): the destructor swallows and counts.
+    });
+  }
+  for (auto& t : destroyers) t.join();
+  EXPECT_EQ(store::Recorder::destructor_close_errors(), before + kRecorders);
+}
+
+TEST_F(ConcurrencyStoreTest, StatsPollingRacesTheWriterThread) {
+  // stats() readers against the writer thread and an offering thread:
+  // every counter it returns is mutated under mu_ by the writer loop,
+  // and a reader tearing any of them is a race TSan must not find.
+  store::RecorderConfig rcfg;
+  rcfg.log.dir = dir("log");
+  rcfg.max_queued_events = 1u << 12;
+  store::Recorder recorder(rcfg);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&recorder, &stop] {
+    std::uint64_t last_written = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto s = recorder.stats();
+      EXPECT_LE(last_written, s.written);  // monotone under the lock
+      EXPECT_LE(s.written + s.dropped, s.offered);
+      last_written = s.written;
+    }
+  });
+  const auto events = spaced_events(2000, 0.0);
+  for (std::size_t pos = 0; pos < events.size(); pos += 101) {
+    const std::size_t n = std::min<std::size_t>(101, events.size() - pos);
+    recorder.offer(std::span<const core::Event>(events.data() + pos, n));
+  }
+  recorder.close();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  const auto s = recorder.stats();
+  EXPECT_EQ(s.offered, 2000u);
+  EXPECT_EQ(s.offered, s.written + s.dropped);
+}
+
+// ---------------------------------------------------------- grid fan-out
+
+config::ScenarioSpec tiny_scenario() {
+  config::ScenarioSpec spec;
+  spec.name = "stress-grid";
+  config::set_scenario_key(spec, "source.model", "noise");
+  config::set_scenario_key(spec, "source.duration_s", "0.5");
+  return spec;
+}
+
+TEST(ScenarioGridStressTest, ParallelFanOutIsDeterministicUnderRepetition) {
+  // The grid fans every point out over a ThreadPool; repeated parallel
+  // runs must agree with the serial expansion bit-for-bit even while the
+  // pool's scheduling varies run to run (and TSan shuffles it further).
+  sim::ScenarioGridConfig cfg;
+  cfg.base = tiny_scenario();
+  cfg.axes = sim::parse_axes("channels=1,2; distance=0.3,1.0");
+  cfg.jobs = 1;
+  const auto serial = sim::run_scenario_grid(cfg);
+  ASSERT_EQ(serial.points.size(), 4u);
+  for (int rep = 0; rep < 3; ++rep) {
+    cfg.jobs = 4;
+    const auto parallel = sim::run_scenario_grid(cfg);
+    ASSERT_EQ(parallel.points.size(), serial.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_EQ(serial.points[i].overrides, parallel.points[i].overrides);
+      EXPECT_EQ(serial.points[i].events_tx, parallel.points[i].events_tx);
+      EXPECT_EQ(serial.points[i].events_rx, parallel.points[i].events_rx);
+      EXPECT_EQ(serial.points[i].mean_rx_correlation_pct,
+                parallel.points[i].mean_rx_correlation_pct);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datc

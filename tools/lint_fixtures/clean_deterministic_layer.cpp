@@ -1,0 +1,38 @@
+// datc-lint-fixture: rule=none path=src/core/fixture_clean.cpp
+// Clean fixture: everything here is allowed and must stay allowed —
+// steady_clock (monotonic, not wall time), member/derived identifiers
+// that merely contain banned names, u16 channel handling, and the
+// explicit allow-marker escape hatch.
+#include <chrono>
+#include <cstdint>
+
+namespace datc::core {
+
+struct FixtureRec {
+  double event_time(std::size_t i) const { return 0.001 * double(i); }
+  double time_scale{1.0};
+};
+
+double fixture_elapsed() {
+  // Monotonic timing for benchmarks is fine; only wall time is banned.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double fixture_member_calls(const FixtureRec& rec) {
+  // `.time(...)` is a member access, not ::time(); `event_time` merely
+  // contains the substring.
+  return rec.event_time(3) * rec.time_scale;
+}
+
+std::uint16_t fixture_channel_ok(std::uint32_t channel_id) {
+  return static_cast<std::uint16_t>(channel_id & 0xffffu);
+}
+
+bool fixture_sentinel(double x) {
+  // datc-lint: allow(float-eq) — exact stored sentinel, no arithmetic.
+  return x == -1.0;
+}
+
+}  // namespace datc::core

@@ -1,0 +1,16 @@
+// datc-lint-fixture: rule=none path=src/rtl/fixture_clean.cpp
+// Clean fixture: layer scoping. rtl/ is NOT a deterministic layer, so
+// wall-clock/entropy calls are out of datc_lint's jurisdiction there
+// (generic tools still see them). Keeps the rule from creeping beyond
+// the layers whose contract it encodes.
+#include <cstdlib>
+#include <ctime>
+
+namespace datc::rtl {
+
+unsigned fixture_entropy() {
+  return static_cast<unsigned>(std::time(nullptr)) ^
+         static_cast<unsigned>(std::rand());
+}
+
+}  // namespace datc::rtl

@@ -1,0 +1,13 @@
+// datc-lint-fixture: rule=float-eq path=src/dsp/fixture.cpp
+// Deliberate violation: raw floating equality against literals. After
+// any arithmetic, == 0.25 is a coin flip; exact-equality checks belong
+// in the parity harness (sim/stream_parity), everything else compares
+// against a tolerance.
+
+namespace datc::dsp {
+
+bool fixture_is_quarter(double x) { return x == 0.25; }
+
+bool fixture_is_nonzero(float y) { return y != 0.0f; }
+
+}  // namespace datc::dsp

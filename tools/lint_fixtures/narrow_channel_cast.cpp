@@ -1,0 +1,13 @@
+// datc-lint-fixture: rule=narrow-channel path=src/uwb/fixture.cpp
+// Deliberate violation: the PR 2 truncation bug. Casting a channel id /
+// AER address to 8 bits silently wraps every id >= 256, so a 512-channel
+// grid decodes onto the wrong reconstructors with no error anywhere.
+#include <cstdint>
+
+namespace datc::uwb {
+
+std::uint8_t fixture_pack_address(std::uint16_t channel_id) {
+  return static_cast<std::uint8_t>(channel_id);
+}
+
+}  // namespace datc::uwb

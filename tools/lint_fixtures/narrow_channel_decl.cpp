@@ -1,0 +1,14 @@
+// datc-lint-fixture: rule=narrow-channel path=src/runtime/fixture.cpp
+// Deliberate violation: declaring channel ids / addresses at 8 bits.
+// Event::channel is u16 end-to-end; an 8-bit local re-introduces the
+// truncation the u16 widening (PR 2) fixed.
+#include <cstdint>
+
+namespace datc::runtime {
+
+struct FixtureFrame {
+  std::uint8_t channel{0};
+  std::uint8_t dest_address{0};
+};
+
+}  // namespace datc::runtime

@@ -1,0 +1,16 @@
+// datc-lint-fixture: rule=store-io path=src/store/fixture.cpp
+// Deliberate violation: write-side file I/O in store/ around the
+// fault::FileIo seam. An ofstream here is invisible to fault injection
+// and has none of the positional-retry guarantees of the seam, so the
+// PR 6 offered == written + dropped contract silently stops covering it.
+#include <fstream>
+#include <string>
+
+namespace datc::store {
+
+void fixture_write_marker(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << "marker";
+}
+
+}  // namespace datc::store

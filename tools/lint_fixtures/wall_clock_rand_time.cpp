@@ -1,0 +1,17 @@
+// datc-lint-fixture: rule=wall-clock path=src/sim/fixture.cpp
+// Deliberate violation: C library entropy in a deterministic layer.
+// srand(time(...)) is the classic way to make a "deterministic"
+// simulation unreproducible; dsp::Rng carries all randomness here.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace datc::sim {
+
+int fixture_noise() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  std::random_device entropy;
+  return std::rand() + static_cast<int>(entropy());
+}
+
+}  // namespace datc::sim

@@ -1,0 +1,14 @@
+// datc-lint-fixture: rule=wall-clock path=src/core/fixture.cpp
+// Deliberate violation: wall-clock reads in a deterministic layer. The
+// encode chain must be a pure function of seeds — a timestamp here would
+// make two runs of the same scenario diverge.
+#include <chrono>
+
+namespace datc::core {
+
+double fixture_now_seconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace datc::core
