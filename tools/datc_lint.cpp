@@ -448,20 +448,40 @@ void check_narrow_channel(const std::string& path,
     }
     pos = close;
   }
-  // Pattern B: `uint8_t <name-with-channel/addr>` declarations.
+  // Pattern B: `uint8_t <name-with-channel/addr>` declarations. The
+  // declared name may be separated from the type by `*`, `&`/`&&` and
+  // cv-qualifiers (`uint8_t* channel_ids`, `uint8_t const& channel`);
+  // any other punctuation (`uint8_t>` in a template argument, `(uint8_t)`
+  // casts) means this is not a declaration.
   const auto toks = identifiers(stripped);
-  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
     const std::string& t = toks[i].text;
     const bool narrow8 =
         t == "uint8_t" || t == "int8_t" ||
         (t == "char" && i > 0 &&
          (toks[i - 1].text == "unsigned" || toks[i - 1].text == "signed"));
     if (!narrow8) continue;
-    const std::string& name = toks[i + 1].text;
-    // Only a declaration when the next identifier directly follows the
-    // type (not e.g. `uint8_t>` in a template argument).
-    const char between = next_nonspace(stripped, toks[i].pos + t.size());
-    if (!is_ident_char(between)) continue;
+    std::string name;
+    std::size_t p = toks[i].pos + t.size();
+    while (p < n) {
+      const char c = stripped[p];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '*' ||
+          c == '&') {
+        ++p;
+        continue;
+      }
+      if (!is_ident_char(c)) break;
+      std::size_t e = p;
+      while (e < n && is_ident_char(stripped[e])) ++e;
+      const std::string word = stripped.substr(p, e - p);
+      if (word == "const" || word == "volatile") {
+        p = e;
+        continue;
+      }
+      name = word;
+      break;
+    }
+    if (name.empty()) continue;
     if (mentions_channel_or_address(name)) {
       out.push_back({path, line_of(stripped, toks[i].pos), "narrow-channel",
                      "declaring '" + name + "' as " + t +

@@ -11,4 +11,15 @@ struct FixtureFrame {
   std::uint8_t dest_address{0};
 };
 
+// Pointer/reference/cv-qualified forms narrow just the same: the id is
+// still stored at 8 bits behind the indirection.
+void fixture_narrow_indirect(FixtureFrame& frame) {
+  std::uint8_t* channel_ids = &frame.channel;
+  std::uint8_t& channel_ref = frame.channel;
+  const std::uint8_t addr_lo = 0;
+  (void)channel_ids;
+  (void)channel_ref;
+  (void)addr_lo;
+}
+
 }  // namespace datc::runtime
