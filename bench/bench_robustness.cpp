@@ -22,7 +22,7 @@
 #include "dsp/emg_metrics.hpp"
 #include "dsp/stats.hpp"
 #include "emg/generator.hpp"
-#include "fault/faulty_session.hpp"
+#include "runtime/faulty_session.hpp"
 #include "fault/file_io.hpp"
 #include "sim/end_to_end.hpp"
 #include "store/recorder.hpp"
@@ -48,7 +48,7 @@ config::ScenarioSpec strong_link_spec() {
 struct ChunkFaultPoint {
   Real drop_prob{0.0};
   Real dropout_prob{0.0};
-  fault::SessionFaultStats faults{};
+  runtime::SessionFaultStats faults{};
   Real corr_pct{0.0};
   bool deterministic{false};  ///< two same-seed runs were bit-identical
 };
@@ -82,7 +82,7 @@ ChunkFaultPoint run_chunk_fault_point(const char* drop_prob,
     session->finish();
     streaming->drain_arv(arv);
     if (const auto* faulty =
-            dynamic_cast<const fault::FaultySession*>(session.get())) {
+            dynamic_cast<const runtime::FaultySession*>(session.get())) {
       point.faults = faulty->stats();
     }
   };

@@ -15,6 +15,7 @@
 #include "core/event_arena.hpp"
 #include "core/streaming.hpp"
 #include "runtime/pipeline_runner.hpp"
+#include "sim/end_to_end.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {

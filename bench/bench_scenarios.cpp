@@ -12,7 +12,7 @@
 #include <fstream>
 
 #include "config/factory.hpp"
-#include "sim/scenario_grid.hpp"
+#include "config/scenario_grid.hpp"
 
 namespace {
 
@@ -36,21 +36,21 @@ void print_scenarios_table() {
       "and the CLI - every preset must run end-to-end");
 
   // ---- every shipped preset, shortened.
-  sim::ScenarioGridResult presets;
+  config::ScenarioGridResult presets;
   for (const auto& name : config::preset_names()) {
-    presets.points.push_back(sim::run_scenario(smoke_spec(name)));
+    presets.points.push_back(config::run_scenario(smoke_spec(name)));
   }
   std::printf("preset smoke grid (2 s records, <= 8 channels):\n%s",
-              sim::scenario_grid_table(presets).c_str());
+              config::scenario_grid_table(presets).c_str());
 
   // ---- axis expansion over the baseline (the `datc sweep` path).
-  sim::ScenarioGridConfig grid_cfg;
+  config::ScenarioGridConfig grid_cfg;
   grid_cfg.base = smoke_spec("paper-baseline");
   config::set_scenario_key(grid_cfg.base, "source.model", "noise");
-  grid_cfg.axes = sim::parse_axes("channels=1,4; distance=0.3,1.2");
-  const auto grid = sim::run_scenario_grid(grid_cfg);
+  grid_cfg.axes = config::parse_axes("channels=1,4; distance=0.3,1.2");
+  const auto grid = config::run_scenario_grid(grid_cfg);
   std::printf("axis grid (channels x distance, noise model):\n%s",
-              sim::scenario_grid_table(grid).c_str());
+              config::scenario_grid_table(grid).c_str());
 
   // ---- JSON for the CI gate (one point schema, shared with `datc
   // sweep --out` via write_scenario_point_json).
@@ -60,10 +60,10 @@ void print_scenarios_table() {
     return;
   }
   json.precision(12);
-  const auto block = [&json](const sim::ScenarioGridResult& r) {
+  const auto block = [&json](const config::ScenarioGridResult& r) {
     for (std::size_t i = 0; i < r.points.size(); ++i) {
       json << "    ";
-      sim::write_scenario_point_json(json, r.points[i]);
+      config::write_scenario_point_json(json, r.points[i]);
       json << (i + 1 < r.points.size() ? "," : "") << "\n";
     }
   };

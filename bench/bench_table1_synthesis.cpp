@@ -6,6 +6,7 @@
 #include "bench_util.hpp"
 
 #include "core/datc_encoder.hpp"
+#include "rtl/dtc_rtl.hpp"
 #include "rtl/simulator.hpp"
 #include "synth/report.hpp"
 #include "synth/timing.hpp"

@@ -1,4 +1,5 @@
 #include "afe/amplifier.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 

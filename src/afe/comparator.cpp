@@ -1,4 +1,5 @@
 #include "afe/comparator.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 

@@ -1,4 +1,5 @@
 #include "afe/dac.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 

@@ -1,4 +1,5 @@
 #include "afe/synchronizer.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::afe {
 

@@ -1,8 +1,25 @@
 #include "config/factory.hpp"
 
+#include "config/scenario.hpp"
+#include "core/rate_calibration.hpp"
+#include "core/reconstruct.hpp"
+#include "core/symbols.hpp"
 #include "emg/artifacts.hpp"
+#include "emg/dataset.hpp"
 #include "emg/fatigue.hpp"
+#include "emg/force_profile.hpp"
+#include "emg/generator.hpp"
+#include "emg/motor_unit.hpp"
+#include "fault/fault.hpp"
+#include "fault/file_io.hpp"
+#include "fault/health.hpp"
+#include "runtime/faulty_session.hpp"
+#include "runtime/pipeline_runner.hpp"
+#include "runtime/session.hpp"
+#include "sim/end_to_end.hpp"
 #include "sim/stream_parity.hpp"
+#include "store/recorder.hpp"
+#include "uwb/link_pipeline.hpp"
 
 namespace datc::config {
 
@@ -130,7 +147,7 @@ std::unique_ptr<runtime::Session> PipelineFactory::wrap_session_faults(
     std::uint32_t channel_id) const {
   const auto plan = fault_plan();
   if (!plan.session.any()) return session;
-  return std::make_unique<fault::FaultySession>(
+  return std::make_unique<runtime::FaultySession>(
       std::move(session), plan.session, plan.session_seed(channel_id));
 }
 

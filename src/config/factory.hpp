@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "config/scenario.hpp"
+#include "core/reconstruct.hpp"
 #include "emg/dataset.hpp"
 #include "fault/fault.hpp"
-#include "fault/faulty_session.hpp"
+#include "fault/health.hpp"
+#include "runtime/faulty_session.hpp"
 #include "runtime/pipeline_runner.hpp"
 #include "runtime/session.hpp"
 #include "sim/end_to_end.hpp"

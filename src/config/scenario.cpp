@@ -1,4 +1,5 @@
 #include "config/scenario.hpp"
+#include "core/frame.hpp"
 
 #include <algorithm>
 #include <cmath>

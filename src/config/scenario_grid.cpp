@@ -1,14 +1,16 @@
-#include "sim/scenario_grid.hpp"
+#include "config/scenario_grid.hpp"
 
 #include <algorithm>
 #include <fstream>
 #include <limits>
 
 #include "config/factory.hpp"
+#include "config/scenario.hpp"
+#include "runtime/pipeline_runner.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/table_writer.hpp"
 
-namespace datc::sim {
+namespace datc::config {
 
 namespace {
 
@@ -40,7 +42,7 @@ std::vector<ScenarioAxis> parse_axes(const std::string& text) {
     if (part.empty()) continue;
     const auto eq = part.find('=');
     if (eq == std::string::npos) {
-      throw config::ScenarioError("axis '" + part +
+      throw ScenarioError("axis '" + part +
                                   "': expected key=v1,v2,...");
     }
     ScenarioAxis axis;
@@ -49,21 +51,21 @@ std::vector<ScenarioAxis> parse_axes(const std::string& text) {
     axis.key = config::resolve_scenario_key(trim(part.substr(0, eq))).key;
     for (const auto& v : split(part.substr(eq + 1), ',')) {
       if (v.empty()) {
-        throw config::ScenarioError("axis '" + axis.key +
+        throw ScenarioError("axis '" + axis.key +
                                     "': empty value in list");
       }
       axis.values.push_back(v);
     }
     if (axis.values.empty()) {
-      throw config::ScenarioError("axis '" + axis.key + "': no values");
+      throw ScenarioError("axis '" + axis.key + "': no values");
     }
     axes.push_back(std::move(axis));
   }
   return axes;
 }
 
-ScenarioRunReport run_scenario(const config::ScenarioSpec& spec) {
-  const config::PipelineFactory factory(spec);
+ScenarioRunReport run_scenario(const ScenarioSpec& spec) {
+  const PipelineFactory factory(spec);
   const auto recordings = factory.make_recordings();
   const auto runner = factory.make_runner();
   const auto batch = runner->run_serial(recordings);
@@ -113,7 +115,7 @@ ScenarioGridResult run_scenario_grid(const ScenarioGridConfig& config) {
   for (const auto& axis : config.axes) n_points *= axis.values.size();
 
   struct Point {
-    config::ScenarioSpec spec;
+    ScenarioSpec spec;
     std::string overrides;
   };
   std::vector<Point> points;
@@ -124,15 +126,15 @@ ScenarioGridResult run_scenario_grid(const ScenarioGridConfig& config) {
     for (const auto& axis : config.axes) {
       stride /= axis.values.size();
       const auto& value = axis.values[(index / stride) % axis.values.size()];
-      config::set_scenario_key(p.spec, axis.key, value);
+      set_scenario_key(p.spec, axis.key, value);
       p.overrides += (p.overrides.empty() ? "" : " ") + axis.key + "=" +
                      value;
     }
     // Fail fast, naming the offending point, before any point runs.
     try {
       p.spec.validate_or_throw();
-    } catch (const config::ScenarioError& e) {
-      throw config::ScenarioError("grid point [" + p.overrides +
+    } catch (const ScenarioError& e) {
+      throw ScenarioError("grid point [" + p.overrides +
                                   "]: " + e.what());
     }
     points.push_back(std::move(p));
@@ -154,17 +156,17 @@ ScenarioGridResult run_scenario_grid(const ScenarioGridConfig& config) {
 }
 
 std::string scenario_grid_table(const ScenarioGridResult& result) {
-  Table table({"scenario", "overrides", "mode", "ch", "events tx/rx",
+  sim::Table table({"scenario", "overrides", "mode", "ch", "events tx/rx",
                "drop", "rx corr % (mean/min)", "wall ms"});
   for (const auto& p : result.points) {
     table.add_row(
         {p.scenario, p.overrides.empty() ? "-" : p.overrides, p.topology,
-         Table::integer(p.channels),
-         Table::integer(p.events_tx) + "/" + Table::integer(p.events_rx),
-         Table::integer(p.events_dropped),
-         Table::num(p.mean_rx_correlation_pct, 2) + "/" +
-             Table::num(p.min_rx_correlation_pct, 2),
-         Table::num(p.wall_seconds * 1e3, 1)});
+         sim::Table::integer(p.channels),
+         sim::Table::integer(p.events_tx) + "/" + sim::Table::integer(p.events_rx),
+         sim::Table::integer(p.events_dropped),
+         sim::Table::num(p.mean_rx_correlation_pct, 2) + "/" +
+             sim::Table::num(p.min_rx_correlation_pct, 2),
+         sim::Table::num(p.wall_seconds * 1e3, 1)});
   }
   return table.to_text();
 }
@@ -203,4 +205,4 @@ bool write_scenario_grid_json(const std::string& path,
   return json.good();
 }
 
-}  // namespace datc::sim
+}  // namespace datc::config

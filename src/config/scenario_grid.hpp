@@ -1,7 +1,7 @@
 #pragma once
 // Scenario sweep driver: expands axis overrides over a base ScenarioSpec
 // (cross-product, e.g. channels = 1,8,64 x distance = 0.2,1.0), runs
-// every expanded scenario through config::PipelineFactory's batch engine
+// every expanded scenario through PipelineFactory's batch engine
 // across the thread pool, and emits ONE comparable report schema for
 // every mode (private radios and shared AER alike). Backs the
 // `datc sweep` CLI and bench_scenarios (BENCH_scenarios.json).
@@ -13,24 +13,24 @@
 
 #include "config/scenario.hpp"
 
-namespace datc::sim {
+namespace datc::config {
 
 using dsp::Real;
 
 /// One sweep axis: a scenario key (short forms allowed, see
-/// config::set_scenario_key) and the values it steps through.
+/// set_scenario_key) and the values it steps through.
 struct ScenarioAxis {
   std::string key;
   std::vector<std::string> values;
 };
 
 /// Parses "channels=1,8,64; distance=0.2,1.0" (';' separates axes, ','
-/// separates values). Throws config::ScenarioError on malformed text or
+/// separates values). Throws ScenarioError on malformed text or
 /// unknown keys.
 [[nodiscard]] std::vector<ScenarioAxis> parse_axes(const std::string& text);
 
 struct ScenarioGridConfig {
-  config::ScenarioSpec base;
+  ScenarioSpec base;
   std::vector<ScenarioAxis> axes;  ///< empty = run the base spec once
   std::size_t jobs{0};  ///< grid points in flight; 0 = hardware threads
 };
@@ -57,7 +57,7 @@ struct ScenarioRunReport {
 /// Runs ONE scenario through the factory-built batch engine (serial; the
 /// grid parallelises across points, not within them).
 [[nodiscard]] ScenarioRunReport run_scenario(
-    const config::ScenarioSpec& spec);
+    const ScenarioSpec& spec);
 
 struct ScenarioGridResult {
   std::vector<ScenarioRunReport> points;  ///< row-major over the axes
@@ -65,7 +65,7 @@ struct ScenarioGridResult {
 
 /// Expands the axes and runs every point. Points are independent
 /// (deterministic per spec), so the result is identical for any `jobs`.
-/// Throws config::ScenarioError if any expanded point fails validation.
+/// Throws ScenarioError if any expanded point fails validation.
 [[nodiscard]] ScenarioGridResult run_scenario_grid(
     const ScenarioGridConfig& config);
 
@@ -84,4 +84,4 @@ void write_scenario_point_json(std::ostream& out,
 [[nodiscard]] bool write_scenario_grid_json(const std::string& path,
                                             const ScenarioGridResult& result);
 
-}  // namespace datc::sim
+}  // namespace datc::config

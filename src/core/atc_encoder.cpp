@@ -1,4 +1,5 @@
 #include "core/atc_encoder.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 

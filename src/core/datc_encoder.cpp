@@ -3,8 +3,13 @@
 #include <cmath>
 #include <limits>
 
+#include "afe/comparator.hpp"
+#include "afe/dac.hpp"
 #include "core/datc_block.hpp"
+#include "core/dtc.hpp"
 #include "core/event_arena.hpp"
+#include "core/frame.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::core {
 

@@ -1,4 +1,7 @@
 #include "core/dtc.hpp"
+#include "core/frame.hpp"
+#include "core/predictor.hpp"
+#include "dsp/types.hpp"
 
 #include <algorithm>
 

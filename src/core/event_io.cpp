@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/crc32.hpp"
+#include "dsp/types.hpp"
 #include <array>
 #include <cstring>
 #include <fstream>

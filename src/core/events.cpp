@@ -1,4 +1,5 @@
 #include "core/events.hpp"
+#include "dsp/types.hpp"
 
 #include <algorithm>
 

@@ -1,4 +1,6 @@
+#include "core/frame.hpp"
 #include "core/interval_table.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 

@@ -1,4 +1,7 @@
+#include "core/frame.hpp"
+#include "core/interval_table.hpp"
 #include "core/predictor.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::core {
 

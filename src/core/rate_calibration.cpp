@@ -11,6 +11,7 @@
 #include "dsp/filter_design.hpp"
 #include "dsp/rng.hpp"
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::core {
 

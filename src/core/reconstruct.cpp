@@ -7,6 +7,7 @@
 
 #include "dsp/moving_average.hpp"
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::core {
 namespace {

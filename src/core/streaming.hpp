@@ -30,6 +30,7 @@
 #include "core/datc_encoder.hpp"
 #include "core/dtc.hpp"
 #include "core/events.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::core {
 

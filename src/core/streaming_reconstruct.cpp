@@ -1,4 +1,6 @@
+#include "core/reconstruct.hpp"
 #include "core/streaming_reconstruct.hpp"
+#include "dsp/types.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -51,6 +53,9 @@ void StreamingDatcReconstructor::push_events(std::span<const Event> events) {
                  "StreamingDatcReconstructor: events must be time sorted");
     saw_event_ = true;
     last_time_ = e.time_s;
+    // datc-lint: allow(hot-alloc) — ev_ is a deque (block-allocating,
+    // amortised O(1) push; pop_front retires the other end, so a vector
+    // reserve() would pin the high-water mark forever).
     ev_.push_back(e);
     ++ev_pushed_;
   }

@@ -1,4 +1,5 @@
 #include "core/symbols.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::core {
 

@@ -1,4 +1,6 @@
 #include "dsp/emg_metrics.hpp"
+#include "dsp/spectral.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 #include <numbers>

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/moving_average.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::dsp {
 

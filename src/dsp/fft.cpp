@@ -1,4 +1,5 @@
 #include "dsp/fft.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 #include <numbers>

@@ -1,4 +1,6 @@
+#include "dsp/biquad.hpp"
 #include "dsp/filter_design.hpp"
+#include "dsp/types.hpp"
 
 #include <cmath>
 #include <numbers>

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "dsp/spectral.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::dsp {
 namespace {

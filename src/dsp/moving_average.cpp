@@ -1,4 +1,5 @@
 #include "dsp/moving_average.hpp"
+#include "dsp/types.hpp"
 
 #include <algorithm>
 

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "dsp/biquad.hpp"
 #include "dsp/filter_design.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::dsp {
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "dsp/fft.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::dsp {
 namespace {

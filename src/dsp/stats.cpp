@@ -1,4 +1,5 @@
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -1,6 +1,7 @@
 #include "dsp/xcorr.hpp"
 
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::dsp {
 

@@ -5,6 +5,7 @@
 
 #include "dsp/envelope.hpp"
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::emg {
 namespace {

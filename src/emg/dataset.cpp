@@ -1,4 +1,7 @@
+#include "dsp/types.hpp"
 #include "emg/dataset.hpp"
+#include "emg/force_profile.hpp"
+#include "emg/generator.hpp"
 
 #include <cmath>
 #include <limits>

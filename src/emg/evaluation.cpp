@@ -1,9 +1,16 @@
-#include "sim/evaluation.hpp"
+#include "emg/evaluation.hpp"
 
+#include "core/atc_encoder.hpp"
+#include "core/datc_encoder.hpp"
+#include "core/predictor.hpp"
+#include "core/rate_calibration.hpp"
+#include "core/reconstruct.hpp"
+#include "core/symbols.hpp"
 #include "dsp/envelope.hpp"
 #include "dsp/stats.hpp"
+#include "emg/dataset.hpp"
 
-namespace datc::sim {
+namespace datc::emg {
 
 core::DatcEncoderConfig datc_encoder_config(const EvalConfig& config) {
   core::DatcEncoderConfig enc;
@@ -45,7 +52,7 @@ Evaluator::Evaluator(const EvalConfig& config) : config_(config) {
       calibration_config(config_, config_.datc_clock_hz));
 }
 
-std::vector<Real> Evaluator::ground_truth(const emg::Recording& rec) const {
+std::vector<Real> Evaluator::ground_truth(const Recording& rec) const {
   return dsp::arv_envelope(rec.emg_v.view(), rec.emg_v.sample_rate_hz(),
                            config_.window_s);
 }
@@ -66,7 +73,7 @@ std::vector<Real> Evaluator::reconstruct_datc(const core::EventStream& events,
   return recon.reconstruct(events, duration_s);
 }
 
-SchemeEvaluation Evaluator::atc(const emg::Recording& rec,
+SchemeEvaluation Evaluator::atc(const Recording& rec,
                                 Real threshold_v) const {
   core::AtcEncoderConfig enc;
   enc.threshold_v = threshold_v;
@@ -89,7 +96,7 @@ SchemeEvaluation Evaluator::atc(const emg::Recording& rec,
   return ev;
 }
 
-SchemeEvaluation Evaluator::datc(const emg::Recording& rec) const {
+SchemeEvaluation Evaluator::datc(const Recording& rec) const {
   const auto result =
       core::encode_datc(rec.emg_v, datc_encoder_config(config_));
   const Real duration = rec.emg_v.duration_s();
@@ -115,4 +122,4 @@ SchemeEvaluation Evaluator::datc(const emg::Recording& rec) const {
   return ev;
 }
 
-}  // namespace datc::sim
+}  // namespace datc::emg

@@ -1,4 +1,7 @@
+#include "dsp/types.hpp"
 #include "emg/fatigue.hpp"
+#include "emg/force_profile.hpp"
+#include "emg/motor_unit.hpp"
 
 #include <algorithm>
 #include <cmath>

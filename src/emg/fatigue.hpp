@@ -8,6 +8,7 @@
 // lets the benches measure by how much.
 
 #include "dsp/types.hpp"
+#include "emg/force_profile.hpp"
 #include "emg/motor_unit.hpp"
 
 namespace datc::emg {

@@ -6,6 +6,7 @@
 
 #include "dsp/biquad.hpp"
 #include "dsp/filter_design.hpp"
+#include "dsp/types.hpp"
 
 namespace datc::emg {
 namespace {

@@ -6,6 +6,9 @@
 #include "dsp/biquad.hpp"
 #include "dsp/filter_design.hpp"
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
+#include "emg/force_profile.hpp"
+#include "emg/motor_unit.hpp"
 
 namespace datc::emg {
 

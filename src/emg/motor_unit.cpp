@@ -1,3 +1,5 @@
+#include "dsp/types.hpp"
+#include "emg/force_profile.hpp"
 #include "emg/motor_unit.hpp"
 
 #include <algorithm>

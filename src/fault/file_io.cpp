@@ -1,3 +1,4 @@
+#include "fault/fault.hpp"
 #include "fault/file_io.hpp"
 
 #include <algorithm>

@@ -1,4 +1,6 @@
+#include "dsp/types.hpp"
 #include "rtl/components.hpp"
+#include "rtl/module.hpp"
 
 namespace datc::rtl {
 

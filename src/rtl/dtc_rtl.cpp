@@ -1,4 +1,10 @@
+#include "core/dtc.hpp"
+#include "core/interval_table.hpp"
+#include "core/predictor.hpp"
+#include "dsp/types.hpp"
 #include "rtl/dtc_rtl.hpp"
+#include "rtl/module.hpp"
+#include "rtl/signal.hpp"
 
 namespace datc::rtl {
 

@@ -19,7 +19,9 @@
 // interval-ROM priority chain.
 
 #include "core/dtc.hpp"
+#include "core/interval_table.hpp"
 #include "rtl/module.hpp"
+#include "rtl/signal.hpp"
 
 namespace datc::rtl {
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rtl/module.hpp"
+#include "rtl/signal.hpp"
 
 namespace datc::rtl {
 

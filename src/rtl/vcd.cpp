@@ -1,3 +1,5 @@
+#include "dsp/types.hpp"
+#include "rtl/signal.hpp"
 #include "rtl/vcd.hpp"
 
 #include <algorithm>

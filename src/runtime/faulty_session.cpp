@@ -1,4 +1,5 @@
-#include "fault/faulty_session.hpp"
+#include "fault/fault.hpp"
+#include "runtime/faulty_session.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -7,7 +8,7 @@
 #include <string>
 #include <thread>
 
-namespace datc::fault {
+namespace datc::runtime {
 
 namespace {
 
@@ -25,21 +26,21 @@ constexpr std::uint64_t kBurstSalt = 0x62727374ull;     // "brst"
 /// length drawn from two indexed hashes, length 10-50% of the chunk.
 void burst_bounds(std::uint64_t seed, std::uint64_t idx, std::size_t n,
                   std::size_t* begin, std::size_t* end) {
-  const Real len_frac = 0.1 + 0.4 * hash01(seed ^ kBurstSalt, 2 * idx + 1);
+  const Real len_frac = 0.1 + 0.4 * fault::hash01(seed ^ kBurstSalt, 2 * idx + 1);
   std::size_t len = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::floor(len_frac * static_cast<Real>(n))));
   len = std::min(len, n);
   const std::size_t slack = n - len;
   const std::size_t start = static_cast<std::size_t>(std::floor(
-      hash01(seed ^ kBurstSalt, 2 * idx) * static_cast<Real>(slack + 1)));
+      fault::hash01(seed ^ kBurstSalt, 2 * idx) * static_cast<Real>(slack + 1)));
   *begin = std::min(start, slack);
   *end = *begin + len;
 }
 
 }  // namespace
 
-FaultySession::FaultySession(std::unique_ptr<runtime::Session> inner,
-                             const SessionFaultSpec& spec, std::uint64_t seed)
+FaultySession::FaultySession(std::unique_ptr<Session> inner,
+                             const fault::SessionFaultSpec& spec, std::uint64_t seed)
     : inner_(std::move(inner)), spec_(spec), seed_(seed) {}
 
 std::size_t FaultySession::corrupt(std::vector<Real>& samples,
@@ -48,7 +49,7 @@ std::size_t FaultySession::corrupt(std::vector<Real>& samples,
   if (n == 0) return 0;
   std::size_t touched = 0;
   if (spec_.sensor_dropout_prob > 0.0 &&
-      hash01(seed_ ^ kDropoutSalt, idx) < spec_.sensor_dropout_prob) {
+      fault::hash01(seed_ ^ kDropoutSalt, idx) < spec_.sensor_dropout_prob) {
     std::size_t b = 0;
     std::size_t e = 0;
     burst_bounds(seed_ ^ kDropoutSalt, idx, n, &b, &e);
@@ -58,7 +59,7 @@ std::size_t FaultySession::corrupt(std::vector<Real>& samples,
     touched += e - b;
   }
   if (spec_.sensor_saturate_prob > 0.0 &&
-      hash01(seed_ ^ kSaturateSalt, idx) < spec_.sensor_saturate_prob) {
+      fault::hash01(seed_ ^ kSaturateSalt, idx) < spec_.sensor_saturate_prob) {
     std::size_t b = 0;
     std::size_t e = 0;
     burst_bounds(seed_ ^ kSaturateSalt, idx, n, &b, &e);
@@ -77,17 +78,17 @@ void FaultySession::push_chunk(std::span<const Real> samples_v) {
   ++stats_.chunks_in;
 
   if (spec_.chunk_poison_prob > 0.0 &&
-      hash01(seed_ ^ kPoisonSalt, idx) < spec_.chunk_poison_prob) {
+      fault::hash01(seed_ ^ kPoisonSalt, idx) < spec_.chunk_poison_prob) {
     ++stats_.chunks_poisoned;
     throw std::runtime_error("injected poison chunk " + std::to_string(idx));
   }
   if (spec_.chunk_drop_prob > 0.0 &&
-      hash01(seed_ ^ kDropSalt, idx) < spec_.chunk_drop_prob) {
+      fault::hash01(seed_ ^ kDropSalt, idx) < spec_.chunk_drop_prob) {
     ++stats_.chunks_dropped;
     return;
   }
   if (spec_.chunk_stall_prob > 0.0 &&
-      hash01(seed_ ^ kStallSalt, idx) < spec_.chunk_stall_prob) {
+      fault::hash01(seed_ ^ kStallSalt, idx) < spec_.chunk_stall_prob) {
     ++stats_.chunks_stalled;
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         spec_.chunk_stall_ms));
@@ -97,7 +98,7 @@ void FaultySession::push_chunk(std::span<const Real> samples_v) {
       spec_.sensor_dropout_prob > 0.0 || spec_.sensor_saturate_prob > 0.0;
   const bool duplicate =
       spec_.chunk_dup_prob > 0.0 &&
-      hash01(seed_ ^ kDupSalt, idx) < spec_.chunk_dup_prob;
+      fault::hash01(seed_ ^ kDupSalt, idx) < spec_.chunk_dup_prob;
   if (duplicate) ++stats_.chunks_duplicated;
 
   if (corrupting) {
@@ -113,4 +114,4 @@ void FaultySession::push_chunk(std::span<const Real> samples_v) {
 
 void FaultySession::finish() { inner_->finish(); }
 
-}  // namespace datc::fault
+}  // namespace datc::runtime

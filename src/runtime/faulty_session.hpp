@@ -1,5 +1,5 @@
 #pragma once
-// FaultySession: a runtime::Session decorator that injects chunk-stream
+// FaultySession: a Session decorator that injects chunk-stream
 // and sensor faults in front of any inner session (private or shared
 // AER). Every decision is a pure function of (stream seed, chunk index)
 // with a per-fault salt, so a fixed fault seed yields the same dropped /
@@ -19,8 +19,9 @@
 
 #include "fault/fault.hpp"
 #include "runtime/session.hpp"
+#include "uwb/aer.hpp"
 
-namespace datc::fault {
+namespace datc::runtime {
 
 /// Counters for the faults actually injected (deterministic for a fixed
 /// seed and chunk sequence).
@@ -35,22 +36,22 @@ struct SessionFaultStats {
   std::uint64_t samples_corrupted{0};
 };
 
-class FaultySession final : public runtime::Session {
+class FaultySession final : public Session {
  public:
   /// `seed` is the per-session stream seed (FaultPlan::session_seed(id)).
-  FaultySession(std::unique_ptr<runtime::Session> inner,
-                const SessionFaultSpec& spec, std::uint64_t seed);
+  FaultySession(std::unique_ptr<Session> inner,
+                const fault::SessionFaultSpec& spec, std::uint64_t seed);
 
   void push_chunk(std::span<const Real> samples_v) override;
   void finish() override;
 
-  [[nodiscard]] runtime::Session& inner() { return *inner_; }
-  [[nodiscard]] const runtime::Session& inner() const { return *inner_; }
+  [[nodiscard]] Session& inner() { return *inner_; }
+  [[nodiscard]] const Session& inner() const { return *inner_; }
   [[nodiscard]] const SessionFaultStats& stats() const { return stats_; }
 
  private:
-  std::unique_ptr<runtime::Session> inner_;
-  SessionFaultSpec spec_;
+  std::unique_ptr<Session> inner_;
+  fault::SessionFaultSpec spec_;
   std::uint64_t seed_;
   std::uint64_t chunk_index_{0};
   std::vector<Real> scratch_;
@@ -60,4 +61,4 @@ class FaultySession final : public runtime::Session {
   std::size_t corrupt(std::vector<Real>& samples, std::uint64_t idx);
 };
 
-}  // namespace datc::fault
+}  // namespace datc::runtime

@@ -4,7 +4,9 @@
 
 #include "core/datc_encoder.hpp"
 #include "core/event_arena.hpp"
+#include "core/symbols.hpp"
 #include "dsp/stats.hpp"
+#include "emg/dataset.hpp"
 #include "runtime/thread_pool.hpp"
 #include "uwb/modulator.hpp"
 
@@ -55,16 +57,16 @@ ChannelReport PipelineRunner::run_channel(const emg::Recording& rec,
 
   // Encode once through the fused block kernel into a preallocated arena.
   core::EventArena arena;
-  core::encode_datc_events(rec.emg_v, sim::datc_encoder_config(config_.eval),
+  core::encode_datc_events(rec.emg_v, emg::datc_encoder_config(config_.eval),
                            arena);
   const core::EventStream tx = arena.take_stream();
   out.events_tx = tx.size();
 
   // Private link per channel, seeded deterministically; the detection
   // cache is bit-identical and ~25x cheaper in stage 1.
-  sim::LinkConfig link = config_.link;
+  uwb::LinkConfig link = config_.link;
   link.seed = config_.link.seed ^ static_cast<std::uint64_t>(channel_id);
-  auto link_run = sim::run_datc_over_link(tx, link, config_.eval.dtc.dac_bits,
+  auto link_run = uwb::run_datc_over_link(tx, link, config_.eval.dtc.dac_bits,
                                           /*cache_detection=*/true);
   out.pulses_tx = link_run.pulses_tx;
   out.pulses_erased = link_run.pulses_erased;
@@ -93,7 +95,7 @@ BatchReport PipelineRunner::run_shared(
 
   // Stage 1 (parallel): fused block encode per channel.
   std::vector<core::EventStream> tx(n);
-  const auto enc = sim::datc_encoder_config(config_.eval);
+  const auto enc = emg::datc_encoder_config(config_.eval);
   for_each_index(pool, n,
                  [&recordings, &tx, &report, &enc](std::size_t i) {
     core::EventArena arena;
@@ -105,7 +107,7 @@ BatchReport PipelineRunner::run_shared(
 
   // Stage 2 (one radio, inherently serial): arbitrate, modulate, cross
   // the channel, decode addresses, demux.
-  auto link_run = sim::run_aer_over_link(tx, config_.link, config_.shared,
+  auto link_run = uwb::run_aer_over_link(tx, config_.link, config_.shared,
                                          config_.eval.dtc.dac_bits);
   report.shared.arbiter = link_run.arbiter;
   report.shared.demux = link_run.demux;

@@ -26,7 +26,10 @@
 #include <vector>
 
 #include "emg/dataset.hpp"
-#include "sim/end_to_end.hpp"  // LinkConfig + the reference pipeline
+#include "emg/evaluation.hpp"
+#include "uwb/aer.hpp"
+#include "uwb/link_pipeline.hpp"
+#include "uwb/receiver.hpp"
 
 namespace datc::runtime {
 
@@ -42,9 +45,9 @@ struct RunnerConfig {
   bool score_tx_side{true};   ///< also reconstruct/score the lossless stream
   bool keep_rx_events{false}; ///< retain decoded events in the report
   LinkMode link_mode{LinkMode::kPerChannel};
-  sim::SharedAerConfig shared{};  ///< arbiter/radio options (kSharedAer)
-  sim::EvalConfig eval{};
-  sim::LinkConfig link{};     ///< link.seed is the base seed (xor channel id)
+  uwb::SharedAerConfig shared{};  ///< arbiter/radio options (kSharedAer)
+  emg::EvalConfig eval{};
+  uwb::LinkConfig link{};     ///< link.seed is the base seed (xor channel id)
 };
 
 /// Per-channel outcome of one batch run.
@@ -103,13 +106,13 @@ class PipelineRunner {
   [[nodiscard]] ChannelReport run_channel(const emg::Recording& rec,
                                           std::uint32_t channel_id) const;
 
-  [[nodiscard]] const sim::Evaluator& evaluator() const { return eval_; }
+  [[nodiscard]] const emg::Evaluator& evaluator() const { return eval_; }
   [[nodiscard]] const RunnerConfig& config() const { return config_; }
   [[nodiscard]] std::size_t jobs() const;
 
  private:
   RunnerConfig config_;
-  sim::Evaluator eval_;
+  emg::Evaluator eval_;
   std::unique_ptr<ThreadPool> pool_;
 
   [[nodiscard]] BatchReport run_batch(

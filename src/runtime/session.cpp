@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/streaming.hpp"
+#include "core/streaming_reconstruct.hpp"
+#include "dsp/types.hpp"
 #include "runtime/thread_pool.hpp"
+#include "uwb/aer.hpp"
+#include "uwb/link_pipeline.hpp"
+#include "uwb/modulator.hpp"
+#include "uwb/receiver.hpp"
 
 namespace datc::runtime {
 
@@ -208,7 +215,7 @@ std::size_t StreamingSession::buffered_bytes() const {
 // ----------------------------------------------- SharedAerStreamingSession
 
 SharedAerStreamingSession::SharedAerStreamingSession(
-    const SessionConfig& config, const sim::SharedAerConfig& shared,
+    const SessionConfig& config, const uwb::SharedAerConfig& shared,
     std::size_t num_channels)
     : config_(config),
       shared_(shared),

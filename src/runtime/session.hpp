@@ -30,11 +30,16 @@
 #include <thread>
 #include <vector>
 
+#include "core/datc_encoder.hpp"
 #include "core/event_arena.hpp"
+#include "core/reconstruct.hpp"
 #include "core/streaming.hpp"
 #include "core/streaming_reconstruct.hpp"
 #include "fault/health.hpp"
-#include "sim/end_to_end.hpp"
+#include "uwb/aer.hpp"
+#include "uwb/link_pipeline.hpp"
+#include "uwb/modulator.hpp"
+#include "uwb/receiver.hpp"
 #include "uwb/streaming_link.hpp"
 
 namespace datc::runtime {
@@ -49,7 +54,7 @@ using dsp::Real;
 struct SessionConfig {
   core::DatcEncoderConfig encoder{};
   Real analog_fs_hz{2500.0};
-  sim::LinkConfig link{};  ///< link.seed is the base seed (xor channel id)
+  uwb::LinkConfig link{};  ///< link.seed is the base seed (xor channel id)
   core::ReconstructionConfig recon{};
   core::CalibrationPtr calibration;  ///< required (shared across sessions)
   bool cache_detection{true};  ///< bit-identical fast detection stage
@@ -172,7 +177,7 @@ class StreamingSession final : public Session {
 class SharedAerStreamingSession final : public Session {
  public:
   SharedAerStreamingSession(const SessionConfig& config,
-                            const sim::SharedAerConfig& shared,
+                            const uwb::SharedAerConfig& shared,
                             std::size_t num_channels);
 
   void push_chunk(std::span<const Real> samples_v) override;
@@ -205,7 +210,7 @@ class SharedAerStreamingSession final : public Session {
 
  private:
   SessionConfig config_;
-  sim::SharedAerConfig shared_;
+  uwb::SharedAerConfig shared_;
   core::EventArena events_chunk_;
   std::vector<std::unique_ptr<core::StreamingDatcEncoderT<core::ArenaSink>>>
       encoders_;

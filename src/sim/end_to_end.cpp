@@ -1,7 +1,15 @@
 #include "sim/end_to_end.hpp"
 
+#include "core/atc_encoder.hpp"
+#include "core/datc_encoder.hpp"
+#include "core/symbols.hpp"
 #include "dsp/stats.hpp"
+#include "emg/dataset.hpp"
 #include "runtime/thread_pool.hpp"
+#include "uwb/aer.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/modulator.hpp"
+#include "uwb/receiver.hpp"
 
 namespace datc::sim {
 
@@ -18,88 +26,6 @@ Real EndToEnd::score(const emg::Recording& rec,
 
 EndToEndResult EndToEnd::run_datc(const emg::Recording& rec) const {
   return run_datc_link(rec, link_);
-}
-
-DatcLinkRun run_datc_over_link(const core::EventStream& tx,
-                               const LinkConfig& link, unsigned code_bits,
-                               bool cache_detection) {
-  DatcLinkRun out;
-  uwb::ModulatorConfig mod = link.modulator;
-  mod.code_bits = code_bits;
-  const auto train = uwb::modulate_datc(tx, mod);
-  out.pulses_tx = train.size();
-
-  // Both Rng streams derive from the seed BEFORE any propagation draw:
-  // the receiver's stream must not depend on the pulse count consumed by
-  // the channel, or no chunked execution could ever reproduce this run
-  // (the streaming session derives the same two streams up front).
-  dsp::Rng rng(link.seed);
-  dsp::Rng rx_rng = rng.fork();
-  const auto ch = uwb::propagate(train, link.channel, rng);
-  out.pulses_erased = ch.erased;
-
-  uwb::UwbReceiverConfig rxc;
-  rxc.detector = link.detector;
-  rxc.modulator = mod;
-  rxc.decode_codes = true;
-  rxc.cache_detection = cache_detection;
-  uwb::UwbReceiver rx(rxc, link.channel, rx_rng);
-  out.events_rx = rx.decode(ch.received);
-  out.events_rx.sort_by_time();
-  out.decode = rx.stats();
-  return out;
-}
-
-SharedAerRun run_aer_over_link(
-    const std::vector<core::EventStream>& tx_channels, const LinkConfig& link,
-    const SharedAerConfig& shared, unsigned code_bits) {
-  // An empty batch is a no-op, as in the per-channel mode (aer_split
-  // would otherwise reject num_channels == 0 deep inside the pipeline).
-  if (tx_channels.empty()) return SharedAerRun{};
-  const auto num_channels = static_cast<unsigned>(tx_channels.size());
-  uwb::AerStats arbiter;
-  const auto merged = uwb::aer_merge(tx_channels, shared.aer, &arbiter);
-  auto out = run_aer_over_link(merged, num_channels, link, shared, code_bits);
-  out.arbiter = arbiter;
-  return out;
-}
-
-SharedAerRun run_aer_over_link(const core::EventStream& merged_tx,
-                               unsigned num_channels, const LinkConfig& link,
-                               const SharedAerConfig& shared,
-                               unsigned code_bits) {
-  SharedAerRun out;
-  out.merged_tx = merged_tx;
-
-  if (shared.ideal_radio) {
-    out.merged_rx = out.merged_tx;
-  } else {
-    uwb::ModulatorConfig mod = link.modulator;
-    mod.code_bits = code_bits;
-    const auto train =
-        uwb::modulate_aer(out.merged_tx, mod, shared.aer.address_bits);
-    out.pulses_tx = train.size();
-
-    // RX stream forked before propagation — see run_datc_over_link.
-    dsp::Rng rng(link.seed);
-    dsp::Rng rx_rng = rng.fork();
-    const auto ch = uwb::propagate(train, link.channel, rng);
-    out.pulses_erased = ch.erased;
-
-    uwb::UwbReceiverConfig rxc;
-    rxc.detector = link.detector;
-    rxc.modulator = mod;
-    rxc.address_bits = shared.aer.address_bits;
-    rxc.decode_codes = true;
-    rxc.cache_detection = shared.cache_detection;
-    uwb::UwbReceiver rx(rxc, link.channel, rx_rng);
-    out.merged_rx = rx.decode(ch.received);
-    out.merged_rx.sort_by_time();
-    out.decode = rx.stats();
-  }
-
-  out.per_channel_rx = uwb::aer_split(out.merged_rx, num_channels, &out.demux);
-  return out;
 }
 
 EndToEndResult EndToEnd::run_datc_link(const emg::Recording& rec,

@@ -9,19 +9,23 @@
 #include <span>
 #include <vector>
 
+#include "emg/dataset.hpp"
 #include "sim/evaluation.hpp"
-#include "uwb/aer.hpp"
-#include "uwb/channel.hpp"
+#include "uwb/link_pipeline.hpp"
 #include "uwb/receiver.hpp"
 
 namespace datc::sim {
 
-struct LinkConfig {
-  uwb::ModulatorConfig modulator{};
-  uwb::ChannelConfig channel{};
-  uwb::EnergyDetectorConfig detector{};
-  std::uint64_t seed{7};
-};
+// The link stage itself lives in uwb/link_pipeline.* (the radio owns
+// its pipeline); sim re-exports the names so scenario code and the
+// benches keep reading as one vocabulary.
+// datc-lint: allow(include-unused) — re-export of uwb/link_pipeline.hpp.
+using uwb::DatcLinkRun;
+using uwb::LinkConfig;
+using uwb::run_aer_over_link;
+using uwb::run_datc_over_link;
+using uwb::SharedAerConfig;
+using uwb::SharedAerRun;
 
 struct EndToEndResult {
   SchemeEvaluation tx_side;       ///< scoring with ideal (lossless) link
@@ -31,61 +35,6 @@ struct EndToEndResult {
   std::size_t events_rx{0};
   uwb::DecodeStats decode{};
 };
-
-/// One TX -> RX pass over the UWB link: modulate the D-ATC packet stream,
-/// propagate, decode with an energy-detection receiver, sort by time.
-struct DatcLinkRun {
-  std::size_t pulses_tx{0};
-  std::size_t pulses_erased{0};
-  core::EventStream events_rx;
-  uwb::DecodeStats decode{};
-};
-
-/// Shared link stage used by both the reference pipeline and
-/// runtime::PipelineRunner, so the two cannot drift. `cache_detection`
-/// memoises the per-pulse detection probability (bit-identical output; the
-/// engine enables it, the reference path keeps the seed cost model).
-[[nodiscard]] DatcLinkRun run_datc_over_link(const core::EventStream& tx,
-                                             const LinkConfig& link,
-                                             unsigned code_bits,
-                                             bool cache_detection = false);
-
-/// Shared-medium AER link: N encoders contend for ONE radio.
-struct SharedAerConfig {
-  uwb::AerConfig aer{};       ///< arbiter parameters (address width, slot)
-  /// Arbitration only — bypass modulate/propagate/decode. This is the
-  /// ideal-radio reference the noiseless equality tests compare against.
-  bool ideal_radio{false};
-  bool cache_detection{true};
-};
-
-/// One pass of the arbitrated link:
-/// per-channel TX streams -> AER merge -> modulate (marker + address +
-/// code slots) -> channel -> address-aware decode -> demux per channel.
-struct SharedAerRun {
-  core::EventStream merged_tx;  ///< arbitrated stream offered to the radio
-  core::EventStream merged_rx;  ///< decoded stream (== merged_tx when ideal)
-  std::vector<core::EventStream> per_channel_rx;
-  uwb::AerStats arbiter{};      ///< merge-side arbitration stats
-  uwb::AerStats demux{};        ///< split-side stats (invalid addresses)
-  std::size_t pulses_tx{0};
-  std::size_t pulses_erased{0};
-  uwb::DecodeStats decode{};
-};
-
-[[nodiscard]] SharedAerRun run_aer_over_link(
-    const std::vector<core::EventStream>& tx_channels, const LinkConfig& link,
-    const SharedAerConfig& shared, unsigned code_bits);
-
-/// Radio-only variant for an already-arbitrated stream: modulate ->
-/// channel -> decode -> demux, leaving `arbiter` stats zeroed (the caller
-/// owns the merge). Sweeps whose grid axes touch only the radio hoist the
-/// merge out of the loop with this overload.
-[[nodiscard]] SharedAerRun run_aer_over_link(const core::EventStream& merged_tx,
-                                             unsigned num_channels,
-                                             const LinkConfig& link,
-                                             const SharedAerConfig& shared,
-                                             unsigned code_bits);
 
 class EndToEnd {
  public:

@@ -5,8 +5,13 @@
 #include <fstream>
 
 #include "core/datc_encoder.hpp"
+#include "core/symbols.hpp"
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
+#include "emg/dataset.hpp"
 #include "sim/table_writer.hpp"
+#include "uwb/aer.hpp"
+#include "uwb/modulator.hpp"
 
 namespace datc::sim {
 namespace {

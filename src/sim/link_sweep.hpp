@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/end_to_end.hpp"
+#include "uwb/aer.hpp"
 
 namespace datc::sim {
 

@@ -6,7 +6,13 @@
 
 #include "core/datc_encoder.hpp"
 #include "core/event_arena.hpp"
+#include "core/reconstruct.hpp"
+#include "core/symbols.hpp"
+#include "dsp/types.hpp"
+#include "runtime/session.hpp"
 #include "sim/end_to_end.hpp"
+#include "store/recorder.hpp"
+#include "uwb/link_pipeline.hpp"
 
 namespace datc::sim {
 

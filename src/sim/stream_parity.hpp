@@ -10,11 +10,17 @@
 #include <span>
 #include <vector>
 
+#include "core/reconstruct.hpp"
+#include "dsp/types.hpp"
 #include "runtime/session.hpp"
 #include "sim/evaluation.hpp"
 #include "store/recorder.hpp"
+#include "uwb/link_pipeline.hpp"
 
 namespace datc::sim {
+
+using uwb::LinkConfig;
+using uwb::SharedAerConfig;
 
 /// Streaming-session parameterisation mirroring the batch engine exactly
 /// (PipelineRunner::run_channel and Evaluator::reconstruct_datc).

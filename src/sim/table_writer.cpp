@@ -1,3 +1,4 @@
+#include "dsp/types.hpp"
 #include "sim/table_writer.hpp"
 
 #include <fstream>

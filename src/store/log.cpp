@@ -1,4 +1,6 @@
+#include "dsp/types.hpp"
 #include "store/log.hpp"
+#include "store/segment.hpp"
 
 #include <algorithm>
 #include <cstdio>

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/file_io.hpp"
 #include "store/segment.hpp"
 
 namespace datc::store {

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "dsp/types.hpp"
 #include "fault/fault.hpp"
 #include "fault/file_io.hpp"
 

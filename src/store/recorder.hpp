@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/file_io.hpp"
 #include "store/log.hpp"
 
 namespace datc::store {

@@ -7,7 +7,11 @@
 #include <limits>
 
 #include "core/rate_calibration.hpp"
+#include "core/reconstruct.hpp"
+#include "dsp/types.hpp"
 #include "fault/file_io.hpp"
+#include "store/log.hpp"
+#include "store/recorder.hpp"
 
 namespace datc::store {
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/reconstruct.hpp"
+#include "fault/file_io.hpp"
 #include "store/recorder.hpp"
 
 namespace datc::store {

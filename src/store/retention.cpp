@@ -1,4 +1,7 @@
+#include "dsp/types.hpp"
+#include "store/log.hpp"
 #include "store/retention.hpp"
+#include "store/segment.hpp"
 
 #include <filesystem>
 

@@ -1,3 +1,7 @@
+#include "core/crc32.hpp"
+#include "core/event_io.hpp"
+#include "dsp/types.hpp"
+#include "fault/file_io.hpp"
 #include "store/segment.hpp"
 
 #include <cmath>

@@ -1,4 +1,7 @@
+#include "dsp/types.hpp"
+#include "rtl/module.hpp"
 #include "synth/mapper.hpp"
+#include "synth/tech_library.hpp"
 
 #include <cmath>
 

@@ -1,4 +1,7 @@
+#include "dsp/types.hpp"
+#include "synth/mapper.hpp"
 #include "synth/power.hpp"
+#include "synth/tech_library.hpp"
 
 namespace datc::synth {
 namespace {

@@ -9,6 +9,7 @@
 //    a real sEMG stimulus (the more faithful number).
 
 #include "synth/mapper.hpp"
+#include "synth/tech_library.hpp"
 
 namespace datc::synth {
 

@@ -2,7 +2,13 @@
 
 #include <sstream>
 
+#include "core/dtc.hpp"
+#include "rtl/dtc_rtl.hpp"
+#include "rtl/module.hpp"
 #include "rtl/simulator.hpp"
+#include "synth/mapper.hpp"
+#include "synth/power.hpp"
+#include "synth/tech_library.hpp"
 
 namespace datc::synth {
 

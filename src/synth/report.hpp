@@ -4,9 +4,11 @@
 // values alongside for comparison.
 
 #include <string>
+#include <vector>
 
-#include "rtl/dtc_rtl.hpp"
+#include "core/dtc.hpp"
 #include "synth/power.hpp"
+#include "synth/tech_library.hpp"
 
 namespace datc::synth {
 

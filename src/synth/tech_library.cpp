@@ -1,3 +1,4 @@
+#include "dsp/types.hpp"
 #include "synth/tech_library.hpp"
 
 namespace datc::synth {

@@ -1,3 +1,5 @@
+#include "dsp/types.hpp"
+#include "rtl/module.hpp"
 #include "synth/timing.hpp"
 
 #include <cmath>

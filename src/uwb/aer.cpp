@@ -1,3 +1,4 @@
+#include "dsp/types.hpp"
 #include "uwb/aer.hpp"
 
 #include <algorithm>

@@ -1,4 +1,6 @@
+#include "dsp/types.hpp"
 #include "uwb/channel.hpp"
+#include "uwb/modulator.hpp"
 
 #include <cmath>
 

@@ -1,3 +1,4 @@
+#include "dsp/types.hpp"
 #include "uwb/energy.hpp"
 
 namespace datc::uwb {

@@ -1,0 +1,93 @@
+#include "uwb/link_pipeline.hpp"
+
+#include "dsp/rng.hpp"
+#include "uwb/aer.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/modulator.hpp"
+#include "uwb/receiver.hpp"
+
+namespace datc::uwb {
+
+DatcLinkRun run_datc_over_link(const core::EventStream& tx,
+                               const LinkConfig& link, unsigned code_bits,
+                               bool cache_detection) {
+  DatcLinkRun out;
+  ModulatorConfig mod = link.modulator;
+  mod.code_bits = code_bits;
+  const auto train = modulate_datc(tx, mod);
+  out.pulses_tx = train.size();
+
+  // Both Rng streams derive from the seed BEFORE any propagation draw:
+  // the receiver's stream must not depend on the pulse count consumed by
+  // the channel, or no chunked execution could ever reproduce this run
+  // (the streaming session derives the same two streams up front).
+  dsp::Rng rng(link.seed);
+  dsp::Rng rx_rng = rng.fork();
+  const auto ch = propagate(train, link.channel, rng);
+  out.pulses_erased = ch.erased;
+
+  UwbReceiverConfig rxc;
+  rxc.detector = link.detector;
+  rxc.modulator = mod;
+  rxc.decode_codes = true;
+  rxc.cache_detection = cache_detection;
+  UwbReceiver rx(rxc, link.channel, rx_rng);
+  out.events_rx = rx.decode(ch.received);
+  out.events_rx.sort_by_time();
+  out.decode = rx.stats();
+  return out;
+}
+
+SharedAerRun run_aer_over_link(
+    const std::vector<core::EventStream>& tx_channels, const LinkConfig& link,
+    const SharedAerConfig& shared, unsigned code_bits) {
+  // An empty batch is a no-op, as in the per-channel mode (aer_split
+  // would otherwise reject num_channels == 0 deep inside the pipeline).
+  if (tx_channels.empty()) return SharedAerRun{};
+  const auto num_channels = static_cast<unsigned>(tx_channels.size());
+  AerStats arbiter;
+  const auto merged = aer_merge(tx_channels, shared.aer, &arbiter);
+  auto out = run_aer_over_link(merged, num_channels, link, shared, code_bits);
+  out.arbiter = arbiter;
+  return out;
+}
+
+SharedAerRun run_aer_over_link(const core::EventStream& merged_tx,
+                               unsigned num_channels, const LinkConfig& link,
+                               const SharedAerConfig& shared,
+                               unsigned code_bits) {
+  SharedAerRun out;
+  out.merged_tx = merged_tx;
+
+  if (shared.ideal_radio) {
+    out.merged_rx = out.merged_tx;
+  } else {
+    ModulatorConfig mod = link.modulator;
+    mod.code_bits = code_bits;
+    const auto train =
+        modulate_aer(out.merged_tx, mod, shared.aer.address_bits);
+    out.pulses_tx = train.size();
+
+    // RX stream forked before propagation — see run_datc_over_link.
+    dsp::Rng rng(link.seed);
+    dsp::Rng rx_rng = rng.fork();
+    const auto ch = propagate(train, link.channel, rng);
+    out.pulses_erased = ch.erased;
+
+    UwbReceiverConfig rxc;
+    rxc.detector = link.detector;
+    rxc.modulator = mod;
+    rxc.address_bits = shared.aer.address_bits;
+    rxc.decode_codes = true;
+    rxc.cache_detection = shared.cache_detection;
+    UwbReceiver rx(rxc, link.channel, rx_rng);
+    out.merged_rx = rx.decode(ch.received);
+    out.merged_rx.sort_by_time();
+    out.decode = rx.stats();
+  }
+
+  out.per_channel_rx = aer_split(out.merged_rx, num_channels, &out.demux);
+  return out;
+}
+
+}  // namespace datc::uwb

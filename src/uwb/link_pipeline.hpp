@@ -1,0 +1,79 @@
+#pragma once
+// The shared TX -> RX link stage: modulate an event stream, propagate it
+// through the channel, decode with the energy-detection receiver. Both
+// the reference pipeline (sim::EndToEnd) and the streaming engine
+// (runtime::PipelineRunner / SessionManager) run their radio through
+// these functions, so the two paths cannot drift.
+
+#include <cstdint>
+#include <vector>
+
+#include "uwb/aer.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/modulator.hpp"
+#include "uwb/receiver.hpp"
+
+namespace datc::uwb {
+
+struct LinkConfig {
+  ModulatorConfig modulator{};
+  ChannelConfig channel{};
+  EnergyDetectorConfig detector{};
+  std::uint64_t seed{7};
+};
+
+/// One TX -> RX pass over the UWB link: modulate the D-ATC packet stream,
+/// propagate, decode with an energy-detection receiver, sort by time.
+struct DatcLinkRun {
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  core::EventStream events_rx;
+  DecodeStats decode{};
+};
+
+/// `cache_detection` memoises the per-pulse detection probability
+/// (bit-identical output; the engine enables it, the reference path
+/// keeps the seed cost model).
+[[nodiscard]] DatcLinkRun run_datc_over_link(const core::EventStream& tx,
+                                             const LinkConfig& link,
+                                             unsigned code_bits,
+                                             bool cache_detection = false);
+
+/// Shared-medium AER link: N encoders contend for ONE radio.
+struct SharedAerConfig {
+  AerConfig aer{};            ///< arbiter parameters (address width, slot)
+  /// Arbitration only — bypass modulate/propagate/decode. This is the
+  /// ideal-radio reference the noiseless equality tests compare against.
+  bool ideal_radio{false};
+  bool cache_detection{true};
+};
+
+/// One pass of the arbitrated link:
+/// per-channel TX streams -> AER merge -> modulate (marker + address +
+/// code slots) -> channel -> address-aware decode -> demux per channel.
+struct SharedAerRun {
+  core::EventStream merged_tx;  ///< arbitrated stream offered to the radio
+  core::EventStream merged_rx;  ///< decoded stream (== merged_tx when ideal)
+  std::vector<core::EventStream> per_channel_rx;
+  AerStats arbiter{};           ///< merge-side arbitration stats
+  AerStats demux{};             ///< split-side stats (invalid addresses)
+  std::size_t pulses_tx{0};
+  std::size_t pulses_erased{0};
+  DecodeStats decode{};
+};
+
+[[nodiscard]] SharedAerRun run_aer_over_link(
+    const std::vector<core::EventStream>& tx_channels, const LinkConfig& link,
+    const SharedAerConfig& shared, unsigned code_bits);
+
+/// Radio-only variant for an already-arbitrated stream: modulate ->
+/// channel -> decode -> demux, leaving `arbiter` stats zeroed (the caller
+/// owns the merge). Sweeps whose grid axes touch only the radio hoist the
+/// merge out of the loop with this overload.
+[[nodiscard]] SharedAerRun run_aer_over_link(const core::EventStream& merged_tx,
+                                             unsigned num_channels,
+                                             const LinkConfig& link,
+                                             const SharedAerConfig& shared,
+                                             unsigned code_bits);
+
+}  // namespace datc::uwb

@@ -1,4 +1,6 @@
+#include "dsp/types.hpp"
 #include "uwb/modulator.hpp"
+#include "uwb/pulse.hpp"
 
 #include <algorithm>
 #include <cmath>

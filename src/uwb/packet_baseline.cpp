@@ -4,7 +4,10 @@
 
 #include "dsp/envelope.hpp"
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
+#include "uwb/channel.hpp"
 #include "uwb/pulse.hpp"
+#include "uwb/receiver.hpp"
 
 namespace datc::uwb {
 namespace {

@@ -21,6 +21,7 @@
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
 #include "uwb/channel.hpp"
+#include "uwb/pulse.hpp"
 #include "uwb/receiver.hpp"
 
 namespace datc::uwb {

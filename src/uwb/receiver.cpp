@@ -5,6 +5,9 @@
 #include <numbers>
 
 #include "dsp/stats.hpp"
+#include "dsp/types.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/modulator.hpp"
 #include "uwb/streaming_link.hpp"
 
 namespace datc::uwb {

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "dsp/types.hpp"
+#include "uwb/channel.hpp"
+#include "uwb/modulator.hpp"
 #include "uwb/pulse.hpp"
+#include "uwb/receiver.hpp"
 
 namespace datc::uwb {
 

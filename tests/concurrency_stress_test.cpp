@@ -31,7 +31,7 @@
 #include "fault/file_io.hpp"
 #include "runtime/session.hpp"
 #include "runtime/thread_pool.hpp"
-#include "sim/scenario_grid.hpp"
+#include "config/scenario_grid.hpp"
 #include "store/recorder.hpp"
 
 #include <filesystem>
@@ -453,15 +453,15 @@ TEST(ScenarioGridStressTest, ParallelFanOutIsDeterministicUnderRepetition) {
   // The grid fans every point out over a ThreadPool; repeated parallel
   // runs must agree with the serial expansion bit-for-bit even while the
   // pool's scheduling varies run to run (and TSan shuffles it further).
-  sim::ScenarioGridConfig cfg;
+  config::ScenarioGridConfig cfg;
   cfg.base = tiny_scenario();
-  cfg.axes = sim::parse_axes("channels=1,2; distance=0.3,1.0");
+  cfg.axes = config::parse_axes("channels=1,2; distance=0.3,1.0");
   cfg.jobs = 1;
-  const auto serial = sim::run_scenario_grid(cfg);
+  const auto serial = config::run_scenario_grid(cfg);
   ASSERT_EQ(serial.points.size(), 4u);
   for (int rep = 0; rep < 3; ++rep) {
     cfg.jobs = 4;
-    const auto parallel = sim::run_scenario_grid(cfg);
+    const auto parallel = config::run_scenario_grid(cfg);
     ASSERT_EQ(parallel.points.size(), serial.points.size());
     for (std::size_t i = 0; i < serial.points.size(); ++i) {
       EXPECT_EQ(serial.points[i].overrides, parallel.points[i].overrides);

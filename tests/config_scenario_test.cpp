@@ -12,7 +12,7 @@
 
 #include "config/factory.hpp"
 #include "config/scenario.hpp"
-#include "sim/scenario_grid.hpp"
+#include "config/scenario_grid.hpp"
 #include "sim/stream_parity.hpp"
 #include "store/replay.hpp"
 
@@ -172,7 +172,7 @@ TEST(ScenarioPresetTest, EveryPresetRunsEndToEnd) {
     if (spec.source.channels > 4) {
       config::set_scenario_key(spec, "source.channels", "4");
     }
-    const auto report = sim::run_scenario(spec);
+    const auto report = config::run_scenario(spec);
     EXPECT_GT(report.events_tx, 0u) << name;
     EXPECT_GT(report.events_rx, 0u) << name;
     EXPECT_GT(report.mean_rx_correlation_pct, 0.0) << name;

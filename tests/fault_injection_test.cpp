@@ -16,7 +16,7 @@
 #include "config/factory.hpp"
 #include "config/scenario.hpp"
 #include "fault/fault.hpp"
-#include "fault/faulty_session.hpp"
+#include "runtime/faulty_session.hpp"
 #include "fault/file_io.hpp"
 #include "fault/health.hpp"
 #include "runtime/session.hpp"
@@ -345,10 +345,10 @@ TEST(FaultySessionTest, SameSeedSameFaults) {
   const auto run = [&](std::uint64_t seed) {
     auto inner = std::make_unique<CapturingSession>();
     auto* raw = inner.get();
-    fault::FaultySession session(std::move(inner), spec, seed);
+    runtime::FaultySession session(std::move(inner), spec, seed);
     for (int i = 0; i < 300; ++i) session.push_chunk(chunk);
     session.finish();
-    return std::pair<fault::SessionFaultStats, std::size_t>(session.stats(),
+    return std::pair<runtime::SessionFaultStats, std::size_t>(session.stats(),
                                                             raw->chunks);
   };
   const auto [a, delivered_a] = run(1234);
@@ -368,7 +368,7 @@ TEST(FaultySessionTest, SameSeedSameFaults) {
 TEST(FaultySessionTest, PoisonThrowsIntoTheCaller) {
   fault::SessionFaultSpec spec;
   spec.chunk_poison_prob = 1.0;
-  fault::FaultySession session(std::make_unique<CapturingSession>(), spec, 5);
+  runtime::FaultySession session(std::make_unique<CapturingSession>(), spec, 5);
   const std::vector<Real> chunk(4, 0.0);
   EXPECT_THROW(session.push_chunk(chunk), std::runtime_error);
   EXPECT_EQ(session.stats().chunks_poisoned, 1u);
@@ -379,7 +379,7 @@ TEST(FaultySessionTest, SensorDropoutZeroesADeterministicSlice) {
   spec.sensor_dropout_prob = 1.0;
   auto inner = std::make_unique<CapturingSession>();
   auto* raw = inner.get();
-  fault::FaultySession session(std::move(inner), spec, 9);
+  runtime::FaultySession session(std::move(inner), spec, 9);
   const std::vector<Real> chunk(100, 0.5);
   session.push_chunk(chunk);
   const auto zeros = static_cast<std::size_t>(
@@ -396,7 +396,7 @@ TEST(FaultySessionTest, SensorSaturationClipsToTheRails) {
   spec.sensor_rail_v = 0.9;
   auto inner = std::make_unique<CapturingSession>();
   auto* raw = inner.get();
-  fault::FaultySession session(std::move(inner), spec, 11);
+  runtime::FaultySession session(std::move(inner), spec, 11);
   std::vector<Real> chunk(64);
   for (std::size_t i = 0; i < chunk.size(); ++i) {
     chunk[i] = (i % 2 == 0) ? 0.1 : -0.1;
@@ -645,14 +645,14 @@ TEST_F(FaultStoreTest, ChaosSoakPresetDegradesDeterministically) {
 
   struct RunResult {
     std::vector<Real> arv;
-    fault::SessionFaultStats session_faults;
+    runtime::SessionFaultStats session_faults;
     runtime::SessionReport report;
     store::Recorder::Stats store_stats;
   };
   const auto run = [&](const std::string& store_dir) {
     auto inner = factory.make_streaming_session(0);
     auto* streaming = inner.get();
-    fault::FaultySession session(std::move(inner), plan.session,
+    runtime::FaultySession session(std::move(inner), plan.session,
                                  plan.session_seed(0));
     auto rcfg = factory.recorder_config(store_dir);
     rcfg.max_queued_events = 1u << 20;  // overflow drops are timing-bound

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/pipeline_runner.hpp"
+#include "sim/end_to_end.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "config/scenario.hpp"
-#include "sim/scenario_grid.hpp"
+#include "config/scenario_grid.hpp"
 
 namespace datc {
 namespace {
@@ -20,24 +20,24 @@ config::ScenarioSpec fast_base() {
 
 TEST(ScenarioGridTest, ParsesAxes) {
   const auto axes =
-      sim::parse_axes("channels=1,8,64; link.distance_m = 0.2, 1.0");
+      config::parse_axes("channels=1,8,64; link.distance_m = 0.2, 1.0");
   ASSERT_EQ(axes.size(), 2u);
   EXPECT_EQ(axes[0].key, "source.channels");
   EXPECT_EQ(axes[0].values, (std::vector<std::string>{"1", "8", "64"}));
   EXPECT_EQ(axes[1].key, "link.distance_m");
   EXPECT_EQ(axes[1].values, (std::vector<std::string>{"0.2", "1.0"}));
-  EXPECT_TRUE(sim::parse_axes("").empty());
-  EXPECT_THROW(sim::parse_axes("warp=1,2"), config::ScenarioError);
-  EXPECT_THROW(sim::parse_axes("channels"), config::ScenarioError);
-  EXPECT_THROW(sim::parse_axes("channels=1,,2"), config::ScenarioError);
+  EXPECT_TRUE(config::parse_axes("").empty());
+  EXPECT_THROW(config::parse_axes("warp=1,2"), config::ScenarioError);
+  EXPECT_THROW(config::parse_axes("channels"), config::ScenarioError);
+  EXPECT_THROW(config::parse_axes("channels=1,,2"), config::ScenarioError);
 }
 
 TEST(ScenarioGridTest, ExpandsCrossProductRowMajor) {
-  sim::ScenarioGridConfig cfg;
+  config::ScenarioGridConfig cfg;
   cfg.base = fast_base();
-  cfg.axes = sim::parse_axes("channels=1,2; distance=0.3,1.0");
+  cfg.axes = config::parse_axes("channels=1,2; distance=0.3,1.0");
   cfg.jobs = 1;
-  const auto result = sim::run_scenario_grid(cfg);
+  const auto result = config::run_scenario_grid(cfg);
   ASSERT_EQ(result.points.size(), 4u);
   EXPECT_EQ(result.points[0].overrides,
             "source.channels=1 link.distance_m=0.3");
@@ -57,13 +57,13 @@ TEST(ScenarioGridTest, ExpandsCrossProductRowMajor) {
 }
 
 TEST(ScenarioGridTest, ParallelGridMatchesSerial) {
-  sim::ScenarioGridConfig cfg;
+  config::ScenarioGridConfig cfg;
   cfg.base = fast_base();
-  cfg.axes = sim::parse_axes("channels=1,2; distance=0.3,1.2");
+  cfg.axes = config::parse_axes("channels=1,2; distance=0.3,1.2");
   cfg.jobs = 1;
-  const auto serial = sim::run_scenario_grid(cfg);
+  const auto serial = config::run_scenario_grid(cfg);
   cfg.jobs = 4;
-  const auto parallel = sim::run_scenario_grid(cfg);
+  const auto parallel = config::run_scenario_grid(cfg);
   ASSERT_EQ(serial.points.size(), parallel.points.size());
   for (std::size_t i = 0; i < serial.points.size(); ++i) {
     const auto& a = serial.points[i];
@@ -81,7 +81,7 @@ TEST(ScenarioGridTest, SharedTopologyFillsTheSameSchema) {
   auto base = fast_base();
   config::set_scenario_key(base, "channels", "4");
   config::set_scenario_key(base, "topology", "shared");
-  const auto report = sim::run_scenario(base);
+  const auto report = config::run_scenario(base);
   EXPECT_EQ(report.topology, "shared");
   EXPECT_EQ(report.channels, 4u);
   EXPECT_GT(report.events_tx, 0u);
@@ -93,11 +93,11 @@ TEST(ScenarioGridTest, SharedTopologyFillsTheSameSchema) {
 }
 
 TEST(ScenarioGridTest, InvalidGridPointFailsFastNamingThePoint) {
-  sim::ScenarioGridConfig cfg;
+  config::ScenarioGridConfig cfg;
   cfg.base = fast_base();
-  cfg.axes = sim::parse_axes("erasure_prob=0.0,1.5");
+  cfg.axes = config::parse_axes("erasure_prob=0.0,1.5");
   try {
-    (void)sim::run_scenario_grid(cfg);
+    (void)config::run_scenario_grid(cfg);
     FAIL() << "expected ScenarioError";
   } catch (const config::ScenarioError& e) {
     const std::string what = e.what();

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dsp/rng.hpp"
+#include "rtl/dtc_rtl.hpp"
 #include "synth/report.hpp"
 
 namespace {

@@ -7,6 +7,7 @@
 // store subcommands (record/query/replay) additionally speak the binary
 // segment format under a session directory.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -32,7 +33,7 @@
 #include "runtime/pipeline_runner.hpp"
 #include "runtime/session.hpp"
 #include "sim/link_sweep.hpp"
-#include "sim/scenario_grid.hpp"
+#include "config/scenario_grid.hpp"
 #include "sim/stream_parity.hpp"
 #include "store/log.hpp"
 #include "store/recorder.hpp"
@@ -263,7 +264,7 @@ config::ScenarioSpec spec_from_args(const Args& a,
   }
   const auto set_it = a.find("set");
   if (set_it != a.end()) {
-    for (const auto& axis : sim::parse_axes(set_it->second)) {
+    for (const auto& axis : config::parse_axes(set_it->second)) {
       dsp::require(axis.values.size() == 1,
                    std::string(cmd_name) +
                        ": --set takes one value per key (use `datc sweep` "
@@ -724,9 +725,9 @@ int cmd_replay(const Args& a) {
 int cmd_sweep(const Args& a) {
   Args with_default = a;
   with_default.emplace("scenario", "paper-baseline");
-  sim::ScenarioGridConfig cfg;
+  config::ScenarioGridConfig cfg;
   cfg.base = spec_from_args(with_default, {}, "sweep");
-  cfg.axes = sim::parse_axes(arg_str(a, "axes", ""));
+  cfg.axes = config::parse_axes(arg_str(a, "axes", ""));
   const Real jobs_f = arg_num(a, "jobs", 0.0);
   dsp::require(jobs_f >= 0.0 && jobs_f <= 1024.0,
                "sweep: --jobs must lie in [0, 1024] (0 = hardware)");
@@ -736,12 +737,12 @@ int cmd_sweep(const Args& a) {
   for (const auto& axis : cfg.axes) points *= axis.values.size();
   std::printf("scenario grid: base '%s', %zu axis(es), %zu point(s)\n",
               cfg.base.name.c_str(), cfg.axes.size(), points);
-  const auto result = sim::run_scenario_grid(cfg);
-  std::printf("%s", sim::scenario_grid_table(result).c_str());
+  const auto result = config::run_scenario_grid(cfg);
+  std::printf("%s", config::scenario_grid_table(result).c_str());
 
   const auto out = arg_str(a, "out", "");
   if (!out.empty()) {
-    if (!sim::write_scenario_grid_json(out, result)) {
+    if (!config::write_scenario_grid_json(out, result)) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
       return 1;
     }
@@ -749,6 +750,51 @@ int cmd_sweep(const Args& a) {
                 out.c_str());
   }
   return 0;
+}
+
+/// Matches `name` against a shell-style pattern with `*` (any run) and
+/// `?` (any one char). Iterative two-cursor match, no recursion.
+bool glob_match(const std::string& pat, const std::string& name) {
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string::npos, star_n = 0;
+  while (n < name.size()) {
+    if (p < pat.size() && (pat[p] == '?' || pat[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      star_n = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++star_n;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+/// Expands a literal glob in the pattern's own directory (the wildcard
+/// may only appear in the filename component). Returns sorted matches.
+std::vector<std::string> expand_glob(const std::string& pattern) {
+  const std::filesystem::path pat(pattern);
+  const auto dir = pat.parent_path();
+  const std::string leaf = pat.filename().string();
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator
+           it(dir.empty() ? std::filesystem::path(".") : dir, ec),
+       end;
+       it != end; it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    if (!glob_match(leaf, it->path().filename().string())) continue;
+    out.push_back(dir.empty() ? it->path().filename().string()
+                              : (dir / it->path().filename()).string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // `datc scenario <action> ...` takes positional arguments, so it parses
@@ -788,17 +834,44 @@ int cmd_scenario_raw(int argc, char** argv) {
   }
   if (action == "validate") {
     if (argc < 4) return usage();
-    int rc = 0;
+    // Expand literal glob patterns ourselves: a quoted `datc scenario
+    // validate 'scenarios/*.datc'` (or a pattern the shell found no match
+    // for and passed through verbatim) must behave like the expanded
+    // list, not like one file named `*`.
+    std::vector<std::string> files;
+    std::size_t failed = 0;
     for (int i = 3; i < argc; ++i) {
+      const std::string pat = argv[i];
+      if (pat.find_first_of("*?") == std::string::npos) {
+        files.push_back(pat);
+        continue;
+      }
+      const auto matches = expand_glob(pat);
+      if (matches.empty()) {
+        std::printf("FAIL  %s\nno files match pattern\n", pat.c_str());
+        ++failed;
+      }
+      files.insert(files.end(), matches.begin(), matches.end());
+    }
+    // Validate EVERY file before exiting: a CI run must show the full
+    // damage report, not the first parse error.
+    std::size_t ok = 0;
+    for (const auto& file : files) {
       try {
-        const auto spec = config::parse_scenario_file(argv[i]);
-        std::printf("OK    %s (%s)\n", argv[i], spec.name.c_str());
+        const auto spec = config::parse_scenario_file(file);
+        std::printf("OK    %s (%s)\n", file.c_str(), spec.name.c_str());
+        ++ok;
       } catch (const std::exception& e) {
-        std::printf("FAIL  %s\n%s\n", argv[i], e.what());
-        rc = 1;
+        std::printf("FAIL  %s\n%s\n", file.c_str(), e.what());
+        ++failed;
+      } catch (...) {
+        std::printf("FAIL  %s\nunknown error\n", file.c_str());
+        ++failed;
       }
     }
-    return rc;
+    std::printf("%zu file(s): %zu ok, %zu failed\n", ok + failed, ok,
+                failed);
+    return failed == 0 ? 0 : 1;
   }
   if (action == "emit") {
     if (argc < 4) return usage();

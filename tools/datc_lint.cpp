@@ -1,50 +1,54 @@
-// datc_lint — the repo-specific determinism/correctness lint.
+// datc_lint — the repo-specific static analyzer.
 //
-// Generic static analyzers cannot know this repo's invariants; these four
-// rules encode the bug classes past PRs actually hit, as a token/regex
-// "AST-lite" pass over src/ (no libclang dependency, runs anywhere the
-// repo builds):
+// Generic tools cannot know this repo's invariants. datc_lint encodes
+// them as two passes over a shared C++ tokenizer (tools/lint/lexer.*,
+// literal/comment/preprocessor-aware — no libclang dependency, runs
+// anywhere the repo builds):
+//
+// File-scope rules (tools/lint/rules.cpp):
 //
 //   wall-clock      The deterministic layers (core/, uwb/, sim/, fault/,
-//                   config/) promise bit-identical outputs from seeds
-//                   alone. Wall-clock and ambient-entropy sources —
-//                   std::chrono::system_clock, time(), rand(), srand(),
-//                   clock(), std::random_device, gettimeofday — are
-//                   banned there; dsp::Rng carries all randomness.
-//
+//                   config/, emg/) promise bit-identical outputs from
+//                   seeds alone; wall-clock/ambient-entropy calls are
+//                   banned there — dsp::Rng carries all randomness.
 //   float-eq        Raw float/double ==/!= against a floating literal is
-//                   almost always a latent tolerance bug. Exact equality
-//                   is the *parity harness's* job (sim/stream_parity.*,
-//                   exempt); everywhere else compare against a bound or
-//                   go through the harness.
-//
+//                   a latent tolerance bug; exact equality is the parity
+//                   harness's job (sim/stream_parity.*, exempt).
 //   narrow-channel  PR 2's bug class: channel ids / AER addresses are
-//                   u16 end-to-end. Casting or declaring them at 8 bits
-//                   (static_cast<uint8_t>(...channel...), `uint8_t
-//                   channel`) silently truncates address spaces > 256.
+//                   u16 end-to-end; 8-bit casts/declarations truncate.
+//   store-io        PR 6's retry contract: write-side file I/O in store/
+//                   must go through the fault::FileIo seam.
+//   rng-fork        PR 3's bug class: an Rng passed into a per-channel/
+//                   per-chunk loop body without .fork() makes the draw
+//                   order depend on chunking.
+//   lock-scope      No manual std::mutex::lock() without a RAII guard;
+//                   no guard held across a thread-pool submit/enqueue/
+//                   parallel_for handoff.
+//   hot-alloc       The block kernel and per-pulse hot loops
+//                   (core/datc_block.hpp, uwb/receiver.cpp,
+//                   core/streaming_reconstruct.*) must not allocate.
 //
-//   store-io        PR 6's retry contract: every write-side file
-//                   operation in store/ goes through the fault::FileIo
-//                   seam so faults inject and retries stay positional.
-//                   Direct std::ofstream / fopen / fwrite in store/
-//                   bypass the seam. Reads are exempt.
+// Include-graph rules (tools/lint/include_graph.cpp) — one graph, four
+// rule families: include-cycle, layer-order (the src/ layer DAG),
+// include-unused and include-transitive (IWYU-lite). The same graph
+// emits docs/include_graph.dot, drift-checked in CI.
 //
-// Escape hatch: a comment containing `datc-lint: allow(<rule>)` on the
-// offending line or the line above suppresses that rule there — use it
-// with a reason, the way sanitizer suppressions carry one.
-//
-// Adding a rule: add a Rule entry to kRules, implement its check_*
-// function over the stripped source, and drop a violating fixture into
-// tools/lint_fixtures/ with a `datc-lint-fixture:` directive so the
-// self-test pins it. See README "Correctness tooling".
+// Escape hatches: `datc-lint: allow(<rule>)` in a comment on/above the
+// offending line (use with a written reason), and `datc-lint:
+// export(Name, ...)` in a header to declare symbols the heuristic
+// extractor cannot see.
 //
 // Usage:
-//   datc_lint --root DIR [--root DIR]... [FILE]...   lint; exit 1 on findings
-//   datc_lint --self-test FIXTURE_DIR                fixture mode
+//   datc_lint --root DIR [--root DIR]... [FILE]...  lint; exit 1 on findings
+//       --graph           also run the include-graph pass over each root
+//       --diff BASE       only report findings in files changed vs BASE
+//       --sarif OUT       write findings as SARIF 2.1.0 (code scanning)
+//       --dot OUT         write the directory-level include graph as DOT
+//   datc_lint --self-test FIXTURE_DIR               fixture mode
 //   datc_lint --list-rules
 
 #include <algorithm>
-#include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -54,482 +58,17 @@
 #include <string>
 #include <vector>
 
+#include "lint/include_graph.hpp"
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding {
-  std::string file;
-  int line{0};
-  std::string rule;
-  std::string message;
-};
-
-struct Rule {
-  const char* name;
-  const char* summary;
-};
-
-constexpr Rule kRules[] = {
-    {"wall-clock",
-     "no wall-clock/ambient-entropy calls in the deterministic layers "
-     "(core/, uwb/, sim/, fault/, config/)"},
-    {"float-eq",
-     "no raw float/double ==/!= against floating literals outside the "
-     "parity harness"},
-    {"narrow-channel",
-     "no narrowing of channel ids / AER addresses below u16"},
-    {"store-io",
-     "no write-side file I/O in store/ bypassing the fault::FileIo seam"},
-};
-
-bool is_known_rule(const std::string& name) {
-  for (const auto& r : kRules) {
-    if (name == r.name) return true;
-  }
-  return false;
-}
-
-// ------------------------------------------------------------ source prep
-
-/// Line number (1-based) of offset `pos` in `text`.
-int line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
-                                             static_cast<long>(pos), '\n'));
-}
-
-/// Blanks comments and string/char literals with spaces (newlines kept,
-/// so offsets and line numbers survive). Handles //, /*...*/, "...",
-/// '...', and R"delim(...)delim" raw strings.
-std::string strip_comments_and_strings(const std::string& src) {
-  std::string out = src;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  auto blank = [&out](std::size_t from, std::size_t to) {
-    for (std::size_t k = from; k < to; ++k) {
-      if (out[k] != '\n') out[k] = ' ';
-    }
-  };
-  while (i < n) {
-    const char c = src[i];
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      std::size_t j = i;
-      while (j < n && src[j] != '\n') ++j;
-      blank(i, j);
-      i = j;
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t j = src.find("*/", i + 2);
-      j = (j == std::string::npos) ? n : j + 2;
-      blank(i, j);
-      i = j;
-    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
-               (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                               src[i - 1])) &&
-                           src[i - 1] != '_'))) {
-      // Raw string: R"delim( ... )delim"
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && src[p] != '(') delim += src[p++];
-      const std::string closer = ")" + delim + "\"";
-      std::size_t j = src.find(closer, p);
-      j = (j == std::string::npos) ? n : j + closer.size();
-      blank(i, j);
-      i = j;
-    } else if (c == '"' || c == '\'') {
-      // Skip char/string literal with escapes. A lone apostrophe inside
-      // a digit sequence is a C++14 digit separator, not a literal.
-      if (c == '\'' && i > 0 &&
-          std::isdigit(static_cast<unsigned char>(src[i - 1]))) {
-        ++i;
-        continue;
-      }
-      std::size_t j = i + 1;
-      while (j < n && src[j] != c) {
-        j += (src[j] == '\\') ? 2 : 1;
-      }
-      j = (j >= n) ? n : j + 1;
-      blank(i, j);
-      i = j;
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-/// Lines carrying a `datc-lint: allow(rule[,rule...])` marker (from the
-/// ORIGINAL source — markers live in comments). A marker suppresses its
-/// rules on its own line, across the rest of its comment block (lines
-/// that are comment-only), and on the first code line after it — so a
-/// marker whose justification wraps still covers the line it guards.
-std::map<int, std::set<std::string>> collect_allow_markers(
-    const std::string& src) {
-  std::vector<std::string> lines;
-  {
-    std::stringstream ss(src);
-    std::string line;
-    while (std::getline(ss, line)) lines.push_back(line);
-  }
-  const auto comment_only = [](const std::string& line) {
-    const auto b = line.find_first_not_of(" \t");
-    return b != std::string::npos && line.compare(b, 2, "//") == 0;
-  };
-  std::map<int, std::set<std::string>> allow;
-  static const std::string kTag = "datc-lint: allow(";
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const auto pos = lines[i].find(kTag);
-    if (pos == std::string::npos) continue;
-    const std::size_t open = pos + kTag.size();
-    const std::size_t close = lines[i].find(')', open);
-    if (close == std::string::npos) continue;
-    std::set<std::string> rules;
-    std::stringstream list(lines[i].substr(open, close - open));
-    std::string rule;
-    while (std::getline(list, rule, ',')) {
-      rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                 rule.end());
-      if (!rule.empty()) rules.insert(rule);
-    }
-    // Marker line, trailing comment-only lines, first code line after.
-    std::size_t j = i;
-    allow[static_cast<int>(j + 1)].insert(rules.begin(), rules.end());
-    while (j + 1 < lines.size() && comment_only(lines[j + 1])) {
-      ++j;
-      allow[static_cast<int>(j + 1)].insert(rules.begin(), rules.end());
-    }
-    allow[static_cast<int>(j + 2)].insert(rules.begin(), rules.end());
-  }
-  return allow;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Identifier token with its offset.
-struct Token {
-  std::string text;
-  std::size_t pos{0};
-};
-
-std::vector<Token> identifiers(const std::string& stripped) {
-  std::vector<Token> out;
-  std::size_t i = 0;
-  const std::size_t n = stripped.size();
-  while (i < n) {
-    if (is_ident_char(stripped[i]) &&
-        !std::isdigit(static_cast<unsigned char>(stripped[i]))) {
-      std::size_t j = i;
-      while (j < n && is_ident_char(stripped[j])) ++j;
-      out.push_back(Token{stripped.substr(i, j - i), i});
-      i = j;
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-char next_nonspace(const std::string& s, std::size_t pos) {
-  while (pos < s.size()) {
-    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return s[pos];
-    ++pos;
-  }
-  return '\0';
-}
-
-/// True when the identifier at `tok` is a member access (`.x` / `->x`)
-/// or qualified by something other than `std` (`foo::x` where foo!=std).
-bool is_member_or_nonstd_qualified(const std::string& s, const Token& tok) {
-  std::size_t p = tok.pos;
-  while (p > 0 &&
-         std::isspace(static_cast<unsigned char>(s[p - 1]))) {
-    --p;
-  }
-  if (p == 0) return false;
-  if (s[p - 1] == '.') return true;
-  if (p >= 2 && s[p - 2] == '-' && s[p - 1] == '>') return true;
-  if (p >= 2 && s[p - 2] == ':' && s[p - 1] == ':') {
-    // Qualified: find the qualifier identifier.
-    std::size_t q = p - 2;
-    while (q > 0 && std::isspace(static_cast<unsigned char>(s[q - 1]))) --q;
-    std::size_t e = q;
-    while (q > 0 && is_ident_char(s[q - 1])) --q;
-    return s.substr(q, e - q) != "std";
-  }
-  return false;
-}
-
-// ------------------------------------------------------------- layer map
-
-/// Forward-slashed path for matching (fixtures pass virtual paths).
-std::string norm_path(const std::string& path) {
-  std::string p = path;
-  std::replace(p.begin(), p.end(), '\\', '/');
-  return p;
-}
-
-bool in_dir(const std::string& path, const char* dir) {
-  const std::string p = norm_path(path);
-  const std::string mid = std::string("/") + dir + "/";
-  const std::string pre = std::string(dir) + "/";
-  return p.find(mid) != std::string::npos || p.rfind(pre, 0) == 0;
-}
-
-bool in_deterministic_layer(const std::string& path) {
-  return in_dir(path, "core") || in_dir(path, "uwb") ||
-         in_dir(path, "sim") || in_dir(path, "fault") ||
-         in_dir(path, "config");
-}
-
-bool is_parity_harness(const std::string& path) {
-  return norm_path(path).find("stream_parity.") != std::string::npos;
-}
-
-// ----------------------------------------------------------------- rules
-
-void check_wall_clock(const std::string& path, const std::string& stripped,
-                      std::vector<Finding>& out) {
-  if (!in_deterministic_layer(path)) return;
-  static const std::set<std::string> kBannedAnywhere = {
-      "system_clock", "random_device", "gettimeofday", "clock_gettime",
-      "timespec_get"};
-  static const std::set<std::string> kBannedCalls = {"time", "rand", "srand",
-                                                     "clock"};
-  for (const auto& tok : identifiers(stripped)) {
-    const bool call_like =
-        next_nonspace(stripped, tok.pos + tok.text.size()) == '(';
-    if (kBannedAnywhere.count(tok.text) != 0 ||
-        (call_like && kBannedCalls.count(tok.text) != 0 &&
-         !is_member_or_nonstd_qualified(stripped, tok))) {
-      out.push_back({path, line_of(stripped, tok.pos), "wall-clock",
-                     "'" + tok.text +
-                         "' in a deterministic layer — outputs must be a "
-                         "pure function of seeds (use dsp::Rng / passed-in "
-                         "times)"});
-    }
-  }
-}
-
-/// Floating literal: digits with a '.', or a bare exponent (1e-3), with
-/// optional f/F/l/L suffix. `.5` and `2.` count; plain integers do not.
-bool looks_like_float_literal(std::string t) {
-  if (!t.empty() && (t.back() == 'f' || t.back() == 'F' || t.back() == 'l' ||
-                     t.back() == 'L')) {
-    t.pop_back();
-  }
-  if (t.empty()) return false;
-  if (!std::isdigit(static_cast<unsigned char>(t[0])) && t[0] != '.') {
-    return false;
-  }
-  bool digit = false;
-  bool dot = false;
-  bool exp = false;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    const char c = t[i];
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      digit = true;
-    } else if (c == '.' && !dot && !exp) {
-      dot = true;
-    } else if ((c == 'e' || c == 'E') && digit && !exp) {
-      exp = true;
-      if (i + 1 < t.size() && (t[i + 1] == '+' || t[i + 1] == '-')) ++i;
-    } else {
-      return false;
-    }
-  }
-  return digit && (dot || exp);
-}
-
-void check_float_eq(const std::string& path, const std::string& stripped,
-                    std::vector<Finding>& out) {
-  if (is_parity_harness(path)) return;
-  const std::size_t n = stripped.size();
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    if (stripped[i + 1] != '=' ||
-        (stripped[i] != '=' && stripped[i] != '!')) {
-      continue;
-    }
-    // Exclude ===, <=, >=, ==>, spaceship etc.
-    if (i > 0 && (stripped[i - 1] == '=' || stripped[i - 1] == '<' ||
-                  stripped[i - 1] == '>' || stripped[i - 1] == '!')) {
-      continue;
-    }
-    if (i + 2 < n && stripped[i + 2] == '=') continue;
-    // Right token.
-    std::size_t r = i + 2;
-    while (r < n && std::isspace(static_cast<unsigned char>(stripped[r]))) {
-      ++r;
-    }
-    if (r < n && (stripped[r] == '-' || stripped[r] == '+')) ++r;
-    std::size_t re = r;
-    while (re < n && (is_ident_char(stripped[re]) || stripped[re] == '.' ||
-                      ((stripped[re] == '-' || stripped[re] == '+') &&
-                       re > r && (stripped[re - 1] == 'e' ||
-                                  stripped[re - 1] == 'E')))) {
-      ++re;
-    }
-    const std::string right = stripped.substr(r, re - r);
-    // Left token.
-    std::size_t l = i;
-    while (l > 0 &&
-           std::isspace(static_cast<unsigned char>(stripped[l - 1]))) {
-      --l;
-    }
-    std::size_t lb = l;
-    while (lb > 0 && (is_ident_char(stripped[lb - 1]) ||
-                      stripped[lb - 1] == '.')) {
-      --lb;
-    }
-    const std::string left = stripped.substr(lb, l - lb);
-    if (looks_like_float_literal(left) || looks_like_float_literal(right)) {
-      out.push_back({path, line_of(stripped, i), "float-eq",
-                     "raw floating ==/!= against a literal — compare with "
-                     "a tolerance, or route exactness through the parity "
-                     "harness (sim/stream_parity)"});
-    }
-  }
-}
-
-/// True when `text` carries an identifier naming a channel id or AER
-/// address. Identifiers ending in "bits" are widths/offsets (addr_bits,
-/// address_bits), not ids, and are excluded.
-bool mentions_channel_or_address(const std::string& text) {
-  for (const auto& tok : identifiers(text)) {
-    std::string low = tok.text;
-    std::transform(low.begin(), low.end(), low.begin(),
-                   [](unsigned char c) {
-                     return static_cast<char>(std::tolower(c));
-                   });
-    if (low.size() >= 4 && low.rfind("bits") == low.size() - 4) continue;
-    if (low.find("channel") != std::string::npos ||
-        low.find("addr") != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void check_narrow_channel(const std::string& path,
-                          const std::string& stripped,
-                          std::vector<Finding>& out) {
-  const std::size_t n = stripped.size();
-  // Pattern A: static_cast<narrow>(...channel/addr...).
-  std::size_t pos = 0;
-  while ((pos = stripped.find("static_cast", pos)) != std::string::npos) {
-    const std::size_t open = stripped.find('<', pos);
-    if (open == std::string::npos) break;
-    const std::size_t close = stripped.find('>', open);
-    if (close == std::string::npos) break;
-    std::string type = stripped.substr(open + 1, close - open - 1);
-    type.erase(std::remove_if(type.begin(), type.end(), ::isspace),
-               type.end());
-    const bool narrow = type == "std::uint8_t" || type == "uint8_t" ||
-                        type == "std::int8_t" || type == "int8_t" ||
-                        type == "unsignedchar" || type == "signedchar" ||
-                        type == "char";
-    if (narrow) {
-      std::size_t p = stripped.find('(', close);
-      if (p != std::string::npos) {
-        int depth = 1;
-        std::size_t q = p + 1;
-        while (q < n && depth > 0) {
-          depth += (stripped[q] == '(') - (stripped[q] == ')');
-          ++q;
-        }
-        const std::string arg = stripped.substr(p + 1, q - p - 2);
-        if (mentions_channel_or_address(arg)) {
-          out.push_back(
-              {path, line_of(stripped, pos), "narrow-channel",
-               "narrowing a channel id / address to " + type +
-                   " — ids are u16 end-to-end (the PR 2 truncation bug)"});
-        }
-      }
-    }
-    pos = close;
-  }
-  // Pattern B: `uint8_t <name-with-channel/addr>` declarations. The
-  // declared name may be separated from the type by `*`, `&`/`&&` and
-  // cv-qualifiers (`uint8_t* channel_ids`, `uint8_t const& channel`);
-  // any other punctuation (`uint8_t>` in a template argument, `(uint8_t)`
-  // casts) means this is not a declaration.
-  const auto toks = identifiers(stripped);
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    const std::string& t = toks[i].text;
-    const bool narrow8 =
-        t == "uint8_t" || t == "int8_t" ||
-        (t == "char" && i > 0 &&
-         (toks[i - 1].text == "unsigned" || toks[i - 1].text == "signed"));
-    if (!narrow8) continue;
-    std::string name;
-    std::size_t p = toks[i].pos + t.size();
-    while (p < n) {
-      const char c = stripped[p];
-      if (std::isspace(static_cast<unsigned char>(c)) || c == '*' ||
-          c == '&') {
-        ++p;
-        continue;
-      }
-      if (!is_ident_char(c)) break;
-      std::size_t e = p;
-      while (e < n && is_ident_char(stripped[e])) ++e;
-      const std::string word = stripped.substr(p, e - p);
-      if (word == "const" || word == "volatile") {
-        p = e;
-        continue;
-      }
-      name = word;
-      break;
-    }
-    if (name.empty()) continue;
-    if (mentions_channel_or_address(name)) {
-      out.push_back({path, line_of(stripped, toks[i].pos), "narrow-channel",
-                     "declaring '" + name + "' as " + t +
-                         " — channel ids / addresses are u16 end-to-end"});
-    }
-  }
-}
-
-void check_store_io(const std::string& path, const std::string& stripped,
-                    std::vector<Finding>& out) {
-  if (!in_dir(path, "store")) return;
-  static const std::set<std::string> kBanned = {
-      "ofstream", "fopen", "freopen", "fwrite", "fprintf", "fputs",
-      "fputc", "creat", "FILE"};
-  for (const auto& tok : identifiers(stripped)) {
-    if (kBanned.count(tok.text) != 0) {
-      out.push_back({path, line_of(stripped, tok.pos), "store-io",
-                     "'" + tok.text +
-                         "' writes in store/ bypassing the fault::FileIo "
-                         "seam — use fault::write_file / LogWriterConfig::io "
-                         "so faults inject and retries stay positional"});
-    }
-  }
-}
-
-// ------------------------------------------------------------- lint driver
-
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& src) {
-  const std::string stripped = strip_comments_and_strings(src);
-  const auto allow = collect_allow_markers(src);
-  std::vector<Finding> raw;
-  check_wall_clock(path, stripped, raw);
-  check_float_eq(path, stripped, raw);
-  check_narrow_channel(path, stripped, raw);
-  check_store_io(path, stripped, raw);
-  std::vector<Finding> out;
-  for (auto& f : raw) {
-    const auto it = allow.find(f.line);
-    if (it != allow.end() && it->second.count(f.rule) != 0) continue;
-    out.push_back(std::move(f));
-  }
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line, a.rule) <
-           std::tie(b.file, b.line, b.rule);
-  });
-  return out;
-}
+using datc_lint::Finding;
+using datc_lint::IncludeGraph;
+using datc_lint::LayerSpec;
 
 std::string read_file(const fs::path& path) {
   std::ifstream f(path, std::ios::binary);
@@ -547,10 +86,133 @@ bool lintable(const fs::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
-int run_lint(const std::vector<std::string>& roots,
-             const std::vector<std::string>& files) {
+std::string norm(const std::string& p) {
+  return fs::path(p).lexically_normal().generic_string();
+}
+
+// ------------------------------------------------------------- diff mode
+
+/// Files changed relative to BASE (git diff), normalized; deleted files
+/// excluded. Exits 2 when git cannot answer — a silent empty set would
+/// make --diff mode pass vacuously.
+std::set<std::string> git_changed_files(const std::string& base) {
+  const std::string cmd =
+      "git diff --name-only --diff-filter=d " + base + " -- '*.cpp' '*.hpp' "
+      "'*.cc' '*.h'";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::cerr << "datc_lint: cannot run git for --diff " << base << "\n";
+    std::exit(2);
+  }
+  std::string output;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output.append(buf, got);
+  }
+  const int rc = pclose(pipe);
+  if (rc != 0) {
+    std::cerr << "datc_lint: `" << cmd << "` failed (exit " << rc << ")\n";
+    std::exit(2);
+  }
+  std::set<std::string> files;
+  std::stringstream ss(output);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty()) files.insert(norm(line));
+  }
+  return files;
+}
+
+// ------------------------------------------------------------------ SARIF
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF 2.1.0 with full rule metadata, consumable by GitHub code
+/// scanning (upload-sarif) and by anything else that reads SARIF.
+void write_sarif(std::ostream& os, const std::vector<Finding>& findings) {
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\n"
+     << "      \"name\": \"datc_lint\",\n"
+     << "      \"informationUri\": "
+        "\"https://example.invalid/datc/README.md#correctness-tooling\",\n"
+     << "      \"rules\": [\n";
+  const auto& rules = datc_lint::all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "        {\"id\": \"" << rules[i].name
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(rules[i].summary) << "\"}}"
+       << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }},\n    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "      {\"ruleId\": \"" << f.rule
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << json_escape(f.message) << "\"}, \"locations\": [{"
+       << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(norm(f.file)) << "\"}, \"region\": {\"startLine\": "
+       << std::max(1, f.line) << "}}}]}"
+       << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }]\n}\n";
+}
+
+// ------------------------------------------------------------ lint driver
+
+struct Options {
+  std::vector<std::string> roots;
+  std::vector<std::string> files;
+  bool graph{false};
+  std::string diff_base;
+  std::string sarif_out;
+  std::string dot_out;
+};
+
+int write_output(const std::string& out_path, const std::string& content,
+                 const char* what) {
+  if (out_path == "-") {
+    std::cout << content;
+    return 0;
+  }
+  std::ofstream f(out_path, std::ios::binary);
+  f << content;
+  if (!f.good()) {
+    std::cerr << "datc_lint: cannot write " << what << " to " << out_path
+              << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int run_lint(const Options& opt) {
   std::vector<fs::path> targets;
-  for (const auto& root : roots) {
+  for (const auto& root : opt.roots) {
     if (!fs::is_directory(root)) {
       std::cerr << "datc_lint: --root " << root << " is not a directory\n";
       return 2;
@@ -561,34 +223,106 @@ int run_lint(const std::vector<std::string>& roots,
       }
     }
   }
-  for (const auto& f : files) targets.emplace_back(f);
+  for (const auto& f : opt.files) targets.emplace_back(f);
   std::sort(targets.begin(), targets.end());
+
   std::vector<Finding> findings;
   for (const auto& t : targets) {
-    const auto file_findings = lint_source(t.string(), read_file(t));
+    const auto file_findings =
+        datc_lint::lint_source(t.generic_string(), read_file(t));
     findings.insert(findings.end(), file_findings.begin(),
                     file_findings.end());
   }
+
+  const LayerSpec spec = datc_lint::datc_layer_spec();
+  for (const std::string& err : spec.spec_errors()) {
+    std::cerr << "datc_lint: BAD LAYER TABLE: " << err << "\n";
+  }
+  if (!spec.spec_errors().empty()) return 2;
+
+  if (opt.graph || !opt.dot_out.empty()) {
+    if (opt.roots.empty()) {
+      std::cerr << "datc_lint: --graph/--dot need at least one --root\n";
+      return 2;
+    }
+    for (const auto& root : opt.roots) {
+      const IncludeGraph graph = IncludeGraph::build(root);
+      if (opt.graph) {
+        const auto graph_findings = graph.check(spec);
+        findings.insert(findings.end(), graph_findings.begin(),
+                        graph_findings.end());
+      }
+      if (!opt.dot_out.empty()) {
+        // One DOT file describes one tree; multiple roots would clobber.
+        if (opt.roots.size() != 1) {
+          std::cerr << "datc_lint: --dot requires exactly one --root\n";
+          return 2;
+        }
+        const int rc =
+            write_output(opt.dot_out, graph.to_dot(spec), "DOT graph");
+        if (rc != 0) return rc;
+      }
+    }
+  }
+
+  // --diff BASE: the full tree is still analyzed (graph properties are
+  // global) but only findings in changed files are reported.
+  if (!opt.diff_base.empty()) {
+    const std::set<std::string> changed = git_changed_files(opt.diff_base);
+    std::vector<Finding> kept;
+    for (auto& f : findings) {
+      if (changed.count(norm(f.file)) != 0) kept.push_back(std::move(f));
+    }
+    std::cout << "datc_lint: --diff " << opt.diff_base << ": "
+              << changed.size() << " changed file(s) in scope\n";
+    findings = std::move(kept);
+  }
+  datc_lint::sort_findings(findings);
+
   for (const auto& f : findings) {
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
   }
   std::cout << "datc_lint: " << targets.size() << " files, "
             << findings.size() << " finding(s)\n";
+  if (!opt.sarif_out.empty()) {
+    std::ostringstream ss;
+    write_sarif(ss, findings);
+    const int rc = write_output(opt.sarif_out, ss.str(), "SARIF");
+    if (rc != 0) return rc;
+  }
   return findings.empty() ? 0 : 1;
 }
 
 // --------------------------------------------------------------- self-test
 
-/// Fixture directive: `// datc-lint-fixture: rule=<rule|none> path=<vpath>`
-/// on the first line. The fixture is linted AS IF it lived at <vpath>;
-/// rule=<r> must produce >= 1 finding, all of rule <r>; rule=none must be
-/// clean (exercises allow-markers and layer scoping).
+/// Flat fixture directive, first comment line:
+///   datc-lint-fixture: rule=<rule|none> path=<vpath> [clean=<r1,r2,...>]
+/// The fixture is linted AS IF it lived at <vpath>. rule=<r> must produce
+/// >= 1 finding, all of rule <r>; rule=none must be clean, and its
+/// clean= list records which rules it deliberately exercises the clean
+/// side of (near-miss patterns that must NOT fire).
+///
+/// Graph fixtures live in FIXTURE_DIR/graph/<case>/: a mini source tree
+/// plus an EXPECT file of `rule|relpath|line|message-substring` lines
+/// (or the single word `none`). The include-graph pass must reproduce
+/// exactly those diagnostics.
+///
+/// Coverage accounting: every file-scope rule needs >= 1 passing
+/// violating fixture AND >= 1 clean fixture claiming it; every graph
+/// rule needs >= 1 expected diagnostic across the graph cases, and at
+/// least one graph case must be `none`. An unenforced rule is a lie in
+/// the README.
 int run_self_test(const std::string& dir) {
   if (!fs::is_directory(dir)) {
     std::cerr << "datc_lint: fixture dir " << dir << " not found\n";
     return 2;
   }
+  int failures = 0;
+  std::set<std::string> violating_covered;
+  std::set<std::string> clean_covered;
+
+  // ---- flat fixtures: file-scope rules ----
   std::vector<fs::path> fixtures;
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.is_regular_file() && lintable(entry.path())) {
@@ -600,14 +334,13 @@ int run_self_test(const std::string& dir) {
     std::cerr << "datc_lint: no fixtures in " << dir << "\n";
     return 2;
   }
-  int failures = 0;
-  std::set<std::string> covered;
   for (const auto& fixture : fixtures) {
     const std::string src = read_file(fixture);
     static const std::string kTag = "datc-lint-fixture:";
     const auto tag_pos = src.find(kTag);
     std::string expected_rule;
     std::string vpath;
+    std::vector<std::string> clean_claims;
     if (tag_pos != std::string::npos) {
       const std::string header =
           src.substr(tag_pos, src.find('\n', tag_pos) - tag_pos);
@@ -617,19 +350,35 @@ int run_self_test(const std::string& dir) {
         const auto eq = kv.find('=');
         if (eq == std::string::npos) continue;
         const std::string key = kv.substr(0, eq);
-        if (key == "rule") expected_rule = kv.substr(eq + 1);
-        if (key == "path") vpath = kv.substr(eq + 1);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "rule") expected_rule = val;
+        if (key == "path") vpath = val;
+        if (key == "clean") {
+          std::stringstream list(val);
+          std::string r;
+          while (std::getline(list, r, ',')) {
+            if (!r.empty()) clean_claims.push_back(r);
+          }
+        }
       }
     }
-    if (expected_rule.empty() || vpath.empty() ||
-        (expected_rule != "none" && !is_known_rule(expected_rule))) {
+    bool directive_ok =
+        !expected_rule.empty() && !vpath.empty() &&
+        (expected_rule == "none" || datc_lint::is_known_rule(expected_rule));
+    for (const auto& r : clean_claims) {
+      if (!datc_lint::is_known_rule(r)) directive_ok = false;
+    }
+    if (!clean_claims.empty() && expected_rule != "none") {
+      directive_ok = false;  // clean= only makes sense on clean fixtures
+    }
+    if (!directive_ok) {
       std::cerr << "FAIL " << fixture.filename().string()
-                << ": missing/bad `datc-lint-fixture: rule=... path=...` "
-                   "directive\n";
+                << ": missing/bad `datc-lint-fixture: rule=... path=... "
+                   "[clean=...]` directive\n";
       ++failures;
       continue;
     }
-    const auto findings = lint_source(vpath, src);
+    const auto findings = datc_lint::lint_source(vpath, src);
     bool ok;
     if (expected_rule == "none") {
       ok = findings.empty();
@@ -641,7 +390,8 @@ int run_self_test(const std::string& dir) {
                        });
     }
     if (ok) {
-      if (expected_rule != "none") covered.insert(expected_rule);
+      if (expected_rule != "none") violating_covered.insert(expected_rule);
+      clean_covered.insert(clean_claims.begin(), clean_claims.end());
       std::cout << "PASS " << fixture.filename().string() << " ("
                 << expected_rule << ", " << findings.size()
                 << " finding(s))\n";
@@ -658,53 +408,194 @@ int run_self_test(const std::string& dir) {
       ++failures;
     }
   }
-  // Every rule must have at least one violating fixture: a rule whose
-  // fixture disappears (or silently stops firing) is an unenforced rule.
-  for (const auto& r : kRules) {
-    if (covered.count(r.name) == 0) {
+
+  // ---- the layer table itself must be a valid DAG ----
+  const LayerSpec spec = datc_lint::datc_layer_spec();
+  for (const std::string& err : spec.spec_errors()) {
+    std::cerr << "FAIL layer table: " << err << "\n";
+    ++failures;
+  }
+
+  // ---- graph fixtures: include-graph rules with exact diagnostics ----
+  std::set<std::string> graph_covered;
+  bool graph_clean_case = false;
+  const fs::path graph_dir = fs::path(dir) / "graph";
+  std::vector<fs::path> cases;
+  if (fs::is_directory(graph_dir)) {
+    for (const auto& entry : fs::directory_iterator(graph_dir)) {
+      if (entry.is_directory()) cases.push_back(entry.path());
+    }
+  }
+  std::sort(cases.begin(), cases.end());
+  for (const auto& case_dir : cases) {
+    const fs::path expect_path = case_dir / "EXPECT";
+    if (!fs::is_regular_file(expect_path)) {
+      std::cerr << "FAIL graph/" << case_dir.filename().string()
+                << ": no EXPECT file\n";
+      ++failures;
+      continue;
+    }
+    struct Expected {
+      std::string rule, rel, substring;
+      int line{0};
+    };
+    std::vector<Expected> expected;
+    bool expect_none = false;
+    {
+      std::stringstream ss(read_file(expect_path));
+      std::string line;
+      while (std::getline(ss, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        if (line == "none") {
+          expect_none = true;
+          continue;
+        }
+        Expected e;
+        std::stringstream parts(line);
+        std::string field;
+        std::getline(parts, e.rule, '|');
+        std::getline(parts, e.rel, '|');
+        std::getline(parts, field, '|');
+        std::getline(parts, e.substring);
+        e.line = field.empty() ? 0 : std::stoi(field);
+        expected.push_back(std::move(e));
+      }
+    }
+    const IncludeGraph graph = IncludeGraph::build(case_dir.string());
+    const auto findings = graph.check(spec);
+    bool ok = true;
+    std::string why;
+    if (expect_none) {
+      ok = findings.empty();
+      if (!ok) why = "expected no findings";
+    } else {
+      // Exact set match: every expected diagnostic present (rule, file,
+      // line, message substring) and no unexpected ones.
+      if (findings.size() != expected.size()) {
+        ok = false;
+        why = "expected " + std::to_string(expected.size()) +
+              " finding(s), got " + std::to_string(findings.size());
+      }
+      for (const auto& e : expected) {
+        const std::string want_file =
+            (case_dir / e.rel).lexically_normal().generic_string();
+        const bool found = std::any_of(
+            findings.begin(), findings.end(), [&](const Finding& f) {
+              return f.rule == e.rule && norm(f.file) == want_file &&
+                     f.line == e.line &&
+                     f.message.find(e.substring) != std::string::npos;
+            });
+        if (!found) {
+          ok = false;
+          why = "missing diagnostic " + e.rule + "|" + e.rel + "|" +
+                std::to_string(e.line) + "|" + e.substring;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      if (expect_none) graph_clean_case = true;
+      for (const auto& e : expected) graph_covered.insert(e.rule);
+      std::cout << "PASS graph/" << case_dir.filename().string() << " ("
+                << (expect_none ? "none"
+                                : std::to_string(expected.size()) +
+                                      " diagnostic(s)")
+                << ")\n";
+    } else {
+      std::cerr << "FAIL graph/" << case_dir.filename().string() << ": "
+                << why << "; actual findings:\n";
+      for (const auto& f : findings) {
+        std::cerr << "  " << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+      }
+      ++failures;
+    }
+  }
+
+  // ---- coverage accounting ----
+  for (const auto& r : datc_lint::file_rules()) {
+    if (violating_covered.count(r.name) == 0) {
       std::cerr << "FAIL: rule '" << r.name
                 << "' has no passing violating fixture in " << dir << "\n";
       ++failures;
     }
+    if (clean_covered.count(r.name) == 0) {
+      std::cerr << "FAIL: rule '" << r.name
+                << "' has no clean fixture claiming it (clean=" << r.name
+                << ") in " << dir << "\n";
+      ++failures;
+    }
   }
-  std::cout << "datc_lint self-test: " << fixtures.size() << " fixtures, "
-            << failures << " failure(s)\n";
+  for (const auto& r : datc_lint::all_rules()) {
+    const bool graph_rule =
+        std::string(r.name).rfind("include-", 0) == 0 ||
+        std::string(r.name) == "layer-order";
+    if (graph_rule && graph_covered.count(r.name) == 0) {
+      std::cerr << "FAIL: graph rule '" << r.name
+                << "' has no graph fixture case expecting it\n";
+      ++failures;
+    }
+  }
+  if (!cases.empty() && !graph_clean_case) {
+    std::cerr << "FAIL: no clean graph fixture case (EXPECT `none`)\n";
+    ++failures;
+  }
+  if (cases.empty()) {
+    std::cerr << "FAIL: no graph fixture cases in "
+              << graph_dir.generic_string() << "\n";
+    ++failures;
+  }
+
+  std::cout << "datc_lint self-test: " << fixtures.size() << " fixtures + "
+            << cases.size() << " graph case(s), " << failures
+            << " failure(s)\n";
   return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> roots;
-  std::vector<std::string> files;
+  Options opt;
   std::string self_test_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
-      roots.emplace_back(argv[++i]);
+      opt.roots.emplace_back(argv[++i]);
     } else if (arg == "--self-test" && i + 1 < argc) {
       self_test_dir = argv[++i];
+    } else if (arg == "--graph") {
+      opt.graph = true;
+    } else if (arg == "--diff" && i + 1 < argc) {
+      opt.diff_base = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      opt.sarif_out = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      opt.dot_out = argv[++i];
     } else if (arg == "--list-rules") {
-      for (const auto& r : kRules) {
+      for (const auto& r : datc_lint::all_rules()) {
         std::cout << r.name << "\t" << r.summary << "\n";
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: datc_lint [--root DIR]... [FILE]...\n"
-                   "       datc_lint --self-test FIXTURE_DIR\n"
-                   "       datc_lint --list-rules\n";
+      std::cout
+          << "usage: datc_lint [--root DIR]... [FILE]...\n"
+             "         [--graph] [--diff BASE] [--sarif OUT] [--dot OUT]\n"
+             "       datc_lint --self-test FIXTURE_DIR\n"
+             "       datc_lint --list-rules\n"
+             "OUT may be '-' for stdout. Exit: 0 clean, 1 findings, "
+             "2 usage/IO error.\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "datc_lint: unknown option " << arg << "\n";
       return 2;
     } else {
-      files.push_back(arg);
+      opt.files.push_back(arg);
     }
   }
   if (!self_test_dir.empty()) return run_self_test(self_test_dir);
-  if (roots.empty() && files.empty()) {
+  if (opt.roots.empty() && opt.files.empty()) {
     std::cerr << "datc_lint: nothing to lint (pass --root or files)\n";
     return 2;
   }
-  return run_lint(roots, files);
+  return run_lint(opt);
 }

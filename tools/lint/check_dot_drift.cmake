@@ -1,0 +1,47 @@
+# Regenerates the architecture diagram from the real include graph and
+# fails when the committed docs/include_graph.dot has drifted. Run via:
+#   cmake -DDATC_LINT=<path> -DSOURCE_DIR=<repo> -P check_dot_drift.cmake
+# (wired up as the `datc_lint_dot_drift` ctest).
+#
+# To refresh the committed file after an intentional architecture change:
+#   build/datc_lint --root src --dot docs/include_graph.dot
+
+if(NOT DEFINED DATC_LINT OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "need -DDATC_LINT=<datc_lint binary> -DSOURCE_DIR=<repo root>")
+endif()
+
+set(committed "${SOURCE_DIR}/docs/include_graph.dot")
+set(generated "${CMAKE_CURRENT_BINARY_DIR}/include_graph.gen.dot")
+
+if(NOT EXISTS "${committed}")
+  message(FATAL_ERROR
+    "docs/include_graph.dot is missing — generate it with "
+    "`datc_lint --root src --dot docs/include_graph.dot` and commit it")
+endif()
+
+execute_process(
+  COMMAND "${DATC_LINT}" --root "${SOURCE_DIR}/src" --dot "${generated}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+# Exit 1 just means the sweep found lint findings elsewhere; the DOT file
+# is still written. Only 2+ (usage/IO) is fatal here.
+if(rc GREATER 1)
+  message(FATAL_ERROR "datc_lint --dot failed (${rc}): ${out}${err}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${committed}" "${generated}"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E echo "--- committed: ${committed}")
+  file(READ "${committed}" committed_text)
+  file(READ "${generated}" generated_text)
+  message(STATUS "committed docs/include_graph.dot:\n${committed_text}")
+  message(STATUS "regenerated from src/:\n${generated_text}")
+  message(FATAL_ERROR
+    "docs/include_graph.dot is stale — the include graph changed. "
+    "Refresh it with `datc_lint --root src --dot docs/include_graph.dot` "
+    "and commit the result.")
+endif()
+message(STATUS "docs/include_graph.dot matches the tree")

@@ -1,0 +1,197 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace datc_lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character operators, longest first (maximal munch).
+const char* const kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  "++",  "--",  ".*",
+};
+
+}  // namespace
+
+LexedSource lex(const std::string& src) {
+  LexedSource out;
+  out.stripped = src;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool in_directive = false;      // inside a # line (continuations honored)
+  bool line_has_code = false;     // a non-ws token already seen on this line
+
+  auto blank = [&out](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < out.stripped.size(); ++k) {
+      if (out.stripped[k] != '\n') out.stripped[k] = ' ';
+    }
+  };
+  auto count_lines = [&src](std::size_t from, std::size_t to) {
+    int c = 0;
+    for (std::size_t k = from; k < to && k < src.size(); ++k) {
+      if (src[k] == '\n') ++c;
+    }
+    return c;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // ---- newlines terminate directives (unless escaped) ----
+    if (c == '\n') {
+      in_directive = false;
+      line_has_code = false;
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < n && src[i + 1] == '\n') {
+      ++line;
+      i += 2;  // line continuation: the directive (if any) carries on
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // ---- comments ----
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      blank(i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = src.find("*/", i + 2);
+      j = (j == std::string::npos) ? n : j + 2;
+      blank(i, j);
+      line += count_lines(i, j);
+      i = j;
+      continue;
+    }
+    // ---- preprocessor directive start ----
+    if (c == '#' && !line_has_code) {
+      in_directive = true;
+      line_has_code = true;
+      out.tokens.push_back({TokKind::kPunct, "#", line, i, true});
+      ++i;
+      // Peek the directive name; `#include` gets its path captured here
+      // because <...> would otherwise lex as operators.
+      std::size_t j = i;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::size_t e = j;
+      while (e < n && ident_char(src[e])) ++e;
+      const std::string word = src.substr(j, e - j);
+      if (!word.empty()) {
+        out.tokens.push_back({TokKind::kIdent, word, line, j, true});
+      }
+      i = e;
+      if (word == "include" || word == "include_next") {
+        while (i < n && (src[i] == ' ' || src[i] == '\t')) ++i;
+        if (i < n && (src[i] == '"' || src[i] == '<')) {
+          const char close = (src[i] == '<') ? '>' : '"';
+          const bool angled = (src[i] == '<');
+          std::size_t p = i + 1;
+          std::size_t q = p;
+          while (q < n && src[q] != close && src[q] != '\n') ++q;
+          out.includes.push_back({src.substr(p, q - p), angled, line});
+          blank(i, (q < n) ? q + 1 : q);
+          i = (q < n && src[q] == close) ? q + 1 : q;
+        }
+      }
+      continue;
+    }
+    line_has_code = true;
+    // ---- raw strings ----
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+        (i == 0 || !ident_char(src[i - 1]))) {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(' && delim.size() < 16) delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t j = src.find(closer, p);
+      j = (j == std::string::npos) ? n : j + closer.size();
+      out.tokens.push_back({TokKind::kString,
+                            src.substr(i, j - i), line, i, in_directive});
+      blank(i, j);
+      line += count_lines(i, j);
+      i = j;
+      continue;
+    }
+    // ---- string / char literals ----
+    if (c == '"' || c == '\'') {
+      // An apostrophe between digits is a C++14 digit separator; the
+      // number lexer below consumes it, so reaching here with a digit on
+      // the left means a genuine char literal boundary was mis-guessed —
+      // never happens because numbers are lexed greedily first.
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c && src[j] != '\n') {
+        j += (src[j] == '\\' && j + 1 < n) ? 2 : 1;
+      }
+      j = (j < n && src[j] == c) ? j + 1 : j;
+      out.tokens.push_back({c == '"' ? TokKind::kString : TokKind::kChar,
+                            src.substr(i + 1, j - i - (j > i + 1 ? 2 : 1)),
+                            line, i, in_directive});
+      blank(i, j);
+      i = j;
+      continue;
+    }
+    // ---- numbers (pp-number: covers hex, exponents, suffixes, ') ----
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else if (d == '\'' && j + 1 < n && ident_char(src[j + 1])) {
+          ++j;  // digit separator
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, j - i), line, i,
+                            in_directive});
+      i = j;
+      continue;
+    }
+    // ---- identifiers ----
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, src.substr(i, j - i), line, i,
+                            in_directive});
+      i = j;
+      continue;
+    }
+    // ---- punctuation, maximal munch ----
+    {
+      std::string text(1, c);
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::char_traits<char>::length(p);
+        if (src.compare(i, len, p) == 0) {
+          text.assign(p);
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kPunct, text, line, i, in_directive});
+      i += text.size();
+    }
+  }
+  return out;
+}
+
+}  // namespace datc_lint

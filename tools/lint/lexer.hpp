@@ -1,0 +1,62 @@
+#pragma once
+// The C++ tokenizer every datc_lint pass shares. One lexer, many rules:
+// the token-level rule families (rng-fork, lock-scope, hot-alloc, the
+// ported PR-7 rules) and the include-graph builder all consume the same
+// token stream, so comment/string/raw-string/preprocessor handling lives
+// in exactly one place and cannot drift between passes.
+//
+// Deliberately NOT a full C++ front end: no keyword table, no macro
+// expansion, no template disambiguation. It produces what a line-oriented
+// regex scanner cannot: literal-safe tokens with line numbers, maximal-
+// munch multi-character operators (so `==` is distinguishable from `<=`
+// and `<=>`), pp-number literals (so `1.5e-3f` is one token), and a
+// structured record of every #include directive.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace datc_lint {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords
+  kNumber,   ///< pp-number: 1.5e-3f, 0x1F, 1'000'000
+  kString,   ///< "..." and R"(...)" (text holds the uncooked contents)
+  kChar,     ///< '...'
+  kPunct,    ///< operators/punctuation, maximal munch ("==", "->", "::")
+};
+
+struct Token {
+  TokKind kind{TokKind::kPunct};
+  std::string text;
+  int line{1};             ///< 1-based line of the first character
+  std::size_t pos{0};      ///< byte offset in the original source
+  bool in_directive{false};///< inside a preprocessor directive line
+};
+
+struct IncludeDirective {
+  std::string path;   ///< text between the quotes/angle brackets
+  bool angled{false}; ///< <...> form (true) vs "..." form (false)
+  int line{1};
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// Original source with comments and literal contents blanked to
+  /// spaces (newlines kept), for rules that still scan raw text.
+  std::string stripped;
+};
+
+/// Tokenize one translation unit. Never fails: unterminated literals and
+/// comments extend to end-of-file, mirroring how compilers recover.
+[[nodiscard]] LexedSource lex(const std::string& src);
+
+[[nodiscard]] inline bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+[[nodiscard]] inline bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+}  // namespace datc_lint

@@ -1,0 +1,53 @@
+#pragma once
+// datc_lint rule registry + the file-scope rule families. The include-
+// graph rules live in lint/include_graph.{hpp,cpp}; both passes share
+// the Finding type and the allow-marker contract defined here.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace datc_lint {
+
+struct Finding {
+  std::string file;
+  int line{0};
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// Every rule the tool can emit, file-scope and graph-scope alike — the
+/// single source for --list-rules, SARIF rule metadata and the
+/// self-test's coverage accounting.
+[[nodiscard]] const std::vector<RuleInfo>& all_rules();
+[[nodiscard]] bool is_known_rule(const std::string& name);
+/// File-scope rules only (the ones exercised by flat fixtures).
+[[nodiscard]] const std::vector<RuleInfo>& file_rules();
+
+/// Lines suppressed per rule by `datc-lint: allow(rule[,rule...])`
+/// markers in the ORIGINAL source: the marker line, the remainder of its
+/// comment block, and the first code line after it.
+[[nodiscard]] std::map<int, std::set<std::string>> collect_allow_markers(
+    const std::string& src);
+
+/// Extra exported symbols declared via `datc-lint: export(Name, ...)`.
+[[nodiscard]] std::set<std::string> collect_export_markers(
+    const std::string& src);
+
+/// Runs every file-scope rule over one source file (path decides layer
+/// scoping; fixtures pass virtual paths) and filters allow-marked lines.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               const std::string& src);
+
+/// Sorts by (file, line, rule) for deterministic output.
+void sort_findings(std::vector<Finding>& findings);
+
+}  // namespace datc_lint

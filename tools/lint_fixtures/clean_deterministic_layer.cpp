@@ -1,4 +1,4 @@
-// datc-lint-fixture: rule=none path=src/core/fixture_clean.cpp
+// datc-lint-fixture: rule=none path=src/core/fixture_clean.cpp clean=wall-clock,float-eq,narrow-channel
 // Clean fixture: everything here is allowed and must stay allowed —
 // steady_clock (monotonic, not wall time), member/derived identifiers
 // that merely contain banned names, u16 channel handling, and the

@@ -1,0 +1,35 @@
+// datc-lint-fixture: rule=none path=src/core/streaming_reconstruct.cpp clean=hot-alloc,rng-fork
+// Clean fixture in a hot file: the allocation-free idioms the hot-alloc
+// rule is steering towards, and the per-channel fork() discipline the
+// rng-fork rule wants. None of this may ever start flagging.
+#include <cstddef>
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace datc::core {
+
+double fixture_noise_draw(dsp::Rng& rng);
+
+// reserve() before the loop: push_back is amortisation-free after that.
+inline void fixture_collect_ok(const double* x, std::size_t n,
+                               std::vector<double>& out) {
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(x[i] * 0.5);
+  }
+}
+
+// Each channel forks its own stream, so chunk boundaries cannot change
+// the draw order; the forked handle may then be passed bare.
+inline double fixture_sum_channels_ok(std::size_t num_channels,
+                                      dsp::Rng& rng) {
+  double acc = 0.0;
+  for (std::size_t chan = 0; chan < num_channels; ++chan) {
+    dsp::Rng chan_rng = rng.fork();
+    acc += fixture_noise_draw(chan_rng);
+  }
+  return acc;
+}
+
+}  // namespace datc::core

@@ -1,0 +1,33 @@
+// datc-lint-fixture: rule=none path=src/runtime/fixture_clean_lock.cpp clean=lock-scope
+// Clean fixture: RAII guards for every acquisition, and the snapshot
+// idiom for thread-pool handoff — copy what the job needs under the
+// lock, release explicitly, THEN submit.
+#include <mutex>
+
+namespace datc::runtime {
+
+struct FixturePool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+struct FixtureQueue {
+  std::mutex mu_;
+  int counter_{0};
+  int next_job_{0};
+  FixturePool pool_;
+
+  void ok_guarded_increment() {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++counter_;
+  }
+
+  void ok_snapshot_then_submit() {
+    std::unique_lock<std::mutex> work(mu_);
+    const int job = next_job_++;
+    work.unlock();
+    pool_.submit([job] { (void)job; });
+  }
+};
+
+}  // namespace datc::runtime

@@ -1,4 +1,4 @@
-// datc-lint-fixture: rule=none path=src/rtl/fixture_clean.cpp
+// datc-lint-fixture: rule=none path=src/rtl/fixture_clean.cpp clean=wall-clock
 // Clean fixture: layer scoping. rtl/ is NOT a deterministic layer, so
 // wall-clock/entropy calls are out of datc_lint's jurisdiction there
 // (generic tools still see them). Keeps the rule from creeping beyond

@@ -1,0 +1,19 @@
+// datc-lint-fixture: rule=none path=src/store/fixture_clean.cpp clean=store-io
+// Clean fixture: store/ code that persists through the fault::FileIo
+// seam. Writing through the seam (instead of ofstream/fopen/fwrite)
+// is exactly what the store-io rule enforces, so this idiom must
+// never start flagging.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fault/file_io.hpp"
+
+namespace datc::store {
+
+void fixture_persist(fault::FileIo& io, const std::string& path,
+                     const std::vector<unsigned char>& bytes) {
+  fault::write_file(io, path, bytes.data(), bytes.size());
+}
+
+}  // namespace datc::store

@@ -1,0 +1,5 @@
+#pragma once
+
+struct CoreThing {
+  int thing_v;
+};

@@ -1,0 +1,6 @@
+#pragma once
+// dsp/ is rank 0 and may depend on nothing — this include is a
+// deliberate back-edge into core/ (rank 2).
+#include "core/thing.hpp"
+
+inline int fixture_rank_break(const CoreThing& t) { return t.thing_v; }

@@ -1,0 +1,6 @@
+#pragma once
+// Legal downward dependency: core/ (rank 2) may include dsp/ (rank 0),
+// and the included symbol is actually used.
+#include "dsp/help.hpp"
+
+inline double fixture_value(const FixtureSample& s) { return s.value_v; }

@@ -1,0 +1,5 @@
+#pragma once
+
+struct FixtureSample {
+  double value_v;
+};

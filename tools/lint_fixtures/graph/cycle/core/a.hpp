@@ -1,0 +1,9 @@
+#pragma once
+// Half of a deliberate include cycle with core/b.hpp.
+#include "core/b.hpp"
+
+struct CycleAlpha {
+  int alpha_v;
+};
+
+inline int cycle_alpha_of(const CycleBeta& b) { return b.beta_v; }

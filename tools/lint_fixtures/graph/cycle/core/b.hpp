@@ -1,0 +1,9 @@
+#pragma once
+// Other half of the cycle; the DFS reports the edge that closes it.
+#include "core/a.hpp"
+
+struct CycleBeta {
+  int beta_v;
+};
+
+inline int cycle_beta_of(const CycleAlpha& a) { return a.alpha_v; }

@@ -1,0 +1,5 @@
+#pragma once
+
+struct FixtureBaseWidget {
+  int base_v;
+};

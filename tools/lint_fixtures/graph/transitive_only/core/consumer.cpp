@@ -1,0 +1,8 @@
+// Uses FixtureBaseWidget but includes only core/middle.hpp — the
+// direct-include demand fires on the first use.
+#include "core/middle.hpp"
+
+namespace datc::core {
+int fixture_read(const FixtureMiddle& m) { return m.widget.base_v; }
+int fixture_make(const FixtureBaseWidget& w) { return w.base_v; }
+}  // namespace datc::core

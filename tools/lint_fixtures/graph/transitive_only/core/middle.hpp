@@ -1,0 +1,6 @@
+#pragma once
+#include "core/base.hpp"
+
+struct FixtureMiddle {
+  FixtureBaseWidget widget;
+};

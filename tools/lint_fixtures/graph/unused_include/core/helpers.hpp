@@ -1,0 +1,5 @@
+#pragma once
+
+struct FixtureHelper {
+  int helper_v;
+};

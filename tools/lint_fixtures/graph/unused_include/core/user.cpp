@@ -1,0 +1,6 @@
+// Includes core/helpers.hpp but never names anything it exports.
+#include "core/helpers.hpp"
+
+namespace datc::core {
+int fixture_unrelated() { return 42; }
+}  // namespace datc::core

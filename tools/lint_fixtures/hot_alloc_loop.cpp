@@ -1,0 +1,25 @@
+// datc-lint-fixture: rule=hot-alloc path=src/core/datc_block.hpp
+// Violating fixture: allocation inside a hot loop of a kernel file.
+// The block kernel runs per pulse per channel; a push_back without a
+// visible reserve() reallocates mid-kernel, and a naked `new` is worse.
+#include <cstddef>
+#include <vector>
+
+namespace datc::core {
+
+inline void fixture_collect(const double* x, std::size_t n,
+                            std::vector<double>& out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(x[i] * 0.5);
+  }
+}
+
+inline double* fixture_leaky(std::size_t n) {
+  double* head = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    head = new double(static_cast<double>(i));
+  }
+  return head;
+}
+
+}  // namespace datc::core

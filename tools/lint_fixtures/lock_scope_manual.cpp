@@ -1,0 +1,35 @@
+// datc-lint-fixture: rule=lock-scope path=src/runtime/fixture_lock.cpp
+// Violating fixture, both lock-scope families:
+//   (a) manual mu_.lock()/unlock() — an exception between them leaves
+//       the mutex held forever;
+//   (b) submitting to the thread pool while an RAII guard is live —
+//       the pool worker may need the same mutex (ordering hazard) and
+//       the submit latency extends the critical section.
+#include <mutex>
+
+namespace datc::runtime {
+
+struct FixturePool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+struct FixtureQueue {
+  std::mutex mu_;
+  int counter_{0};
+  FixturePool pool_;
+
+  void bad_manual_lock() {
+    mu_.lock();
+    ++counter_;
+    mu_.unlock();
+  }
+
+  void bad_handoff_under_lock() {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++counter_;
+    pool_.submit([] {});
+  }
+};
+
+}  // namespace datc::runtime

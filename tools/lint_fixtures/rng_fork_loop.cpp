@@ -1,0 +1,23 @@
+// datc-lint-fixture: rule=rng-fork path=src/core/fixture_rng.cpp
+// Violating fixture: ONE Rng stream threaded through a per-channel loop.
+// Every iteration advances the shared stream, so the draw order depends
+// on how channels are chunked — the PR 3 seed-ordering bug class. The
+// fix is `dsp::Rng ch_rng = rng.fork();` per iteration (see the clean
+// fixture).
+#include <cstddef>
+
+#include "dsp/rng.hpp"
+
+namespace datc::core {
+
+double fixture_noise_draw(dsp::Rng& rng);
+
+double fixture_sum_channels(std::size_t num_channels, dsp::Rng& rng) {
+  double acc = 0.0;
+  for (std::size_t chan = 0; chan < num_channels; ++chan) {
+    acc += fixture_noise_draw(rng);
+  }
+  return acc;
+}
+
+}  // namespace datc::core
