@@ -1,0 +1,256 @@
+// Ingest daemon evaluation: (1) the loopback parity gate — a session
+// streamed through `datc serve` must persist a bit-identical envelope to
+// a direct StreamingSession run on the same chunks; (2) a 1 -> 1k
+// session ramp driven by the loadgen over loopback TCP, reporting wall
+// time, chunk-to-envelope latency percentiles and per-core session
+// throughput — the fleet-scale figure the serve subsystem exists for.
+//
+// Emits BENCH_serve.json next to the binary so CI smoke-gates parity
+// and a nonzero ramp. DATC_BENCH_SERVE_MAX_SESSIONS caps the ramp for
+// constrained runners (default 1000).
+
+#include "bench_util.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "config/factory.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "runtime/session.hpp"
+#include "store/replay.hpp"
+
+namespace {
+
+using datc::dsp::Real;
+using namespace datc;
+
+/// The serve-smoke preset is the bench regime: fast noise synthesis,
+/// 2 s per session, 256-sample chunks, two shards.
+const config::PipelineFactory& serve_factory() {
+  static const config::PipelineFactory factory(
+      config::make_preset("serve-smoke"));
+  return factory;
+}
+
+std::vector<Real> bench_signal() {
+  const dsp::TimeSeries& ts = serve_factory().make_recording(0).emg_v;
+  std::vector<Real> out(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) out[i] = ts[i];
+  return out;
+}
+
+/// One session through a persisting server vs the direct engine on the
+/// same chunks: bit-identical envelope or bust.
+bool check_loopback_parity(const std::vector<Real>& signal,
+                           std::size_t chunk) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "datc_bench_serve_parity";
+  fs::remove_all(dir);
+
+  net::ServeConfig cfg =
+      net::make_serve_config(serve_factory().spec(), dir.string());
+  net::Server server(std::move(cfg));
+  std::thread loop([&server] { server.run(); });
+
+  std::uint64_t id = 0;
+  {
+    net::Client client("127.0.0.1", server.port());
+    net::wire::HelloBody hello;
+    hello.tenant = "bench";
+    id = client.hello(hello);
+    for (std::size_t at = 0; at < signal.size(); at += chunk) {
+      client.send_chunk(std::span<const Real>(
+          signal.data() + at, std::min(chunk, signal.size() - at)));
+    }
+    client.finish();
+  }
+  server.request_stop();
+  loop.join();
+
+  auto direct = serve_factory().make_streaming_session(0);
+  std::vector<Real> env;
+  for (std::size_t at = 0; at < signal.size(); at += chunk) {
+    direct->push_chunk(std::span<const Real>(
+        signal.data() + at, std::min(chunk, signal.size() - at)));
+    direct->drain_arv(env);
+  }
+  direct->finish();
+  direct->drain_arv(env);
+
+  const std::vector<Real> served = store::read_envelope_f64(
+      (dir / "bench" / ("session-" + std::to_string(id))).string());
+  fs::remove_all(dir);
+  if (served.size() != env.size()) return false;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(served[i]) !=
+        std::bit_cast<std::uint64_t>(env[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct RampPoint {
+  std::size_t sessions{0};
+  Real wall_ms{0.0};
+  std::uint64_t chunks{0};
+  std::uint64_t samples{0};
+  Real p50_us{0.0};
+  Real p99_us{0.0};
+  Real chunks_per_s{0.0};
+  Real x_realtime{0.0};       ///< summed signal seconds / wall seconds
+  Real sessions_per_core_s{0.0};  ///< completed sessions / (core * s)
+};
+
+RampPoint run_ramp_point(const std::vector<Real>& signal,
+                         std::size_t sessions, std::size_t chunk) {
+  net::ServeConfig cfg = net::make_serve_config(serve_factory().spec());
+  net::Server server(std::move(cfg));  // no output dir: pure ingest
+  std::thread loop([&server] { server.run(); });
+
+  net::LoadGenConfig lg;
+  lg.port = server.port();
+  lg.sessions = sessions;
+  lg.concurrency = std::min<std::size_t>(64, sessions);
+  lg.chunk_samples = chunk;
+  const net::LoadGenReport report = net::run_loadgen(lg, signal);
+  server.request_stop();
+  loop.join();
+
+  const net::ServerStats st = server.stats();
+  RampPoint p;
+  p.sessions = report.sessions_ok;
+  p.wall_ms = static_cast<Real>(report.wall_s) * 1e3;
+  p.chunks = st.chunks_rx;
+  p.samples = st.samples_rx;
+  p.p50_us = st.chunk_to_envelope.p50_us;
+  p.p99_us = st.chunk_to_envelope.p99_us;
+  if (report.wall_s > 0.0) {
+    const auto wall = static_cast<Real>(report.wall_s);
+    p.chunks_per_s = static_cast<Real>(st.chunks_rx) / wall;
+    const Real fs = serve_factory().spec().source.sample_rate_hz;
+    p.x_realtime = static_cast<Real>(st.samples_rx) / fs / wall;
+    const Real cores =
+        static_cast<Real>(std::max(1u, std::thread::hardware_concurrency()));
+    p.sessions_per_core_s =
+        static_cast<Real>(report.sessions_ok) / cores / wall;
+  }
+  return p;
+}
+
+void print_serve_table() {
+  bench::print_header(
+      "Ingest daemon: loopback parity + 1 -> 1k session ramp",
+      "continuous telemetry from fleets of wearable front ends - one "
+      "daemon sharding thousands of concurrent D-ATC sessions");
+
+  const std::size_t chunk = serve_factory().spec().session.chunk_samples;
+  const std::vector<Real> signal = bench_signal();
+
+  const bool parity = check_loopback_parity(signal, chunk);
+  std::printf("loopback parity (served vs direct envelope): %s\n",
+              parity ? "bit-identical" : "DIVERGED");
+
+  std::size_t max_sessions = 1000;
+  if (const char* cap = std::getenv("DATC_BENCH_SERVE_MAX_SESSIONS")) {
+    max_sessions = static_cast<std::size_t>(std::strtoul(cap, nullptr, 10));
+  }
+  std::printf("session ramp (%zu-sample chunks, <= 64 loadgen workers):\n",
+              chunk);
+  std::printf(
+      "  sessions  wall ms   chunks    chunks/s  x realtime  p50 us  "
+      "p99 us  sess/core/s\n");
+  std::vector<RampPoint> ramp;
+  for (const std::size_t sessions : {1u, 10u, 100u, 1000u}) {
+    if (sessions > max_sessions) break;
+    ramp.push_back(run_ramp_point(signal, sessions, chunk));
+    const auto& p = ramp.back();
+    std::printf(
+        "  %8zu  %7.1f  %7llu  %10.0f  %10.1f  %6.0f  %6.0f  %11.2f\n",
+        p.sessions, p.wall_ms, static_cast<unsigned long long>(p.chunks),
+        p.chunks_per_s, p.x_realtime, p.p50_us, p.p99_us,
+        p.sessions_per_core_s);
+  }
+
+  std::ofstream json("BENCH_serve.json");
+  if (!json.good()) {
+    std::printf("WARNING: could not write BENCH_serve.json\n");
+    return;
+  }
+  json.precision(12);
+  json << "{\n  \"parity\": " << (parity ? "true" : "false") << ",\n";
+  json << "  \"chunk_samples\": " << chunk << ",\n";
+  json << "  \"ramp\": [\n";
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    const auto& p = ramp[i];
+    json << "    {\"sessions\": " << p.sessions
+         << ", \"wall_ms\": " << p.wall_ms << ", \"chunks\": " << p.chunks
+         << ", \"samples\": " << p.samples << ", \"p50_us\": " << p.p50_us
+         << ", \"p99_us\": " << p.p99_us
+         << ", \"chunks_per_s\": " << p.chunks_per_s
+         << ", \"x_realtime\": " << p.x_realtime
+         << ", \"sessions_per_core_s\": " << p.sessions_per_core_s << "}"
+         << (i + 1 < ramp.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+}
+
+void bench_wire_data_roundtrip(benchmark::State& state) {
+  // Encode + incremental-decode one 256-sample DATA frame: the per-chunk
+  // protocol overhead a connection pays on top of the DSP.
+  const std::vector<Real> samples(256, 0.125);
+  std::vector<std::uint8_t> bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    net::wire::append_data(bytes, 1, 0, samples);
+    net::wire::FrameDecoder decoder;
+    decoder.feed(bytes);
+    net::wire::Frame frame;
+    std::string reason;
+    if (decoder.next(&frame, &reason) !=
+        net::wire::FrameDecoder::Status::kFrame) {
+      state.SkipWithError("decode failed");
+      break;
+    }
+    benchmark::DoNotOptimize(frame.data.samples.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(bench_wire_data_roundtrip);
+
+void bench_serve_loopback_session(benchmark::State& state) {
+  // One full session per iteration — connect, HELLO, stream, END —
+  // against a live server: the per-session cost of the daemon path.
+  const std::vector<Real> signal = bench_signal();
+  const std::size_t chunk = serve_factory().spec().session.chunk_samples;
+  net::ServeConfig cfg = net::make_serve_config(serve_factory().spec());
+  net::Server server(std::move(cfg));
+  std::thread loop([&server] { server.run(); });
+  for (auto _ : state) {
+    net::Client client("127.0.0.1", server.port());
+    client.hello(net::wire::HelloBody{});
+    for (std::size_t at = 0; at < signal.size(); at += chunk) {
+      client.send_chunk(std::span<const Real>(
+          signal.data() + at, std::min(chunk, signal.size() - at)));
+    }
+    benchmark::DoNotOptimize(client.finish());
+  }
+  server.request_stop();
+  loop.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(signal.size()));
+}
+BENCHMARK(bench_serve_loopback_session)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DATC_BENCH_MAIN(print_serve_table)

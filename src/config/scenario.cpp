@@ -334,6 +334,20 @@ std::vector<ScenarioKey> build_registry() {
         s.recon.mode = parse_recon_mode(v);
       }});
 
+  // ---- serve (ingest daemon; shapes the server, never the pipeline)
+  keys.push_back(DATC_UINT_KEY(
+      "serve.port", serve.port, std::uint16_t, 65535,
+      "ingest daemon TCP port; 0 = ephemeral (loopback testing)"));
+  keys.push_back(DATC_UINT_KEY(
+      "serve.shards", serve.shards, std::size_t, 1u << 10,
+      "SessionManager shards; sessions land by id hash [1, 256]"));
+  keys.push_back(DATC_UINT_KEY(
+      "serve.max_sessions", serve.max_sessions, std::size_t, 1u << 24,
+      "concurrent session cap; later HELLOs get a typed reject"));
+  keys.push_back(DATC_UINT_KEY(
+      "serve.inflight", serve.max_inflight_chunks, std::size_t, 1u << 16,
+      "per-connection inflight-chunk bound before TCP pushback [1, 1024]"));
+
   // ---- fault (all defaults off: bit-identical to the fault-free chain)
   keys.push_back(DATC_UINT_KEY(
       "fault.seed", fault.seed, std::uint64_t, kU64Max,
@@ -604,6 +618,19 @@ std::vector<ScenarioSpec::Issue> ScenarioSpec::validate() const {
             std::to_string(session.channel));
   }
 
+  if (serve.shards < 1 || serve.shards > 256) {
+    bad("serve.shards", "shard count must lie in [1, 256], got " +
+                            std::to_string(serve.shards));
+  }
+  if (serve.max_sessions < 1) {
+    bad("serve.max_sessions", "session cap must be >= 1");
+  }
+  if (serve.max_inflight_chunks < 1 || serve.max_inflight_chunks > 1024) {
+    bad("serve.inflight",
+        "inflight-chunk bound must lie in [1, 1024], got " +
+            std::to_string(serve.max_inflight_chunks));
+  }
+
   const auto prob = [&bad](const char* key, Real v, const char* what) {
     if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
       bad(key, std::string(what) + " must lie in [0, 1], got " +
@@ -812,6 +839,16 @@ const std::vector<PresetDef>& preset_defs() {
         {"link.distance_m", "2"},
         {"link.erasure_prob", "0.1"},
         {"link.pulse_amplitude_v", "0.5"}}},
+      {"serve-smoke",
+       "loopback ingest-daemon smoke: short fast-noise sessions streamed "
+       "over TCP into 2 shards (`datc serve` / `datc loadgen` / CI gate)",
+       {{"scenario", "serve-smoke"},
+        {"source.model", "noise"},
+        {"source.duration_s", "2"},
+        {"session.chunk_samples", "256"},
+        {"serve.shards", "2"},
+        {"serve.max_sessions", "2048"},
+        {"serve.inflight", "4"}}},
       {"chaos-soak",
        "everything degrades at once: lossy link, sensor bursts, chunk "
        "drops/dups/stalls, store I/O faults, health monitor armed "

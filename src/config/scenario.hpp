@@ -108,6 +108,20 @@ struct ScenarioSpec {
     ReconMode mode{ReconMode::kRateInversion};
   } recon;
 
+  /// Ingest-daemon parameters (`datc serve`): the TCP listener and the
+  /// sharded session fan-out. Sessions accepted by the daemon are built
+  /// through the same PipelineFactory as every other path, so serve.*
+  /// only shapes the server, never the pipeline.
+  struct Serve {
+    std::uint16_t port{0};        ///< TCP port; 0 = ephemeral (loopback)
+    std::size_t shards{2};        ///< SessionManager shards (by id hash)
+    std::size_t max_sessions{4096};  ///< concurrent session cap
+    /// Per-connection inflight-chunk bound: once this many submitted
+    /// chunks have not yet produced their envelope, the server stops
+    /// reading the socket (TCP pushback towards the client).
+    std::size_t max_inflight_chunks{4};
+  } serve;
+
   /// Deterministic fault injection + graceful-degradation thresholds.
   /// All defaults are "off": a spec with default fault.* keys runs the
   /// exact pre-fault pipeline, bit for bit. Probabilities are decided by

@@ -1,0 +1,257 @@
+#include "net/client.hpp"
+
+#include "net/wire.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace datc::net {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("datc net client: socket(): ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("datc net client: bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("datc net client: connect(" + host + ":" +
+                             std::to_string(port) + "): " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("datc net client: send(): ") +
+                             std::strerror(errno));
+  }
+}
+
+void Client::send_raw(std::span<const std::uint8_t> bytes) {
+  send_all(bytes);
+}
+
+void Client::drain_incoming() {
+  std::array<std::uint8_t, 4096> buf;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      decoder_.feed(std::span<const std::uint8_t>(
+          buf.data(), static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN (nothing buffered) or EOF/error: surfaced later
+  }
+  for (;;) {
+    wire::Frame f;
+    std::string reason;
+    const wire::FrameDecoder::Status s = decoder_.next(&f, &reason);
+    if (s == wire::FrameDecoder::Status::kNeedMore) return;
+    if (s != wire::FrameDecoder::Status::kFrame) {
+      throw std::runtime_error("datc net client: undecodable server frame: " +
+                               reason);
+    }
+    if (f.type == wire::FrameType::kControl &&
+        f.control.code == wire::ControlCode::kError) {
+      throw ClientError(static_cast<wire::ErrorCode>(f.control.value),
+                        f.control.message);
+    }
+    // Chunk acks and other control traffic: consumed, nothing to do.
+  }
+}
+
+wire::Frame Client::next_frame_blocking() {
+  std::array<std::uint8_t, 4096> buf;
+  for (;;) {
+    wire::Frame f;
+    std::string reason;
+    const wire::FrameDecoder::Status s = decoder_.next(&f, &reason);
+    if (s == wire::FrameDecoder::Status::kFrame) return f;
+    if (s != wire::FrameDecoder::Status::kNeedMore) {
+      throw std::runtime_error("datc net client: undecodable server frame: " +
+                               reason);
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      decoder_.feed(std::span<const std::uint8_t>(
+          buf.data(), static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      throw std::runtime_error(
+          "datc net client: server closed the connection");
+    }
+    throw std::runtime_error(std::string("datc net client: recv(): ") +
+                             std::strerror(errno));
+  }
+}
+
+wire::ControlBody Client::read_control(bool skip_chunk_acks) {
+  for (;;) {
+    const wire::Frame f = next_frame_blocking();
+    if (f.type != wire::FrameType::kControl) continue;
+    if (skip_chunk_acks && f.control.code == wire::ControlCode::kChunkAck) {
+      continue;
+    }
+    return f.control;
+  }
+}
+
+std::uint64_t Client::hello(const wire::HelloBody& body) {
+  out_.clear();
+  wire::append_hello(out_, body);
+  send_all(out_);
+  const wire::ControlBody ack = read_control(true);
+  if (ack.code == wire::ControlCode::kError) {
+    throw ClientError(static_cast<wire::ErrorCode>(ack.value), ack.message);
+  }
+  if (ack.code != wire::ControlCode::kHelloAck) {
+    throw std::runtime_error("datc net client: expected HELLO ack, got code " +
+                             std::to_string(static_cast<int>(ack.code)));
+  }
+  session_id_ = ack.value;
+  next_seq_ = 0;
+  return session_id_;
+}
+
+void Client::send_chunk(std::span<const Real> samples) {
+  drain_incoming();  // keep ack traffic from accumulating server-side
+  out_.clear();
+  // session id 0 on the wire = "this connection's session": lets a
+  // client pipeline HELLO + DATA without waiting for the ack round trip.
+  wire::append_data(out_, 0, next_seq_, samples);
+  ++next_seq_;
+  send_all(out_);
+}
+
+std::uint64_t Client::finish() {
+  out_.clear();
+  wire::append_end(out_, 0);
+  send_all(out_);
+  for (;;) {
+    const wire::ControlBody c = read_control(true);
+    if (c.code == wire::ControlCode::kEndAck) return c.value;
+    if (c.code == wire::ControlCode::kError) {
+      throw ClientError(static_cast<wire::ErrorCode>(c.value), c.message);
+    }
+  }
+}
+
+// -------------------------------------------------------------- loadgen
+
+LoadGenReport run_loadgen(const LoadGenConfig& config,
+                          std::span<const Real> signal) {
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.concurrency, config.sessions));
+  const std::size_t channels = std::max<std::size_t>(1, config.channel_count);
+  const std::size_t stride =
+      std::max<std::size_t>(1, config.chunk_samples) * channels;
+
+  std::atomic<std::size_t> next_session{0};
+  std::mutex report_mu;
+  LoadGenReport report;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&config, &signal, &next_session, &report_mu,
+                          &report, stride]() {
+      for (;;) {
+        const std::size_t index =
+            next_session.fetch_add(1, std::memory_order_relaxed);
+        if (index >= config.sessions) return;
+        LoadGenReport local;
+        try {
+          Client client(config.host, config.port);
+          wire::HelloBody hello;
+          hello.channel_count =
+              static_cast<std::uint16_t>(config.channel_count);
+          hello.channel_id = static_cast<std::uint32_t>(index);
+          hello.tenant = config.tenant;
+          hello.scenario = config.scenario;
+          client.hello(hello);
+
+          using Clock = std::chrono::steady_clock;
+          const bool paced = config.rate_chunks_per_s > 0.0;
+          const auto interval =
+              paced ? std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              1.0 / config.rate_chunks_per_s))
+                    : Clock::duration::zero();
+          auto deadline = Clock::now();
+          for (std::size_t at = 0; at < signal.size(); at += stride) {
+            if (paced) {
+              deadline += interval;
+              std::this_thread::sleep_until(deadline);
+            }
+            const std::size_t n = std::min(stride, signal.size() - at);
+            client.send_chunk(signal.subspan(at, n));
+            local.chunks_sent += 1;
+            local.samples_sent += n;
+          }
+          local.envelope_samples += client.finish();
+          local.sessions_ok += 1;
+        } catch (const std::exception&) {
+          local.sessions_failed += 1;
+        }
+        const std::lock_guard<std::mutex> lock(report_mu);
+        report.sessions_ok += local.sessions_ok;
+        report.sessions_failed += local.sessions_failed;
+        report.chunks_sent += local.chunks_sent;
+        report.samples_sent += local.samples_sent;
+        report.envelope_samples += local.envelope_samples;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  report.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return report;
+}
+
+}  // namespace datc::net

@@ -1,0 +1,117 @@
+#pragma once
+// Loopback client side of the ingest protocol: a small blocking framed
+// TCP client (the building block of the protocol tests) and the
+// `datc loadgen` driver that replays signals into a running server from
+// many worker threads — the fleet-scale load source bench_serve and the
+// CI smoke gate measure the daemon with.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "net/wire.hpp"
+
+namespace datc::net {
+
+using dsp::Real;
+
+/// A typed server reject (CONTROL/ERROR frame), surfaced as an exception
+/// carrying the wire::ErrorCode a client can branch on.
+class ClientError : public std::runtime_error {
+ public:
+  ClientError(wire::ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] wire::ErrorCode code() const { return code_; }
+
+ private:
+  wire::ErrorCode code_;
+};
+
+/// One blocking connection speaking the wire protocol: HELLO handshake,
+/// sequenced DATA chunks, END + EndAck. Incoming chunk acks are drained
+/// opportunistically so neither side's buffers grow with session length.
+/// The raw hooks (send_raw / set_next_seq / read_control) exist for the
+/// robustness tests — malformed bytes, duplicate and gapped sequence
+/// numbers, version mismatches.
+class Client {
+ public:
+  /// Connects immediately; throws on refusal.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// HELLO handshake; returns the server-assigned session id. Throws
+  /// ClientError on a typed reject (version/scenario/limit/...).
+  std::uint64_t hello(const wire::HelloBody& body);
+
+  /// Sends the next sequenced DATA chunk (shared topologies:
+  /// channel-major lockstep layout, as SharedAerStreamingSession takes).
+  void send_chunk(std::span<const Real> samples);
+
+  /// END + wait for EndAck; returns the session's envelope sample count.
+  std::uint64_t finish();
+
+  // ---- protocol-test hooks
+  /// Ships arbitrary bytes as-is (garbage, truncated or oversized frames).
+  void send_raw(std::span<const std::uint8_t> bytes);
+  /// Blocks for the next CONTROL frame; by default chunk acks are
+  /// skipped so tests land directly on the frame they provoked. Throws
+  /// on connection loss before one arrives.
+  wire::ControlBody read_control(bool skip_chunk_acks = true);
+  /// Overrides the next DATA sequence number (duplicate/gap injection).
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+
+ private:
+  int fd_{-1};
+  std::uint64_t session_id_{0};
+  std::uint64_t next_seq_{0};
+  wire::FrameDecoder decoder_;
+  std::vector<std::uint8_t> out_;
+
+  void send_all(std::span<const std::uint8_t> bytes);
+  /// Pulls buffered server frames without blocking; throws ClientError
+  /// when an ERROR frame is among them.
+  void drain_incoming();
+  wire::Frame next_frame_blocking();
+};
+
+// -------------------------------------------------------------- loadgen
+
+struct LoadGenConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+  std::size_t sessions{16};     ///< total sessions to run to completion
+  std::size_t concurrency{16};  ///< worker threads (= max open sockets)
+  std::size_t chunk_samples{256};  ///< per channel, per DATA frame
+  std::size_t channel_count{1};    ///< must match the scenario's topology
+  std::string tenant{"loadgen"};
+  std::string scenario;  ///< HELLO scenario ref; empty = server default
+  /// Chunk pacing per session: 0 = as fast as possible; e.g. a 2500 Hz
+  /// source in 256-sample chunks paces at ~9.77 chunks/s for 1x realtime.
+  Real rate_chunks_per_s{0.0};
+};
+
+struct LoadGenReport {
+  std::size_t sessions_ok{0};
+  std::size_t sessions_failed{0};
+  std::uint64_t chunks_sent{0};
+  std::uint64_t samples_sent{0};
+  std::uint64_t envelope_samples{0};  ///< summed over sessions (EndAcks)
+  double wall_s{0.0};
+};
+
+/// Replays `signal` (one session's samples; channel-major rounds for
+/// shared topologies) into the server `config.sessions` times from
+/// `config.concurrency` threads. Per-session failures are counted, never
+/// thrown — the generator always reports.
+[[nodiscard]] LoadGenReport run_loadgen(const LoadGenConfig& config,
+                                        std::span<const Real> signal);
+
+}  // namespace datc::net

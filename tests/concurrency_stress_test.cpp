@@ -29,6 +29,9 @@
 
 #include "config/scenario.hpp"
 #include "fault/file_io.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
 #include "runtime/session.hpp"
 #include "runtime/thread_pool.hpp"
 #include "config/scenario_grid.hpp"
@@ -471,6 +474,117 @@ TEST(ScenarioGridStressTest, ParallelFanOutIsDeterministicUnderRepetition) {
                 parallel.points[i].mean_rx_correlation_pct);
     }
   }
+}
+
+// ---------------------------------------------------------- ingest server
+
+config::ScenarioSpec serve_stress_scenario() {
+  config::ScenarioSpec spec;
+  spec.name = "serve-stress";
+  config::set_scenario_key(spec, "source.model", "noise");
+  spec.source.duration_s = 0.5;
+  spec.session.jobs = 2;
+  return spec;
+}
+
+TEST(ServeStressTest, ConcurrentClientsAgainstAcceptSubmitAndFinish) {
+  // Client threads hammer HELLO/DATA/END while the event-loop thread and
+  // the shard strands run, and a monitoring thread polls stats()
+  // throughout — accept, submit, completion signalling and the stats
+  // snapshot all race each other here. Invariants: every client
+  // completes, every session is accounted, counters conserve.
+  net::ServeConfig cfg = net::make_serve_config(serve_stress_scenario());
+  cfg.shards = 2;
+  cfg.max_inflight_chunks = 2;  // backpressure engages under the burst
+  net::Server server(std::move(cfg));  // no output_dir: pure ingest
+  std::thread loop([&server] { server.run(); });
+
+  std::atomic<bool> stop_polling{false};
+  std::thread poller([&server, &stop_polling] {
+    while (!stop_polling.load(std::memory_order_relaxed)) {
+      const net::ServerStats s = server.stats();
+      EXPECT_LE(s.sessions_finished + s.sessions_aborted, s.sessions_opened);
+      EXPECT_LE(s.samples_rx, s.bytes_rx);  // every sample cost 8 bytes
+    }
+  });
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kChunks = 10;
+  const std::vector<Real> chunk(64, 0.01);
+  std::atomic<std::size_t> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &chunk, &completed] {
+      net::Client client("127.0.0.1", server.port());
+      client.hello(net::wire::HelloBody{});
+      for (std::size_t c = 0; c < kChunks; ++c) client.send_chunk(chunk);
+      client.finish();
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_polling.store(true, std::memory_order_relaxed);
+  poller.join();
+  server.request_stop();
+  loop.join();
+
+  EXPECT_EQ(completed.load(), kClients);
+  const net::ServerStats s = server.stats();
+  EXPECT_EQ(s.sessions_opened, kClients);
+  EXPECT_EQ(s.sessions_finished, kClients);
+  EXPECT_EQ(s.sessions_aborted, 0u);
+  EXPECT_EQ(s.sessions_active, 0u);
+  EXPECT_EQ(s.chunks_rx, kClients * kChunks);
+  EXPECT_EQ(s.samples_rx, kClients * kChunks * chunk.size());
+  EXPECT_EQ(s.chunk_to_envelope.count, s.chunks_rx);
+}
+
+TEST(ServeStressTest, StopWhileClientsAreMidStreamDrainsEverySession) {
+  // request_stop() lands while every client is mid-stream: the drain
+  // must abort-and-flush each open session (never hang on inflight
+  // chunks), notify peers with a typed kDraining error, and leave the
+  // books balanced — opened == finished + aborted, nothing active.
+  net::ServeConfig cfg = net::make_serve_config(serve_stress_scenario());
+  cfg.shards = 2;
+  net::Server server(std::move(cfg));
+  std::thread loop([&server] { server.run(); });
+
+  constexpr std::size_t kClients = 4;
+  const std::vector<Real> chunk(64, 0.01);
+  std::atomic<std::size_t> streaming{0};
+  std::atomic<std::size_t> ended{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &chunk, &streaming, &ended] {
+      try {
+        net::Client client("127.0.0.1", server.port());
+        client.hello(net::wire::HelloBody{});
+        streaming.fetch_add(1, std::memory_order_relaxed);
+        for (;;) client.send_chunk(chunk);  // until the server says stop
+      } catch (const net::ClientError& e) {
+        EXPECT_EQ(e.code(), net::wire::ErrorCode::kDraining);
+        ended.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        // The server may close the socket before the error frame is
+        // read; a connection-loss end is an acceptable outcome too.
+        ended.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (streaming.load(std::memory_order_relaxed) < kClients) {
+    std::this_thread::yield();
+  }
+  server.request_stop();
+  loop.join();  // the drain must terminate with clients still pushing
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(ended.load(), kClients);
+  const net::ServerStats s = server.stats();
+  EXPECT_EQ(s.sessions_opened, kClients);
+  EXPECT_EQ(s.sessions_finished + s.sessions_aborted, kClients);
+  EXPECT_EQ(s.sessions_active, 0u);
 }
 
 }  // namespace

@@ -30,6 +30,8 @@
 #include "dsp/envelope.hpp"
 #include "dsp/stats.hpp"
 #include "emg/dataset.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "runtime/pipeline_runner.hpp"
 #include "runtime/session.hpp"
 #include "sim/link_sweep.hpp"
@@ -632,6 +634,127 @@ int cmd_record(const Args& a) {
   return 0;
 }
 
+/// `serve` flag -> scenario-key forwarding (serve.* shapes the daemon;
+/// session.jobs sizes the shard worker pools).
+constexpr std::initializer_list<FlagKey> kServeFlags = {
+    {"port", "serve.port", nullptr},
+    {"shards", "serve.shards", nullptr},
+    {"max-sessions", "serve.max_sessions", nullptr},
+    {"inflight", "serve.inflight", nullptr},
+    {"jobs", "session.jobs", nullptr},
+};
+
+int cmd_serve(const Args& a) {
+  const auto spec = spec_from_args(a, kServeFlags, "serve");
+  const auto out_dir = arg_str(a, "out-dir", "");
+  net::Server server(net::make_serve_config(spec, out_dir));
+  server.install_signal_handlers();
+  std::printf(
+      "datc serve: listening on 127.0.0.1:%u — %zu shard(s), max %zu "
+      "session(s), inflight bound %zu%s%s\n",
+      static_cast<unsigned>(server.port()), spec.serve.shards,
+      spec.serve.max_sessions, spec.serve.max_inflight_chunks,
+      out_dir.empty() ? " (ingest only, no persistence)" : ", output -> ",
+      out_dir.c_str());
+  std::fflush(stdout);
+  server.run();
+  const auto st = server.stats();
+  std::printf(
+      "datc serve: drained: %llu session(s) finished, %llu aborted, %llu "
+      "quarantined; %llu chunk(s), %.1f MiB rx; chunk->envelope p50 %.0f "
+      "us, p99 %.0f us\n",
+      static_cast<unsigned long long>(st.sessions_finished),
+      static_cast<unsigned long long>(st.sessions_aborted),
+      static_cast<unsigned long long>(st.quarantined_sessions),
+      static_cast<unsigned long long>(st.chunks_rx),
+      static_cast<Real>(st.bytes_rx) / (1024.0 * 1024.0),
+      st.chunk_to_envelope.p50_us, st.chunk_to_envelope.p99_us);
+  return 0;
+}
+
+int cmd_loadgen(const Args& a) {
+  const auto spec = spec_from_args(a, kStreamFlags, "loadgen");
+  const Real port_f = arg_num(a, "port", 0.0);
+  dsp::require(port_f >= 1.0 && port_f <= 65535.0,
+               "loadgen: --port is required (1..65535)");
+  net::LoadGenConfig cfg;
+  cfg.port = static_cast<std::uint16_t>(port_f);
+  cfg.host = arg_str(a, "host", "127.0.0.1");
+  cfg.sessions = static_cast<std::size_t>(arg_num(a, "sessions", 8.0));
+  cfg.concurrency =
+      static_cast<std::size_t>(arg_num(a, "concurrency", 64.0));
+  cfg.chunk_samples = spec.session.chunk_samples;
+  cfg.tenant = arg_str(a, "tenant", "loadgen");
+  const bool shared = spec.aer.topology == config::LinkTopology::kSharedAer;
+  cfg.channel_count = shared ? spec.source.channels : 1;
+  cfg.rate_chunks_per_s = arg_num(a, "rate", 0.0);
+  const Real realtime = arg_num(a, "realtime", 0.0);
+  if (realtime > 0.0) {
+    cfg.rate_chunks_per_s = realtime * spec.source.sample_rate_hz /
+                            static_cast<Real>(cfg.chunk_samples);
+  }
+  // A built-in preset resolves on the server too, so name it in HELLO;
+  // scenario FILES shape only the local signal (the server cannot be
+  // asked to read files over the wire).
+  const auto scen_ref = arg_str(a, "scenario", "");
+  const auto& presets = config::preset_names();
+  if (std::find(presets.begin(), presets.end(), scen_ref) !=
+      presets.end()) {
+    cfg.scenario = scen_ref;
+  }
+
+  std::vector<Real> signal;
+  const auto in = arg_str(a, "in", "");
+  if (!in.empty()) {
+    dsp::require(!shared,
+                 "loadgen: --in replays a single-channel CSV; shared "
+                 "topologies use the synthetic source");
+    const auto sig = read_signal_csv(in);
+    signal.reserve(sig.size());
+    for (std::size_t i = 0; i < sig.size(); ++i) signal.push_back(sig[i]);
+  } else {
+    const config::PipelineFactory factory(spec);
+    if (shared) {
+      // Channel-major lockstep rounds of chunk_samples, the layout
+      // SharedAerStreamingSession consumes.
+      const auto recs = factory.make_recordings();
+      const std::size_t per_ch = recs[0].emg_v.size();
+      signal.reserve(per_ch * recs.size());
+      for (std::size_t at = 0; at < per_ch; at += cfg.chunk_samples) {
+        const std::size_t n = std::min(cfg.chunk_samples, per_ch - at);
+        for (const auto& rec : recs) {
+          for (std::size_t i = 0; i < n; ++i) {
+            signal.push_back(rec.emg_v[at + i]);
+          }
+        }
+      }
+    } else {
+      const auto rec = factory.make_recording(spec.session.channel);
+      signal.reserve(rec.emg_v.size());
+      for (std::size_t i = 0; i < rec.emg_v.size(); ++i) {
+        signal.push_back(rec.emg_v[i]);
+      }
+    }
+  }
+
+  const auto report = net::run_loadgen(cfg, signal);
+  const Real per_ch_samples =
+      static_cast<Real>(report.samples_sent) /
+      static_cast<Real>(std::max<std::size_t>(1, cfg.channel_count));
+  const Real signal_s = per_ch_samples / spec.source.sample_rate_hz;
+  std::printf(
+      "loadgen: %zu/%zu session(s) ok (%zu failed), %llu chunk(s), %llu "
+      "sample(s), %llu envelope sample(s) acked in %.2f s (%.1fx "
+      "realtime aggregate)\n",
+      report.sessions_ok, cfg.sessions, report.sessions_failed,
+      static_cast<unsigned long long>(report.chunks_sent),
+      static_cast<unsigned long long>(report.samples_sent),
+      static_cast<unsigned long long>(report.envelope_samples),
+      report.wall_s,
+      report.wall_s > 0.0 ? signal_s / report.wall_s : 0.0);
+  return report.sessions_failed == 0 ? 0 : 1;
+}
+
 int cmd_query(const Args& a) {
   const auto dir = arg_str(a, "dir", "");
   dsp::require(!dir.empty(), "query: --dir is required");
@@ -1023,6 +1146,39 @@ constexpr Subcommand kSubcommands[] = {
      "  replayed envelope to be bit-identical to the live run's\n"
      "  envelope.f64 sidecar.\n",
      cmd_replay},
+    {"serve", "fleet-scale ingest daemon over a framed TCP protocol",
+     "usage: datc serve [--scenario FILE|PRESET] [--set \"k=v; k=v\"]\n"
+     "                  [--port P] [--shards N] [--max-sessions N]\n"
+     "                  [--inflight N] [--jobs N] [--out-dir DIR]\n"
+     "  Accepts length-prefixed HELLO/DATA/END sessions on 127.0.0.1 and\n"
+     "  runs each through the factory-built streaming chain on N sharded\n"
+     "  session managers — envelopes are bit-identical to a direct\n"
+     "  `datc stream` of the same chunks. Per-connection backpressure:\n"
+     "  past `--inflight` unprocessed chunks the socket stops being read\n"
+     "  (TCP pushback). SIGINT/SIGTERM drains gracefully: accepted\n"
+     "  sessions finish and recorders flush before exit.\n"
+     "  --port P        TCP port; 0 = ephemeral, printed on startup\n"
+     "  --shards N      SessionManager shards (serve.shards)\n"
+     "  --max-sessions N concurrent session cap (serve.max_sessions)\n"
+     "  --inflight N    inflight-chunk bound (serve.inflight)\n"
+     "  --out-dir DIR   persist DIR/<tenant>/session-<id>/ (event log +\n"
+     "                  manifest.txt + envelope.f64); default ingest-only\n",
+     cmd_serve},
+    {"loadgen", "loopback load generator for a running `datc serve`",
+     "usage: datc loadgen --port P [--sessions N] [--concurrency N]\n"
+     "                    [--scenario PRESET|FILE] [--set \"k=v; k=v\"]\n"
+     "                    [--in sig.csv] [--rate R] [--realtime X]\n"
+     "                    [--tenant NAME] [--host H] [--chunk N]\n"
+     "  Replays a synthetic (scenario-built) or CSV signal into a running\n"
+     "  server from many worker threads and reports completed sessions,\n"
+     "  failures and aggregate throughput. A built-in PRESET passed via\n"
+     "  --scenario is also named in HELLO, so the server runs the same\n"
+     "  pipeline it was generated with.\n"
+     "  --sessions N    sessions to run to completion (default 8)\n"
+     "  --concurrency N worker threads = open sockets (default 64)\n"
+     "  --rate R        chunks per second per session (default unpaced)\n"
+     "  --realtime X    pace at X times realtime (overrides --rate)\n",
+     cmd_loadgen},
     {"scenario", "inspect, validate and emit declarative scenarios",
      "usage: datc scenario list              built-in presets\n"
      "       datc scenario keys              full key reference + defaults\n"

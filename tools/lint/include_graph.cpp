@@ -222,6 +222,7 @@ LayerSpec datc_layer_spec() {
       {"config", 7,
        {"dsp", "afe", "core", "emg", "uwb", "fault", "store", "runtime",
         "sim"}},
+      {"net", 8, {"dsp", "core", "store", "runtime", "config"}},
   }};
 }
 
