@@ -43,6 +43,12 @@ constexpr int kListenBacklog = 512;
 /// Poll timeout: the cadence of the quarantine sweep (nothing latency
 /// critical rides the timeout — completions arrive via the wake pipe).
 constexpr int kPollTimeoutMs = 50;
+/// Once a connection is marked want_close, this bounds how long it may
+/// wait for its output to flush. A responsive peer drains the few
+/// pending frames within milliseconds; a peer that stopped reading
+/// (full kernel buffer, POLLOUT never fires) would otherwise pin the
+/// connection — and a graceful drain — forever.
+constexpr int kCloseLingerMs = 1000;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -157,6 +163,9 @@ struct Server::Impl {
     enum class State { kAwaitHello, kStreaming, kEnding, kZombie };
     State state{State::kAwaitHello};
     bool want_close{false};  ///< close once `out` is flushed
+    /// Force-close time once want_close is set: the flush grace is
+    /// bounded (kCloseLingerMs), never at a dead peer's discretion.
+    std::chrono::steady_clock::time_point close_deadline{};
     bool closed{false};
     std::uint64_t session_id{0};  ///< 0 = none yet
     ServedSession* served{nullptr};
@@ -220,6 +229,7 @@ struct Server::Impl {
   void send_control(Conn& c, wire::ControlCode code, std::uint64_t sid,
                     std::uint64_t value, const std::string& msg);
   void send_error(Conn& c, wire::ErrorCode code, const std::string& msg);
+  void want_close_after_flush(Conn& c);
   void zombify(Conn& c);
   void abort_session(Conn& c);
   void on_disconnect(Conn& c);
@@ -542,8 +552,10 @@ void Server::Impl::run() {
 
     sweep_sessions();
 
+    const auto now = std::chrono::steady_clock::now();
     for (auto& cp : conns) {
-      if (!cp->closed && cp->want_close && cp->out_pos >= cp->out.size()) {
+      if (!cp->closed && cp->want_close &&
+          (cp->out_pos >= cp->out.size() || now >= cp->close_deadline)) {
         close_conn(*cp);
       }
     }
@@ -862,7 +874,7 @@ void Server::Impl::on_progress(std::uint64_t id) {
     if (c != nullptr && !c->closed && c->state == Conn::State::kEnding) {
       send_control(*c, wire::ControlCode::kEndAck, id,
                    rec.served->envelope_samples(), "");
-      c->want_close = true;
+      want_close_after_flush(*c);
     }
   }
 }
@@ -886,6 +898,11 @@ void Server::Impl::sweep_sessions() {
       }
     }
     if (rec.done_handled && rec.conn == nullptr) {
+      // Terminal and disconnected: reclaim the session's memory (the
+      // engines, envelope buffers and Recorder live in the shard slot).
+      // Without this release the daemon's footprint would track every
+      // session EVER served instead of the active population.
+      shards[rec.shard]->release(rec.slot);
       it = sessions.erase(it);
     } else {
       ++it;
@@ -927,9 +944,15 @@ void Server::Impl::send_error(Conn& c, wire::ErrorCode code,
                static_cast<std::uint64_t>(code), msg);
 }
 
+void Server::Impl::want_close_after_flush(Conn& c) {
+  c.want_close = true;
+  c.close_deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(kCloseLingerMs);
+}
+
 void Server::Impl::zombify(Conn& c) {
   c.state = Conn::State::kZombie;
-  c.want_close = true;
+  want_close_after_flush(c);
 }
 
 void Server::Impl::abort_session(Conn& c) {

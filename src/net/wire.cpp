@@ -25,8 +25,13 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
 }
 
 void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u16(out, static_cast<std::uint16_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
+  // Truncate at encode time: the decoder rejects strings past
+  // kMaxStringLen, so an overlong message (e.g. a forwarded exception
+  // what()) must never produce a frame a conforming peer cannot parse.
+  const std::size_t len = std::min(s.size(), kMaxStringLen);
+  put_u16(out, static_cast<std::uint16_t>(len));
+  out.insert(out.end(), s.begin(),
+             s.begin() + static_cast<std::ptrdiff_t>(len));
 }
 
 /// Patches the length prefix once the payload size is known: frames are
@@ -92,6 +97,7 @@ class Cursor {
     return true;
   }
   [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
   std::span<const std::uint8_t> bytes_;
@@ -195,6 +201,12 @@ bool parse_payload(std::span<const std::uint8_t> payload, Frame* out,
       std::uint32_t count = 0;
       if (!c.u64(&b.session_id) || !c.u64(&b.seq) || !c.u32(&count)) {
         return fail("malformed DATA header");
+      }
+      // The declared count is attacker-controlled: bound it by the bytes
+      // actually present before reserving, or a 21-byte frame claiming
+      // 2^32 samples would force a multi-GB allocation.
+      if (count > c.remaining() / 8) {
+        return fail("DATA sample count overruns payload");
       }
       b.samples.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {

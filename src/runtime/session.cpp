@@ -506,7 +506,23 @@ SessionManager::SessionId SessionManager::add(
 Session& SessionManager::session(SessionId id) {
   std::lock_guard<std::mutex> lock(mu_);
   dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  dsp::require(slots_[id]->session != nullptr,
+               "SessionManager: session was released");
   return *slots_[id]->session;
+}
+
+void SessionManager::release(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  Slot& slot = *slots_[id];
+  dsp::require(slot.queue.empty() && !slot.finish_pending,
+               "SessionManager: release with work still queued");
+  // The strand may still be between its last session call and marking
+  // itself idle; session calls only happen while active, so waiting for
+  // !active makes the reset safe (finished sessions are already idle —
+  // this wait is a few instructions, not a chunk).
+  cv_idle_.wait(lock, [&slot] { return !slot.active; });
+  slot.session.reset();
 }
 
 void SessionManager::submit_chunk(SessionId id,
@@ -514,6 +530,8 @@ void SessionManager::submit_chunk(SessionId id,
   std::unique_lock<std::mutex> lock(mu_);
   dsp::require(id < slots_.size(), "SessionManager: bad session id");
   Slot& slot = *slots_[id];
+  dsp::require(slot.session != nullptr,
+               "SessionManager: submit to a released session");
   if (slot.quarantined) {
     ++slot.discarded;
     return;
@@ -533,6 +551,8 @@ void SessionManager::submit_chunk(SessionId id,
 void SessionManager::submit_finish(SessionId id) {
   std::lock_guard<std::mutex> lock(mu_);
   dsp::require(id < slots_.size(), "SessionManager: bad session id");
+  dsp::require(slots_[id]->session != nullptr,
+               "SessionManager: submit to a released session");
   if (slots_[id]->quarantined) return;
   slots_[id]->finish_pending = true;
   schedule_locked(id);

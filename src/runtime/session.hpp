@@ -302,6 +302,16 @@ class SessionManager {
   /// Enqueues the end-of-stream flush after every queued chunk.
   void submit_finish(SessionId id);
 
+  /// Destroys a completed session and frees its memory: waits for the
+  /// strand to go idle (requires every queued chunk/finish to have run
+  /// already), then resets the slot's Session. The id stays allocated —
+  /// ids are slot indices and are never reused — but submitting to or
+  /// reading a released session is a contract violation; health() keeps
+  /// answering (quarantine state survives release). Long-running callers
+  /// (the ingest daemon) release each finished session so daemon memory
+  /// tracks the ACTIVE population, not the total ever served.
+  void release(SessionId id);
+
   /// Blocks until every queued chunk and finish has run. Rethrows the
   /// first session exception if config.rethrow_on_drain is set.
   void drain();
@@ -314,7 +324,7 @@ class SessionManager {
 
  private:
   struct Slot {
-    std::unique_ptr<Session> session;
+    std::unique_ptr<Session> session;  ///< null once released
     std::deque<std::vector<Real>> queue;
     bool finish_pending{false};
     bool active{false};  ///< a worker is currently running this strand

@@ -225,6 +225,48 @@ TEST(SessionManagerStressTest, ConcurrentProducersAgainstQuarantine) {
   }
 }
 
+TEST(SessionManagerStressTest, ReleaseRacesStrandsWithoutUseAfterFree) {
+  // Fleet-ingest regime: sessions are added, streamed, finished and
+  // RELEASED continuously from several producer threads while other
+  // strands keep running. release() must synchronize with the strand —
+  // destroying a session whose strand is still between its last call
+  // and marking itself idle would be a use-after-free TSan catches here.
+  runtime::SessionManager manager({.jobs = 3,
+                                   .max_pending_chunks = 2,
+                                   .rethrow_on_drain = false});
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kSessionsPerProducer = 12;
+  const std::vector<Real> chunk(8, 0.0);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&manager, &chunk] {
+      for (std::size_t s = 0; s < kSessionsPerProducer; ++s) {
+        auto owned =
+            std::make_unique<StressSession>(StressSession::Behaviour{});
+        StressSession* raw = owned.get();
+        const auto id = manager.add(std::move(owned));
+        for (int c = 0; c < 5; ++c) manager.submit_chunk(id, chunk);
+        manager.submit_finish(id);
+        // The ingest daemon releases once the session reports finished;
+        // the strand may not have marked itself idle yet — exactly the
+        // window release() has to close.
+        while (!raw->finished()) std::this_thread::yield();
+        manager.release(id);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  manager.drain();
+
+  EXPECT_EQ(manager.size(), kProducers * kSessionsPerProducer);
+  EXPECT_EQ(manager.quarantined_count(), 0u);
+  // Released slots reject further submissions instead of crashing.
+  EXPECT_THROW(manager.submit_chunk(0, chunk), std::exception);
+  EXPECT_THROW(manager.submit_finish(0), std::exception);
+}
+
 TEST(SessionManagerStressTest, WatchdogUnderConcurrentSubmitsStaysSticky) {
   runtime::SessionManager manager({.jobs = 2,
                                    .max_pending_chunks = 2,

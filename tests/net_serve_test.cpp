@@ -12,7 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -527,6 +533,58 @@ TEST_F(NetServeTest, StopDrainsOpenSessionsWithATypedGoodbye) {
   EXPECT_EQ(st.sessions_active, 0u);
   // The aborted session still drained and persisted what it accepted.
   EXPECT_TRUE(store::has_envelope_f64(session_dir(1)));
+}
+
+TEST_F(NetServeTest, DrainForceClosesAPeerThatNeverDrainsItsErrors) {
+  start(fast_spec());
+
+  // A raw peer with a tiny receive window floods intact-but-malformed
+  // frames and never reads the typed error responses: the server's
+  // output backs up until the kernel buffer is full and POLLOUT never
+  // fires again. Graceful drain must still finish — the close linger is
+  // bounded, not at the dead peer's discretion (before the bound this
+  // join hung forever).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // ~330 k intact frames with an unknown type byte -> ~330 k error
+  // responses (~14 MB), far past what the kernel can buffer towards a
+  // closed receive window (tcp_wmem autotunes up to ~4 MB).
+  constexpr std::uint64_t kBursts = 40;
+  constexpr std::uint64_t kFramesPerBurst = 8192;
+  std::vector<std::uint8_t> burst;
+  const std::vector<std::uint8_t> bad = {4, 0, 0, 0, 0x7F, 1, 2, 3};
+  for (std::uint64_t i = 0; i < kFramesPerBurst; ++i) {
+    burst.insert(burst.end(), bad.begin(), bad.end());
+  }
+  for (std::uint64_t i = 0; i < kBursts; ++i) {
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(burst.size()));
+  }
+  // Wait until the server has answered the WHOLE flood (processing is
+  // not gated on the peer reading), so megabytes of error output are
+  // provably stuck behind the closed receive window before the drain.
+  constexpr std::uint64_t kFrames = kBursts * kFramesPerBurst;
+  for (int i = 0; i < 1000 && stats().frames_bad < kFrames; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(stats().frames_bad, kFrames);
+  ASSERT_LT(stats().bytes_tx, kFrames * 30);  // most of it never flushed
+
+  server_->request_stop();
+  stop();  // joins run(): must return despite the unflushable zombie
+  ::close(fd);
+  const net::ServerStats st = stats();
+  EXPECT_GT(st.frames_bad, 0u);
+  EXPECT_EQ(st.sessions_active, 0u);
 }
 
 TEST_F(NetServeTest, LoadGenRunsManyConcurrentSessionsToCompletion) {

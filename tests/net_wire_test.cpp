@@ -244,6 +244,46 @@ TEST(NetWireTest, MalformedPayloadsAreTypedBadFrames) {
   }
 }
 
+TEST(NetWireTest, HugeDeclaredSampleCountIsABadFrameNotAnAllocation) {
+  // A 21-byte DATA payload declaring 2^32-1 samples: the count must be
+  // checked against the bytes actually present BEFORE any reserve — a
+  // ~34 GB allocation attempt would kill the daemon with bad_alloc from
+  // one tiny pre-HELLO frame.
+  std::vector<std::uint8_t> payload = {
+      static_cast<std::uint8_t>(wire::FrameType::kData)};
+  payload.insert(payload.end(), 16, 0);  // session id + seq
+  payload.insert(payload.end(), {0xFF, 0xFF, 0xFF, 0xFF});  // count
+  wire::FrameDecoder dec;
+  dec.feed(raw_frame(payload));
+  wire::Frame f;
+  std::string reason;
+  EXPECT_EQ(dec.next(&f, &reason), wire::FrameDecoder::Status::kBadFrame);
+  EXPECT_NE(reason.find("overruns payload"), std::string::npos);
+  // The stream survives the rejected frame.
+  dec.feed(wire::encode_end(1));
+  EXPECT_EQ(dec.next(&f, &reason), wire::FrameDecoder::Status::kFrame);
+}
+
+TEST(NetWireTest, OverlongMessageIsTruncatedToADecodableFrame) {
+  // Strings cap at kMaxStringLen on decode, so the encoder must truncate
+  // (a server error carrying a long exception message would otherwise
+  // produce a frame no conforming peer can parse).
+  wire::ControlBody c;
+  c.code = wire::ControlCode::kError;
+  c.session_id = 1;
+  c.value = static_cast<std::uint64_t>(wire::ErrorCode::kUnknownScenario);
+  c.message = std::string(4 * wire::kMaxStringLen, 'x');
+  const wire::Frame f = decode_one(wire::encode_control(c));
+  ASSERT_EQ(f.type, wire::FrameType::kControl);
+  EXPECT_EQ(f.control.message, std::string(wire::kMaxStringLen, 'x'));
+
+  wire::HelloBody h;
+  h.tenant = std::string(300, 't');
+  const wire::Frame fh = decode_one(wire::encode_hello(h));
+  ASSERT_EQ(fh.type, wire::FrameType::kHello);
+  EXPECT_EQ(fh.hello.tenant, std::string(wire::kMaxStringLen, 't'));
+}
+
 TEST(NetWireTest, DataWithTrailingBytesIsBad) {
   auto bytes = wire::encode_data(1, 0, std::vector<Real>{1.0});
   bytes.push_back(0xAB);  // extend payload past the declared samples
