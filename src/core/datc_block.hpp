@@ -14,13 +14,17 @@
 // the kernel only models the deterministic offset + hysteresis rule.
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "afe/comparator.hpp"
 #include "core/datc_encoder.hpp"
 #include "core/dtc.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
 
 namespace datc::core::detail {
 
@@ -87,6 +91,164 @@ std::size_t run_datc_block(Dtc& dtc, afe::Comparator& comparator,
   dtc.restore_cursor(cur);
   comparator.set_last_decision(cmp_last);
   return k;
+}
+
+/// Lerp-source geometry for the vectorized comparator path: whenever the
+/// clock instant pos (analog-sample coordinates) satisfies
+/// lo_pos < pos < hi_pos, the analog value is
+///   base[i0 - off] + frac * (base[i0 - off + 1] - base[i0 - off]),
+/// i0 = trunc(pos), frac = pos - i0 — the expression both batch and
+/// streaming sample_at callables inline away from the clamped edges.
+/// Outside that open interval the caller's sample_at is authoritative.
+struct LerpSource {
+  const Real* base;
+  std::int64_t off;
+  Real lo_pos;
+  Real hi_pos;
+};
+
+/// run_datc_block with the comparator inner loop vectorized over the
+/// SIMD-eligible cycle range [kA, kB) — the contiguous span whose clock
+/// instants stay strictly inside the lerp window. Edge cycles (record
+/// boundaries, the newest streaming sample) run through the scalar
+/// kernel with the caller's sample_at, so results are bit-identical to
+/// run_datc_block for every input.
+///
+/// The carried hysteresis state never leaves registers: with A = the
+/// "above level_lo" mask word, B = the "above level_hi" mask word and
+/// B a subset of A (level_hi >= level_lo), the comparator recurrence
+///   d_i = B_i | (A_i & d_{i-1})
+/// is exactly the carry chain of A + B — a full adder propagates
+/// carry_{i+1} = B_i | (A_i & carry_i) when B implies A — so one 64-bit
+/// add resolves 64 cycles of the serial dependency at once.
+template <class SampleAt, class Emit>
+std::size_t run_datc_block_simd(Dtc& dtc, afe::Comparator& comparator,
+                                const DatcEncoderConfig& config,
+                                std::span<const Real> dac_table,
+                                std::size_t k_begin, std::size_t k_end,
+                                Real pos_limit, Real analog_fs_hz,
+                                const LerpSource& src, SampleAt&& sample_at,
+                                Emit&& emit) {
+  const Real clock_hz = config.clock_hz;
+  const Real fs = analog_fs_hz;
+  const auto pos_of = [clock_hz, fs](std::size_t k) {
+    return (static_cast<Real>(k) / clock_hz) * fs;
+  };
+  // The AVX2 path gathers through int32 indices; clamping the window top
+  // keeps every eligible pos (hence i0) in range. Positions beyond 2^31
+  // samples simply fall back to the scalar kernel.
+  const Real top = std::min(src.hi_pos, Real{2147480000.0});
+  const Real bound = std::min(top, pos_limit);  // hi_pos is always finite
+  const auto inside = [&](std::size_t k) {
+    const Real p = pos_of(k);
+    return p < top && p <= pos_limit;
+  };
+
+  // kA: first cycle past the lower clamp (lo_pos is -inf or 0 in
+  // practice, so this scan is O(1)).
+  std::size_t kA = k_begin;
+  while (kA < k_end && !(pos_of(kA) > src.lo_pos)) ++kA;
+  // kB: first cycle at/above the upper bound — estimate from the bound,
+  // then binary-search with the exact predicate.
+  std::size_t kB = kA;
+  {
+    const Real est = bound / fs * clock_hz + 4.0;
+    std::size_t hi_k = k_end;
+    if (est < static_cast<Real>(k_end)) hi_k = static_cast<std::size_t>(est);
+    std::size_t lo = kA;
+    std::size_t hi = std::max(hi_k, kA);
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (inside(mid)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    kB = lo;
+    while (kB < k_end && inside(kB)) ++kB;  // estimate slack, O(1)
+  }
+
+  if (kB < kA + 16) {
+    // Too short for the mask kernel to pay off (tiny streaming chunks).
+    return run_datc_block(dtc, comparator, config, dac_table, k_begin, k_end,
+                          pos_limit, fs, sample_at, emit);
+  }
+
+  // Scalar prefix [k_begin, kA) — record-edge clamps.
+  std::size_t k = run_datc_block(dtc, comparator, config, dac_table, k_begin,
+                                 kA, pos_limit, fs, sample_at, emit);
+  if (k < kA) return k;  // pos_limit reached inside the prefix
+
+  // Vector main [kA, kB): frame-chunked mask building + carry resolution.
+  DtcCursor cur = dtc.block_cursor();
+  bool cmp_last = comparator.last_decision();
+  const Real offset_v = config.comparator.offset_v;
+  const Real half_hyst = config.comparator.hysteresis_v / 2.0;
+  const unsigned flen = dtc.frame_len();
+  const auto& kt = simd::kernels();
+  constexpr std::size_t kMaxChunk = 1024;
+  std::uint64_t hi_w[kMaxChunk / 64];
+  std::uint64_t lo_w[kMaxChunk / 64];
+  while (k < kB) {
+    const Real vth = dac_table[cur.set_vth];
+    const auto code = static_cast<std::uint8_t>(cur.set_vth);
+    const simd::CmpMaskArgs args{src.base,         src.off,
+                                 clock_hz,         fs,
+                                 offset_v,         vth + half_hyst,
+                                 vth - half_hyst,  config.rectify_input};
+    const std::size_t chunk = std::min(
+        {kB - k, static_cast<std::size_t>(flen - cur.cycle_in_frame),
+         kMaxChunk});
+    kt.cmp_masks(args, k, chunk, hi_w, lo_w);
+
+    bool in_reg = cur.in_reg;
+    bool d_out_prev = cur.d_out_prev;
+    std::uint32_t counter = cur.counter;
+    std::size_t done = 0;
+    for (std::size_t w = 0; done < chunk; ++w) {
+      const std::size_t m = std::min<std::size_t>(64, chunk - done);
+      const std::uint64_t mask =
+          m == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << m) - 1);
+      const std::uint64_t above_lo = lo_w[w] & mask;
+      const std::uint64_t above_hi = hi_w[w] & mask;
+      const unsigned __int128 sum =
+          static_cast<unsigned __int128>(above_lo) + above_hi +
+          (cmp_last ? 1u : 0u);
+      const std::uint64_t sum_lo = static_cast<std::uint64_t>(sum);
+      // carry-into-bit-i word; d_i = carry into bit i+1
+      const std::uint64_t d_in =
+          ((above_lo ^ above_hi ^ sum_lo) >> 1) |
+          (static_cast<std::uint64_t>(sum >> 64) << 63);
+      const std::uint64_t dout =
+          ((d_in << 1) | (in_reg ? 1u : 0u)) & mask;
+      counter += static_cast<std::uint32_t>(std::popcount(dout));
+      const std::uint64_t prev = (dout << 1) | (d_out_prev ? 1u : 0u);
+      std::uint64_t rise = dout & ~prev;
+      while (rise != 0) {
+        const auto b = static_cast<unsigned>(std::countr_zero(rise));
+        rise &= rise - 1;
+        const std::size_t kk = k + done + b;
+        emit(static_cast<Real>(kk) / clock_hz, code);
+      }
+      cmp_last = ((d_in >> (m - 1)) & 1u) != 0;
+      in_reg = cmp_last;
+      d_out_prev = ((dout >> (m - 1)) & 1u) != 0;
+      done += m;
+    }
+    cur.in_reg = in_reg;
+    cur.d_out_prev = d_out_prev;
+    cur.counter = counter;
+    cur.cycle_in_frame += static_cast<unsigned>(chunk);
+    k += chunk;
+    if (cur.cycle_in_frame >= flen) dtc.finish_frame(cur);
+  }
+  dtc.restore_cursor(cur);
+  comparator.set_last_decision(cmp_last);
+
+  // Scalar suffix [kB, k_end) — upper clamp / newest-sample landings.
+  return run_datc_block(dtc, comparator, config, dac_table, k, k_end,
+                        pos_limit, fs, sample_at, emit);
 }
 
 }  // namespace datc::core::detail

@@ -109,9 +109,13 @@ std::size_t encode_datc_events(const dsp::TimeSeries& emg_v,
     const Real frac = pos - static_cast<Real>(i0);
     return x[i0] + frac * (x[i0 + 1] - x[i0]);
   };
-  detail::run_datc_block(
+  // Away from the clamped record edges the interpolation is a pure lerp
+  // over x — the vector comparator kernel handles those cycles, the
+  // scalar kernel the edges.
+  const detail::LerpSource src{x, 0, 0.0, last};
+  detail::run_datc_block_simd(
       dtc, comparator, config, dac_table, 0, num_cycles,
-      std::numeric_limits<Real>::infinity(), fs, sample_at,
+      std::numeric_limits<Real>::infinity(), fs, src, sample_at,
       [&arena](Real t, std::uint8_t code) { arena.push(Event{t, code, 0}); });
   return arena.size();
 }

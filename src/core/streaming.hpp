@@ -17,11 +17,13 @@
 // push_block() runs the fused block kernel (datc_block.hpp): frame-chunked
 // execution against a precomputed DAC table, bit-identical to push().
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <span>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "afe/comparator.hpp"
 #include "afe/dac.hpp"
@@ -120,9 +122,20 @@ class StreamingDatcEncoderT {
       const Real frac = pos - static_cast<Real>(i0);
       return a + frac * (b - a);
     };
-    cycles_ = detail::run_datc_block(
+    // Contiguous lerp source [prev, chunk] for the vector kernel; the
+    // capacity is reused across push_block calls. With off = s0 - 1,
+    // base[i0 - off] reproduces sample_at's a/b selection for every pos
+    // strictly below `upper` (the pos == upper landing runs scalar).
+    lerp_scratch_.clear();
+    lerp_scratch_.reserve(bn + 1);
+    lerp_scratch_.push_back(prev);
+    lerp_scratch_.insert(lerp_scratch_.end(), xb, xb + bn);
+    const detail::LerpSource src{
+        lerp_scratch_.data(), static_cast<std::int64_t>(s0) - 1,
+        -std::numeric_limits<Real>::infinity(), upper};
+    cycles_ = detail::run_datc_block_simd(
         dtc_, comparator_, config_, dac_table_, cycles_,
-        std::numeric_limits<std::size_t>::max(), upper, analog_fs_hz_,
+        std::numeric_limits<std::size_t>::max(), upper, analog_fs_hz_, src,
         sample_at, [this](Real t, std::uint8_t code) {
           ++events_;
           sink_(Event{t, code, channel_});
@@ -171,6 +184,7 @@ class StreamingDatcEncoderT {
   std::size_t cycles_{0};
   std::size_t events_{0};
   Real prev_sample_{0.0};
+  std::vector<Real> lerp_scratch_;  ///< [prev, chunk], reused capacity
 
   void run_clock_until(Real upper_pos, Real cur_sample) {
     // pos is the clock instant in analog-sample coordinates — the same

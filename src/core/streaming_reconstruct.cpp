@@ -1,9 +1,11 @@
 #include "core/reconstruct.hpp"
 #include "core/streaming_reconstruct.hpp"
 #include "dsp/types.hpp"
+#include "simd/dispatch.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 
 namespace datc::core {
@@ -12,6 +14,31 @@ namespace {
 /// ARV of a zero-mean Gaussian with RMS sigma (same constant as the batch
 /// reconstructor).
 constexpr Real kArvOfSigma = 0.7978845608028654;  // sqrt(2/pi)
+
+/// Run-batching depth: how far the vth trajectory may run ahead of the
+/// emitter beyond the half window (ring headroom), and therefore the cap
+/// on one batched emit. Changing it moves only ring geometry, never the
+/// computed values.
+constexpr std::size_t kRunLen = 64;
+
+/// Leading-true count of a monotone (true..true,false..false) predicate
+/// over the index range [begin, begin + count). The predicates used below
+/// compare (Real)j / fs against a constant — IEEE division is monotone in
+/// j, so binary search with the exact predicate is exact.
+template <class Pred>
+std::size_t true_prefix(std::size_t begin, std::size_t count, Pred&& pred) {
+  std::size_t lo = 0;
+  std::size_t hi = count;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pred(begin + mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
 }  // namespace
 
 StreamingDatcReconstructor::StreamingDatcReconstructor(
@@ -28,8 +55,9 @@ StreamingDatcReconstructor::StreamingDatcReconstructor(
           std::llround(config_.window_s * config_.output_fs_hz)),
       1);
   h_ = w_ / 2;
-  // Live prefix span is at most 2h+2 entries (P[emit - h] .. P[vth_count]).
-  prefix_.assign(w_ + 4, 0.0);
+  // Live prefix span is at most 2h + kRunLen + 2 entries
+  // (P[emit - h] .. P[vth_count], with the run headroom).
+  prefix_.assign(w_ + kRunLen + 8, 0.0);
   prefix_[0] = 0.0;  // P[0]
   // Until the first event arrives the receiver assumes the reset code (1),
   // exactly as DatcReconstructor::vth_trajectory.
@@ -42,7 +70,7 @@ Real StreamingDatcReconstructor::latency_s() const {
 
 std::size_t StreamingDatcReconstructor::buffered_bytes() const {
   return ev_.size() * sizeof(Event) + prefix_.capacity() * sizeof(Real) +
-         out_buf_.capacity() * sizeof(Real);
+         diff_.capacity() * sizeof(Real) + out_buf_.capacity() * sizeof(Real);
 }
 
 void StreamingDatcReconstructor::push_events(std::span<const Event> events) {
@@ -85,21 +113,165 @@ void StreamingDatcReconstructor::drain(std::vector<Real>& out) {
   out_buf_.clear();
 }
 
-/// One vth sample: consume events up to t_j, append its prefix entry.
-bool StreamingDatcReconstructor::extend_vth() {
-  if (finished_ && vth_count_ >= n_total_) return false;
-  // Ring bound: never run more than h ahead of the emitter.
-  if (vth_count_ > emit_n_ + h_) return false;
-  const Real t = static_cast<Real>(vth_count_) / config_.output_fs_hz;
-  if (!finished_ && !(t < watermark_)) return false;  // events not final yet
-  while (vth_next_ < ev_pushed_ && ev_time(vth_next_) <= t) {
-    held_vth_ = lsb_ * static_cast<Real>(ev_[vth_next_ - ev_base_].vth_code);
-    ++vth_next_;
+/// Extends the vth trajectory by up to kRunLen + h samples past the
+/// emitter. Between event arrivals the held threshold is constant, so the
+/// prefix sums of an event-free stretch append as one tight accumulate
+/// loop (the stretch length comes from an exact binary search against the
+/// next event's timestamp). Value-identical to the old one-sample
+/// extend_vth iterated: each step still computes P[j+1] = P[j] + held.
+bool StreamingDatcReconstructor::extend_vth_run() {
+  // Ring bound: never run more than h + kRunLen ahead of the emitter.
+  std::size_t max_count = emit_n_ + h_ + kRunLen + 1;
+  if (finished_ && n_total_ < max_count) max_count = n_total_;
+  if (vth_count_ >= max_count) return false;
+  const Real fs = config_.output_fs_hz;
+  if (!finished_) {
+    // Events at t_j are final only once the watermark passes t_j.
+    max_count =
+        vth_count_ + true_prefix(vth_count_, max_count - vth_count_,
+                                 [&](std::size_t j) {
+                                   return static_cast<Real>(j) / fs <
+                                          watermark_;
+                                 });
+    if (max_count <= vth_count_) return false;
   }
-  const Real p = prefix_at(vth_count_) + held_vth_;
-  ++vth_count_;
-  prefix_[vth_count_ % prefix_.size()] = p;
+  const std::size_t ring = prefix_.size();
+  const std::size_t begin = vth_count_;
+  while (vth_count_ < max_count) {
+    const Real t = static_cast<Real>(vth_count_) / fs;
+    while (vth_next_ < ev_pushed_ && ev_time(vth_next_) <= t) {
+      held_vth_ = lsb_ * static_cast<Real>(ev_[vth_next_ - ev_base_].vth_code);
+      ++vth_next_;
+    }
+    // Event-free stretch: every j below the next retained event's instant
+    // holds the same threshold (j = vth_count_ itself is always eligible —
+    // its events were just consumed).
+    std::size_t stop = max_count;
+    if (vth_next_ < ev_pushed_) {
+      const Real t_next = ev_time(vth_next_);
+      stop = vth_count_ + 1 +
+             true_prefix(vth_count_ + 1, max_count - vth_count_ - 1,
+                         [&](std::size_t j) {
+                           return !(t_next <=
+                                    static_cast<Real>(j) / fs);
+                         });
+    }
+    Real p = prefix_at(vth_count_);
+    std::size_t idx = (vth_count_ + 1) % ring;
+    for (std::size_t j = vth_count_; j < stop; ++j) {
+      p += held_vth_;
+      prefix_[idx] = p;
+      if (++idx == ring) idx = 0;
+    }
+    vth_count_ = stop;
+  }
+  return vth_count_ > begin;
+}
+
+/// Emits a run of output samples whose rate-window cursors provably do
+/// not move (no event enters or leaves the window across the run) and
+/// whose smoothing windows are unclamped by the record edges. Over such a
+/// run the event rate is constant and the centred moving average reduces
+/// to a window difference of prefix sums — the vector kernel — while the
+/// per-sample scalar tail (w_eff, rate, calibration inverse) keeps the
+/// batch expression order. Any sample not eligible for the fast path
+/// falls back to one scalar emit_ready() step, which also performs the
+/// cursor advancement that ends every run.
+bool StreamingDatcReconstructor::emit_run() {
+  if (emit_n_ < h_) return emit_ready();        // left edge: clamped window
+  if (vth_count_ < h_ + 1) return emit_ready();  // nothing vector-eligible
+  // Availability: emitting j needs the vth trajectory through j + h.
+  std::size_t bound = vth_count_ - h_;
+  if (finished_) {
+    if (n_total_ < h_ + 1) return emit_ready();  // right edge: clamped
+    bound = std::min(bound, n_total_ - h_);
+  }
+  if (bound <= emit_n_) return emit_ready();
+  std::size_t r = bound - emit_n_;
+  const Real fs = config_.output_fs_hz;
+  const Real half = config_.window_s / 2.0;
+  if (!finished_) {
+    // The rate window needs every event below t_hi(j) to be final.
+    r = true_prefix(emit_n_, r, [&](std::size_t j) {
+      return watermark_ >= static_cast<Real>(j) / fs + half;
+    });
+  }
+  // Cursor stability: the scalar path advances lo_ while
+  // ev_time(lo_) < t_lo(j) (and hi_ likewise). The cursors stay put for
+  // exactly the samples where the current event is at/after the window
+  // edge; a cursor past the last pushed event cannot move at all.
+  if (lo_ < ev_pushed_) {
+    const Real te = ev_time(lo_);
+    r = true_prefix(emit_n_, r, [&](std::size_t j) {
+      return te >= static_cast<Real>(j) / fs - half;
+    });
+  }
+  if (hi_ < ev_pushed_) {
+    const Real te = ev_time(hi_);
+    r = true_prefix(emit_n_, r, [&](std::size_t j) {
+      return te >= static_cast<Real>(j) / fs + half;
+    });
+  }
+  if (r == 0) return emit_ready();
+
+  // Window numerators P[j + h + 1] - P[j - h] for the whole run: both
+  // index sequences are contiguous in the ring, so the subtraction runs
+  // through the vector kernel, split at the (at most two) wrap points.
+  const std::size_t n0 = emit_n_;
+  const std::size_t ring = prefix_.size();
+  diff_.resize(r);
+  const auto& kt = simd::kernels();
+  std::size_t off = 0;
+  std::size_t ih = (n0 + h_ + 1) % ring;
+  std::size_t il = (n0 - h_) % ring;
+  while (off < r) {
+    const std::size_t len = std::min({r - off, ring - ih, ring - il});
+    kt.window_diff(diff_.data() + off, prefix_.data() + ih,
+                   prefix_.data() + il, len);
+    off += len;
+    ih += len;
+    il += len;
+    if (ih == ring) ih = 0;
+    if (il == ring) il = 0;
+  }
+
+  const Real count = static_cast<Real>(2 * h_ + 1);  // ma_hi - ma_lo + 1
+  const Real rate_n = static_cast<Real>(hi_ - lo_);
+  out_buf_.reserve(out_buf_.size() + r);
+  for (std::size_t i = 0; i < r; ++i) {
+    const Real t = static_cast<Real>(n0 + i) / fs;
+    const Real t_lo = t - half;
+    const Real t_hi = t + half;
+    const Real w_eff =
+        (finished_ ? std::min(t_hi, duration_) : t_hi) - std::max(t_lo, 0.0);
+    const Real rate = rate_n / std::max(w_eff, Real{1e-9});
+    const Real vth_sm = diff_[i] / count;
+    const Real sigma = vth_sm / u_of_rate(rate);
+    out_buf_.push_back(sigma * kArvOfSigma);
+  }
+  emit_n_ = n0 + r;
+
+  // Drop events no cursor can revisit — once per run instead of per
+  // sample (the cursors did not move, so the bound is the same).
+  const std::size_t done = std::min(lo_, vth_next_);
+  while (ev_base_ < done && !ev_.empty()) {
+    ev_.pop_front();
+    ++ev_base_;
+  }
   return true;
+}
+
+/// Calibration inverse with a one-entry memo. Away from the record edges
+/// the window width is a constant and the rate window cursors move only
+/// between runs, so the rate repeats bitwise for long stretches; reusing
+/// the last (rate, u) pair then returns the identical value without the
+/// binary search (u_for_rate is a pure function of its argument).
+Real StreamingDatcReconstructor::u_of_rate(Real rate) {
+  if (rate != u_cache_rate_) {
+    u_cache_rate_ = rate;
+    u_cache_u_ = cal_->u_for_rate(rate);
+  }
+  return u_cache_u_;
 }
 
 /// Emit output sample emit_n_ if every input it depends on is final.
@@ -129,7 +301,7 @@ bool StreamingDatcReconstructor::emit_ready() {
   const std::size_t ma_lo = n >= h_ ? n - h_ : 0;
   const Real vth_sm = (prefix_at(ma_hi + 1) - prefix_at(ma_lo)) /
                       static_cast<Real>(ma_hi - ma_lo + 1);
-  const Real sigma = vth_sm / cal_->u_for_rate(rate);
+  const Real sigma = vth_sm / u_of_rate(rate);
   out_buf_.push_back(sigma * kArvOfSigma);
   ++emit_n_;
 
@@ -145,8 +317,8 @@ bool StreamingDatcReconstructor::emit_ready() {
 void StreamingDatcReconstructor::pump() {
   bool progressed = true;
   while (progressed) {
-    progressed = extend_vth();
-    progressed = emit_ready() || progressed;
+    progressed = extend_vth_run();
+    progressed = emit_run() || progressed;
   }
 }
 

@@ -78,9 +78,12 @@ class StreamingDatcReconstructor {
   bool saw_event_{false};
 
   std::vector<Real> prefix_;    ///< ring: prefix sums of the vth samples
+  std::vector<Real> diff_;      ///< window-diff scratch for batched emits
   std::size_t vth_count_{0};    ///< vth samples computed so far
 
   std::size_t emit_n_{0};       ///< next output index to emit
+  Real u_cache_rate_{-1.0};     ///< last rate passed to u_for_rate (< 0: none)
+  Real u_cache_u_{0.0};         ///< u_for_rate(u_cache_rate_)
   Real watermark_;
   bool finished_{false};
   std::size_t n_total_{0};      ///< valid once finished_
@@ -94,8 +97,10 @@ class StreamingDatcReconstructor {
     return ev_[global - ev_base_].time_s;
   }
   void pump();
-  bool extend_vth();
+  bool extend_vth_run();
+  bool emit_run();
   bool emit_ready();
+  [[nodiscard]] Real u_of_rate(Real rate);
 };
 
 }  // namespace datc::core

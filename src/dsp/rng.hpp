@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 
 #include "dsp/types.hpp"
 
@@ -53,6 +54,30 @@ class Rng {
     return std::bernoulli_distribution(p)(engine_);
   }
 
+  /// Uniform in [0, 1) from the top 53 engine bits. Unlike uniform()
+  /// (std::uniform_real_distribution, implementation-defined mapping),
+  /// this fixed mapping is part of the repository's reproducibility
+  /// contract — it is the stream gaussian_bm()/fill_gaussian() consume.
+  [[nodiscard]] Real canonical() {
+    return static_cast<Real>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via the Marsaglia polar method over canonical(),
+  /// with the usual one-value spare cache. This is the HOT-PATH gaussian
+  /// stream: fill_gaussian() draws the exact same sequence in batches
+  /// (SIMD log/sqrt tail), so per-call and batched consumers reproduce
+  /// identically from a seed for any chunking. gaussian() (the
+  /// std::normal_distribution stream) is unrelated and unchanged.
+  [[nodiscard]] Real gaussian_bm();
+
+  /// Batched gaussian_bm(): fills `out` with the next out.size() values
+  /// of that stream, vectorising the log/sqrt tail through the active
+  /// simd backend (bit-identical across backends).
+  void fill_gaussian(std::span<Real> out);
+
+  /// Batched canonical(): the next out.size() values of that stream.
+  void fill_uniform(std::span<Real> out);
+
   /// Derive an independent child stream (e.g. one per dataset pattern).
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
 
@@ -60,6 +85,8 @@ class Rng {
 
  private:
   std::mt19937_64 engine_;
+  Real spare_{0.0};       ///< cached second polar variate
+  bool has_spare_{false};
 };
 
 }  // namespace datc::dsp

@@ -3,6 +3,8 @@
 #include "uwb/modulator.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 namespace datc::uwb {
 
@@ -40,17 +42,39 @@ ChannelResult propagate(const PulseTrain& tx, const ChannelConfig& config,
   ChannelResult out;
   out.received.reserve(tx.size());
   const Real gain = channel_gain(config);
-  for (const auto& p : tx.pulses()) {
-    if (config.erasure_prob > 0.0 && rng.chance(config.erasure_prob)) {
-      ++out.erased;
-      continue;
+  if (config.erasure_prob <= 0.0) {
+    // Erasure-free channel: the jitter draws are the only Rng consumption,
+    // so they batch into one fill_gaussian (identical draw sequence to the
+    // per-pulse split below and to StreamingChannel's chunked fills — the
+    // batch/streaming parity tests hold on this stream by construction).
+    std::vector<Real> jitter;
+    if (config.jitter_rms_s > 0.0 && tx.size() > 0) {
+      jitter.resize(tx.size());
+      rng.fill_gaussian(jitter);
     }
-    PulseEmission rx = p;
-    rx.amplitude_v = p.amplitude_v * gain;
-    if (config.jitter_rms_s > 0.0) {
-      rx.time_s += config.jitter_rms_s * rng.gaussian();
+    for (std::size_t i = 0; i < tx.size(); ++i) {
+      PulseEmission rx = tx.pulses()[i];
+      rx.amplitude_v = rx.amplitude_v * gain;
+      if (config.jitter_rms_s > 0.0) {
+        rx.time_s += config.jitter_rms_s * jitter[i];
+      }
+      out.received.add(rx);
     }
-    out.received.add(rx);
+  } else {
+    for (const auto& p : tx.pulses()) {
+      if (rng.chance(config.erasure_prob)) {
+        ++out.erased;
+        continue;
+      }
+      PulseEmission rx = p;
+      rx.amplitude_v = p.amplitude_v * gain;
+      if (config.jitter_rms_s > 0.0) {
+        // datc-lint: allow(hot-rng) — interleaved with erasure decisions;
+        // see StreamingChannel::propagate_chunk.
+        rx.time_s += config.jitter_rms_s * rng.gaussian_bm();
+      }
+      out.received.add(rx);
+    }
   }
   out.received.sort_by_time();
   return out;

@@ -8,10 +8,14 @@
 namespace datc::uwb {
 
 void PulseTrain::sort_by_time() {
-  std::stable_sort(pulses_.begin(), pulses_.end(),
-                   [](const PulseEmission& a, const PulseEmission& b) {
-                     return a.time_s < b.time_s;
-                   });
+  const auto by_time = [](const PulseEmission& a, const PulseEmission& b) {
+    return a.time_s < b.time_s;
+  };
+  // Stable sort of an already-sorted range is the identity, so the O(n)
+  // check skips the common case exactly: channel jitter is orders of
+  // magnitude below the pulse spacing and almost never reorders.
+  if (std::is_sorted(pulses_.begin(), pulses_.end(), by_time)) return;
+  std::stable_sort(pulses_.begin(), pulses_.end(), by_time);
 }
 
 dsp::TimeSeries PulseTrain::render(const PulseShapeConfig& shape, Real t0,

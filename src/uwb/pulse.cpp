@@ -1,6 +1,7 @@
 #include "dsp/types.hpp"
 #include "uwb/pulse.hpp"
 
+#include <array>
 #include <cmath>
 #include <numbers>
 
@@ -24,22 +25,47 @@ Real hermite(unsigned n, Real x) {
 /// d^n/dt^n exp(-x^2/2) = (-1)^n He_n(x) exp(-x^2/2) with x = t/tau.
 /// Using physicists' H_n(x/sqrt2) keeps the recurrence simple; only the
 /// normalised shape matters here.
+/// 2^(-n/2), memoised for small n: std::pow is deterministic for a fixed
+/// argument, so the cached value is bit-identical to calling it inline —
+/// and it sat on the per-sample path of every waveform evaluation.
+Real half_pow_scale(unsigned n) {
+  static const auto table = [] {
+    std::array<Real, 17> t{};
+    for (unsigned k = 0; k < t.size(); ++k) {
+      t[k] = std::pow(2.0, -static_cast<Real>(k) / 2.0);
+    }
+    return t;
+  }();
+  return n < table.size() ? table[n]
+                          : std::pow(2.0, -static_cast<Real>(n) / 2.0);
+}
+
 Real gaussian_derivative(unsigned n, Real x) {
   const Real g = std::exp(-x * x / 2.0);
-  const Real scale = std::pow(2.0, -static_cast<Real>(n) / 2.0);
+  const Real scale = half_pow_scale(n);
   return scale * hermite(n, x / std::numbers::sqrt2_v<Real>) * g *
          ((n % 2) ? -1.0 : 1.0);
 }
 
-/// Peak magnitude of the order-th derivative shape (found numerically once
-/// per call; the search range covers all practical orders).
-Real shape_peak(unsigned n) {
+Real shape_peak_search(unsigned n) {
   Real peak = 0.0;
   for (int i = -600; i <= 600; ++i) {
     const Real x = static_cast<Real>(i) / 100.0;
     peak = std::max(peak, std::abs(gaussian_derivative(n, x)));
   }
   return peak;
+}
+
+/// Peak magnitude of the order-th derivative shape. The numeric search is
+/// deterministic per order, so it runs once per order (it used to run per
+/// call — 1201 waveform evaluations on every receiver construction).
+Real shape_peak(unsigned n) {
+  static const auto peaks = [] {
+    std::array<Real, 9> p{};
+    for (unsigned k = 1; k < p.size(); ++k) p[k] = shape_peak_search(k);
+    return p;
+  }();
+  return n < peaks.size() ? peaks[n] : shape_peak_search(n);
 }
 
 }  // namespace

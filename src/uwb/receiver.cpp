@@ -16,22 +16,28 @@ Real normal_q(Real x) { return dsp::normal_q(x); }
 
 Real normal_q_inv(Real p) { return dsp::normal_q_inv(p); }
 
+DetectionModel::DetectionModel(const EnergyDetectorConfig& det,
+                               const ChannelConfig& ch)
+    // Noise PSD (one-sided) in W/Hz including the RX noise figure.
+    : n0_(std::pow(10.0,
+                   (ch.noise_psd_dbm_hz + ch.rx_noise_figure_db) / 10.0) *
+          1e-3),
+      m_(2.0 * det.bandwidth_hz * det.integration_window_s),  // dof
+      gamma_(m_ + normal_q_inv(det.false_alarm_prob) * std::sqrt(2.0 * m_)) {}
+
+Real DetectionModel::pd(Real pulse_energy_v2s) const {
+  dsp::require(pulse_energy_v2s >= 0.0,
+               "DetectionModel::pd: energy must be non-negative");
+  const Real energy_j = pulse_energy_v2s / 50.0;  // across 50 ohm
+  const Real lambda = 2.0 * energy_j / n0_;       // noncentrality
+  const Real mean1 = m_ + lambda;
+  const Real sd1 = std::sqrt(2.0 * (m_ + 2.0 * lambda));
+  return normal_q((gamma_ - mean1) / sd1);
+}
+
 Real detection_probability(const EnergyDetectorConfig& det,
                            const ChannelConfig& ch, Real pulse_energy_v2s) {
-  dsp::require(pulse_energy_v2s >= 0.0,
-               "detection_probability: energy must be non-negative");
-  // Noise PSD (one-sided) in W/Hz including the RX noise figure.
-  const Real n0 =
-      std::pow(10.0, (ch.noise_psd_dbm_hz + ch.rx_noise_figure_db) / 10.0) *
-      1e-3;
-  const Real energy_j = pulse_energy_v2s / 50.0;  // across 50 ohm
-  const Real m = 2.0 * det.bandwidth_hz * det.integration_window_s;  // dof
-  const Real lambda = 2.0 * energy_j / n0;  // noncentrality
-  const Real gamma =
-      m + normal_q_inv(det.false_alarm_prob) * std::sqrt(2.0 * m);
-  const Real mean1 = m + lambda;
-  const Real sd1 = std::sqrt(2.0 * (m + 2.0 * lambda));
-  return normal_q((gamma - mean1) / sd1);
+  return DetectionModel(det, ch).pd(pulse_energy_v2s);
 }
 
 UwbReceiver::UwbReceiver(const UwbReceiverConfig& config,

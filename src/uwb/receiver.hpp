@@ -34,6 +34,24 @@ struct EnergyDetectorConfig {
                                          const ChannelConfig& ch,
                                          Real pulse_energy_v2s);
 
+/// Energy-independent part of the detection statistic, hoisted so the
+/// per-pulse hot path skips the iterative Q-inverse threshold solve (the
+/// dominant cost of detection_probability). pd() evaluates the identical
+/// expression sequence as detection_probability for the same det/ch, so
+/// results are bit-identical; detection_probability itself delegates here.
+class DetectionModel {
+ public:
+  DetectionModel(const EnergyDetectorConfig& det, const ChannelConfig& ch);
+
+  /// Pd for one pulse of energy `pulse_energy_v2s` (V^2 s across 50 ohm).
+  [[nodiscard]] Real pd(Real pulse_energy_v2s) const;
+
+ private:
+  Real n0_;     ///< one-sided noise PSD (W/Hz) incl. the RX noise figure
+  Real m_;      ///< chi-square degrees of freedom, 2BT
+  Real gamma_;  ///< CFAR threshold for the configured false-alarm rate
+};
+
 /// Upper-tail Gaussian probability Q(x) and its inverse (for thresholds).
 [[nodiscard]] Real normal_q(Real x);
 [[nodiscard]] Real normal_q_inv(Real p);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dsp/types.hpp"
+#include "simd/dispatch.hpp"
 #include "uwb/channel.hpp"
 #include "uwb/modulator.hpp"
 #include "uwb/pulse.hpp"
@@ -62,19 +63,44 @@ void StreamingChannel::propagate_chunk(const PulseTrain& tx, Real tx_watermark,
                                        PulseTrain& out) {
   // Per-pulse draws in TX (packet) order — the exact sequence the batch
   // propagate() consumes.
-  for (const auto& p : tx.pulses()) {
-    ++pulses_in_;
-    const std::uint64_t seq = next_seq_++;
-    if (config_.erasure_prob > 0.0 && rng_.chance(config_.erasure_prob)) {
-      ++erased_;
-      continue;
+  const std::size_t n = tx.size();
+  if (config_.erasure_prob <= 0.0) {
+    // No erasure decisions interleave with the jitter stream, so the whole
+    // chunk's Gaussians batch into one fill (Rng::fill_gaussian draws the
+    // identical sequence as per-pulse gaussian_bm() calls — the default
+    // jittered channel never touches the scalar polar tail).
+    pulses_in_ += n;
+    if (config_.jitter_rms_s > 0.0 && n > 0) {
+      jitter_scratch_.resize(n);
+      rng_.fill_gaussian(jitter_scratch_);
     }
-    PulseEmission rx = p;
-    rx.amplitude_v = p.amplitude_v * gain_;
-    if (config_.jitter_rms_s > 0.0) {
-      rx.time_s += config_.jitter_rms_s * rng_.gaussian();
+    buffer_.reserve(buffer_.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& p = tx.pulses()[i];
+      PulseEmission rx = p;
+      rx.amplitude_v = p.amplitude_v * gain_;
+      if (config_.jitter_rms_s > 0.0) {
+        rx.time_s += config_.jitter_rms_s * jitter_scratch_[i];
+      }
+      buffer_.push_back(Held{rx, next_seq_++});
     }
-    buffer_.push_back(Held{rx, seq});
+  } else {
+    for (const auto& p : tx.pulses()) {
+      ++pulses_in_;
+      const std::uint64_t seq = next_seq_++;
+      if (rng_.chance(config_.erasure_prob)) {
+        ++erased_;
+        continue;
+      }
+      PulseEmission rx = p;
+      rx.amplitude_v = p.amplitude_v * gain_;
+      if (config_.jitter_rms_s > 0.0) {
+        // datc-lint: allow(hot-rng) — erasure decisions interleave with the
+        // jitter stream, so the draws cannot batch without reordering them.
+        rx.time_s += config_.jitter_rms_s * rng_.gaussian_bm();
+      }
+      buffer_.push_back(Held{rx, seq});
+    }
   }
   release_below(tx_watermark - jitter_slack_, out);
 }
@@ -87,10 +113,16 @@ void StreamingChannel::release_below(Real threshold, PulseTrain& out) {
   if (threshold <= release_watermark_) return;  // watermark is monotone
   release_watermark_ = threshold;
   // (time, seq) ordering == the batch stable sort by time over TX order.
-  std::sort(buffer_.begin(), buffer_.end(), [](const Held& a, const Held& b) {
+  // Keys are unique (seq is), so the sorted order is a unique permutation
+  // and skipping an already-sorted buffer is exact — the common case,
+  // since jitter is far below the pulse spacing.
+  const auto by_time_seq = [](const Held& a, const Held& b) {
     return a.pulse.time_s != b.pulse.time_s ? a.pulse.time_s < b.pulse.time_s
                                             : a.seq < b.seq;
-  });
+  };
+  if (!std::is_sorted(buffer_.begin(), buffer_.end(), by_time_seq)) {
+    std::sort(buffer_.begin(), buffer_.end(), by_time_seq);
+  }
   std::size_t n = 0;
   while (n < buffer_.size() && buffer_[n].pulse.time_s < threshold) {
     out.add(buffer_[n].pulse);
@@ -112,7 +144,10 @@ StreamingUwbReceiver::StreamingUwbReceiver(const UwbReceiverConfig& config,
       // results independent of chunk boundaries.
       rng_detect_(rng.fork()),
       rng_frame_(rng.fork()),
+      model_(config.detector, channel),
       watermark_(kNegInf) {
+  dsp::require(config_.address_bits + config_.modulator.code_bits <= 24,
+               "StreamingUwbReceiver: frame exceeds 24 bit slots");
   PulseShapeConfig unit = config_.modulator.shape;
   unit.amplitude_v = 1.0;
   // Sample the unit pulse finely enough for an accurate energy integral.
@@ -122,26 +157,37 @@ StreamingUwbReceiver::StreamingUwbReceiver(const UwbReceiverConfig& config,
 
 void StreamingUwbReceiver::decode_chunk(const PulseTrain& rx, Real watermark,
                                         core::EventStream& out) {
-  // Stage 1: per-pulse detection, in arrival (global time) order.
-  for (const auto& p : rx.pulses()) {
-    ++stats_.pulses_in;
-    const Real energy = unit_pulse_energy_ * p.amplitude_v * p.amplitude_v;
+  // Stage 1: per-pulse detection, in arrival (global time) order. The
+  // energy map is a pure per-pulse function, so it runs as a batched SoA
+  // pass (square_scale keeps the scalar expression order: (c*a)*a); only
+  // the pd lookup and the sequential Rng decision stay in the loop.
+  const std::size_t n = rx.size();
+  stats_.pulses_in += n;
+  scratch_amp_.resize(n);
+  scratch_energy_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_amp_[i] = rx.pulses()[i].amplitude_v;
+  }
+  simd::kernels().square_scale(scratch_energy_.data(), scratch_amp_.data(),
+                               unit_pulse_energy_, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real energy = scratch_energy_[i];
     Real pd;
     if (config_.cache_detection) {
       if (energy != cached_energy_) {
         cached_energy_ = energy;
-        cached_pd_ = detection_probability(config_.detector, channel_, energy);
+        cached_pd_ = model_.pd(energy);
       }
       pd = cached_pd_;
     } else {
-      pd = detection_probability(config_.detector, channel_, energy);
+      pd = model_.pd(energy);
     }
     if (!rng_detect_.chance(pd)) continue;
     ++stats_.pulses_detected;
     if (config_.decode_codes) {
-      pending_.push_back(p);
+      pending_.push_back(rx.pulses()[i]);
     } else {
-      out.add(p.time_s, 0);
+      out.add(rx.pulses()[i].time_s, 0);
     }
   }
   watermark_ = std::max(watermark_, watermark);
@@ -154,17 +200,20 @@ void StreamingUwbReceiver::flush(core::EventStream& out) {
 }
 
 void StreamingUwbReceiver::reset_stream() {
-  dsp::require(pending_.empty(),
+  dsp::require(pend_head_ == pending_.size(),
                "StreamingUwbReceiver::reset_stream: open frames pending "
                "(flush first)");
+  pending_.clear();
+  pend_head_ = 0;
   watermark_ = kNegInf;
 }
 
 Real StreamingUwbReceiver::event_time_watermark() const {
   // The next decoded event is either the oldest pending (unclaimed) pulse
   // promoted to a marker, or a pulse not yet received.
-  return pending_.empty() ? watermark_
-                          : std::min(pending_.front().time_s, watermark_);
+  return pend_head_ == pending_.size()
+             ? watermark_
+             : std::min(pending_[pend_head_].time_s, watermark_);
 }
 
 void StreamingUwbReceiver::close_frames(Real closable_before,
@@ -176,9 +225,16 @@ void StreamingUwbReceiver::close_frames(Real closable_before,
   // A frame closes only when no future pulse can still land in its
   // window: markers open at the oldest unclaimed pulse, exactly as the
   // batch claimed[] scan resumes at the first unclaimed index.
-  while (!pending_.empty() &&
-         pending_.front().time_s + window < closable_before) {
+  while (pend_head_ < pending_.size() &&
+         pending_[pend_head_].time_s + window < closable_before) {
     close_front_frame(out);
+  }
+  // Reclaim the dead prefix once it dominates the buffer; amortised O(1)
+  // per pulse versus the old erase-per-frame front compaction.
+  if (pend_head_ > 1024 && pend_head_ > pending_.size() / 2) {
+    pending_.erase(pending_.begin(), pending_.begin() +
+                                         static_cast<std::ptrdiff_t>(pend_head_));
+    pend_head_ = 0;
   }
 }
 
@@ -189,34 +245,40 @@ void StreamingUwbReceiver::close_front_frame(core::EventStream& out) {
   const unsigned bits = addr_bits + code_bits;
   const Real tol = config_.slot_tolerance * ts;
 
-  const Real t0 = pending_.front().time_s;  // this frame's marker
-  std::vector<bool> bit(bits, false);
+  const std::size_t head = pend_head_;
+  const Real t0 = pending_[head].time_s;  // this frame's marker
+  std::uint32_t bit = 0;  // addr_bits + code_bits <= 24, one register
   // Scan the in-window prefix (pending_ is time-sorted); pulses matching
   // a bit slot are claimed, off-slot pulses stay for the next frame.
-  std::size_t scan = 1;  // 0 is the marker
-  std::size_t keep = 1;
+  std::size_t scan = head + 1;  // head is the marker
+  std::size_t keep = head + 1;
   while (scan < pending_.size() &&
          pending_[scan].time_s <= t0 + static_cast<Real>(bits) * ts + tol) {
     const Real dt = pending_[scan].time_s - t0;
     const auto slot = static_cast<long>(std::llround(dt / ts));
     if (slot >= 1 && slot <= static_cast<long>(bits) &&
         std::abs(dt - static_cast<Real>(slot) * ts) <= tol) {
-      bit[static_cast<std::size_t>(slot - 1)] = true;
+      bit |= 1u << static_cast<unsigned>(slot - 1);
     } else {
       pending_[keep++] = pending_[scan];
     }
     ++scan;
   }
-  // Drop the marker and the claimed pulses, keeping the unclaimed ones in
-  // order: [kept unclaimed ...][untouched tail ...].
-  pending_.erase(pending_.begin() + static_cast<long>(keep),
-                 pending_.begin() + static_cast<long>(scan));
-  pending_.erase(pending_.begin());
+  // Advance the head past the marker and the claimed pulses: the kept
+  // unclaimed block [head+1, keep) slides right against the untouched
+  // tail at `scan`, so the live window stays contiguous and time-sorted
+  // without erasing from the front.
+  const std::size_t kept = keep - head - 1;
+  std::copy_backward(pending_.begin() + static_cast<std::ptrdiff_t>(head + 1),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(keep),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(scan));
+  pend_head_ = scan - kept;
 
   // False alarms inside empty slots (frame-order Rng stream).
   for (unsigned b = 0; b < bits; ++b) {
-    if (!bit[b] && rng_frame_.chance(config_.detector.false_alarm_prob)) {
-      bit[b] = true;
+    if ((bit & (1u << b)) == 0 &&
+        rng_frame_.chance(config_.detector.false_alarm_prob)) {
+      bit |= 1u << b;
       ++stats_.false_alarm_bits;
     }
   }
@@ -225,7 +287,7 @@ void StreamingUwbReceiver::close_front_frame(core::EventStream& out) {
     for (unsigned b = 0; b < width; ++b) {
       const unsigned bit_index =
           config_.modulator.msb_first ? width - 1 - b : b;
-      if (bit[first + b]) v |= (1u << bit_index);
+      if ((bit & (1u << (first + b))) != 0) v |= (1u << bit_index);
     }
     return v;
   };

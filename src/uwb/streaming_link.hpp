@@ -101,6 +101,7 @@ class StreamingChannel {
   Real gain_;
   Real jitter_slack_;
   std::vector<Held> buffer_;
+  std::vector<Real> jitter_scratch_;  ///< batched jitter draws, reused
   std::uint64_t next_seq_{0};
   std::size_t erased_{0};
   std::size_t pulses_in_{0};
@@ -135,7 +136,9 @@ class StreamingUwbReceiver {
   [[nodiscard]] Real event_time_watermark() const;
 
   /// Detected pulses awaiting frame closure.
-  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.size() - pend_head_;
+  }
 
   /// Forgets stream position (watermark, open frames) for a new
   /// independent train; Rng streams and cumulative stats carry on. The
@@ -147,11 +150,18 @@ class StreamingUwbReceiver {
   ChannelConfig channel_;
   dsp::Rng rng_detect_;  ///< per-pulse detection draws, pulse order
   dsp::Rng rng_frame_;   ///< per-frame false-alarm draws, frame order
+  DetectionModel model_;  ///< threshold solve hoisted out of the pulse loop
   DecodeStats stats_;
   Real unit_pulse_energy_;  ///< energy of the shape at 1 V peak
   Real cached_energy_{-1.0};
   Real cached_pd_{0.0};
-  std::vector<PulseEmission> pending_;  ///< detected, unclaimed, time order
+  /// Detected, unclaimed pulses in time order. The live window is
+  /// [pend_head_, size): frame closure advances the head instead of
+  /// erasing from the front, and the dead prefix is reclaimed lazily.
+  std::vector<PulseEmission> pending_;
+  std::size_t pend_head_{0};
+  std::vector<Real> scratch_amp_;     ///< SoA chunk amplitudes, reused
+  std::vector<Real> scratch_energy_;  ///< SoA chunk energies, reused
   Real watermark_{0.0};
   bool saw_pulse_{false};
 

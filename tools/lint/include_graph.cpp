@@ -210,10 +210,11 @@ LayerSpec datc_layer_spec() {
       {"dsp", 0, {}},
       {"afe", 1, {"dsp"}},
       {"fault", 1, {"dsp"}},
-      {"core", 2, {"dsp", "afe"}},
+      {"simd", 1, {"dsp"}},
+      {"core", 2, {"dsp", "afe", "simd"}},
       {"emg", 3, {"dsp", "core"}},
       {"rtl", 3, {"dsp", "core"}},
-      {"uwb", 3, {"dsp", "afe", "core"}},
+      {"uwb", 3, {"dsp", "afe", "core", "simd"}},
       {"synth", 4, {"dsp", "core", "rtl"}},
       {"store", 4, {"dsp", "core", "fault"}},
       {"runtime", 5, {"dsp", "afe", "core", "emg", "uwb", "fault", "store"}},

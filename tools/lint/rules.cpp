@@ -31,6 +31,10 @@ const std::vector<RuleInfo>& file_rules_impl() {
       {"hot-alloc",
        "no allocation (new/make_unique/unreserved push_back) inside the "
        "block-kernel and per-pulse hot loops"},
+      {"hot-rng",
+       "no per-sample scalar RNG draws (gaussian/gaussian_bm/uniform) "
+       "inside the chunk loops of uwb/ and fault/ — batch them with "
+       "Rng::fill_gaussian()/fill_uniform()"},
   };
   return kRules;
 }
@@ -516,6 +520,41 @@ void check_hot_alloc(const std::string& path, const Tokens& ts,
   }
 }
 
+void check_hot_rng(const std::string& path, const Tokens& ts,
+                   std::vector<Finding>& out) {
+  // The chunk loops of the channel/receiver/fault layers: one scalar
+  // distribution draw per sample discards distribution state and blocks
+  // the vectorised polar tail. chance() stays legal — erasure gating is
+  // inherently per pulse and consumes the uniform stream one value at a
+  // time by contract.
+  if (!in_dir(path, "uwb") && !in_dir(path, "fault")) return;
+  const auto loops = find_loops(ts);
+  std::set<int> reported;
+  for (const Loop& loop : loops) {
+    for (std::size_t i = loop.body_begin;
+         i < loop.body_end && i + 3 < ts.size(); ++i) {
+      const Token& recv = ts[i];
+      if (recv.kind != TokKind::kIdent || recv.in_directive) continue;
+      if (lower(recv.text).find("rng") == std::string::npos) continue;
+      if (!is_punct(ts[i + 1], ".") && !is_punct(ts[i + 1], "->")) continue;
+      const Token& call = ts[i + 2];
+      if (call.kind != TokKind::kIdent ||
+          (call.text != "gaussian" && call.text != "gaussian_bm" &&
+           call.text != "uniform")) {
+        continue;
+      }
+      if (!is_punct(ts[i + 3], "(")) continue;
+      if (!reported.insert(call.line).second) continue;
+      out.push_back({path, call.line, "hot-rng",
+                     "per-sample '" + recv.text + "." + call.text +
+                         "()' inside a chunk loop — hoist the draws into "
+                         "one Rng::fill_gaussian()/fill_uniform() batch "
+                         "before the loop (identical stream, vectorised "
+                         "tail)"});
+    }
+  }
+}
+
 }  // namespace
 
 // ----------------------------------------------------------- public API
@@ -619,6 +658,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_rng_fork(path, lexed.tokens, raw);
   check_lock_scope(path, lexed.tokens, raw);
   check_hot_alloc(path, lexed.tokens, raw);
+  check_hot_rng(path, lexed.tokens, raw);
   std::vector<Finding> out;
   for (auto& f : raw) {
     const auto it = allow.find(f.line);

@@ -1,0 +1,53 @@
+// datc-lint-fixture: rule=none path=src/uwb/fixture_channel_ok.cpp clean=hot-rng
+// Clean fixture: the batched-fill idiom the hot-rng rule steers towards,
+// plus the draws that must stay legal — per-pulse chance() (erasure
+// gating consumes one uniform per pulse by contract), fills issued
+// outside the loop, and the explicit allow-marker escape hatch for the
+// erasure path where the draw really is conditional per pulse.
+#include <cstddef>
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace datc::uwb {
+
+struct FixturePulse {
+  double time_s{0.0};
+};
+
+// Batch fill before the loop: same stream, vectorised tail.
+inline void fixture_jitter_batched(std::vector<FixturePulse>& pulses,
+                                   datc::dsp::Rng& rng, double rms_s,
+                                   std::vector<double>& scratch) {
+  scratch.resize(pulses.size());
+  rng.fill_gaussian(scratch);
+  for (std::size_t i = 0; i < pulses.size(); ++i) {
+    pulses[i].time_s += rms_s * scratch[i];
+  }
+}
+
+// chance() per pulse is the contract, not a violation.
+inline std::size_t fixture_erase(const std::vector<FixturePulse>& pulses,
+                                 datc::dsp::Rng& rng, double p_erase) {
+  std::size_t kept = 0;
+  for (const auto& p : pulses) {
+    (void)p;
+    if (!rng.chance(p_erase)) ++kept;
+  }
+  return kept;
+}
+
+// Mixed path: the conditional draw cannot batch (erasures interleave the
+// uniform and normal streams), which is exactly what the marker records.
+inline void fixture_jitter_lossy(std::vector<FixturePulse>& pulses,
+                                 datc::dsp::Rng& rng, double rms_s,
+                                 double p_erase) {
+  for (auto& p : pulses) {
+    if (rng.chance(p_erase)) continue;
+    // datc-lint: allow(hot-rng) — draw is conditional on the erasure
+    // outcome, so the streams interleave per pulse by construction.
+    p.time_s += rms_s * rng.gaussian_bm();
+  }
+}
+
+}  // namespace datc::uwb

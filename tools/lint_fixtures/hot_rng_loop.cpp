@@ -1,0 +1,39 @@
+// datc-lint-fixture: rule=hot-rng path=src/uwb/fixture_channel.cpp
+// Violating fixture: per-sample scalar RNG draws inside chunk loops of
+// the link layer. Each call re-derives distribution state and keeps the
+// Marsaglia tail scalar; the batch fill API draws the identical stream
+// through the vector kernel.
+#include <cstddef>
+#include <vector>
+
+#include "dsp/rng.hpp"
+
+namespace datc::uwb {
+
+struct FixturePulse {
+  double time_s{0.0};
+};
+
+inline void fixture_jitter(std::vector<FixturePulse>& pulses,
+                           datc::dsp::Rng& rng, double rms_s) {
+  for (auto& p : pulses) {
+    p.time_s += rms_s * rng.gaussian();
+  }
+}
+
+inline void fixture_jitter_bm(std::vector<FixturePulse>& pulses,
+                              datc::dsp::Rng& chan_rng, double rms_s) {
+  for (auto& p : pulses) {
+    p.time_s += rms_s * chan_rng.gaussian_bm();
+  }
+}
+
+inline double fixture_dither(std::size_t n, datc::dsp::Rng& rng) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += rng.uniform(-0.5, 0.5);
+  }
+  return acc;
+}
+
+}  // namespace datc::uwb
